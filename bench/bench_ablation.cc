@@ -1,0 +1,93 @@
+// Ablation study of GBU's design choices (DESIGN.md E12):
+//   * piggybacking on sibling shifts (on/off),
+//   * directional (Alg. 4) vs uniform epsilon extension,
+//   * summary-assisted queries (on/off),
+//   * split algorithm (quadratic / linear / R*).
+#include "bench_common.h"
+
+using namespace burtree;
+using namespace burtree::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  PrintHeader("GBU ablations", args);
+
+  struct Variant {
+    std::string name;
+    ExperimentConfig cfg;
+  };
+  std::vector<Variant> variants;
+
+  ExperimentConfig base = args.BaseConfig(StrategyKind::kGeneralizedBottomUp);
+  // Stress the sibling-shift arm so its ablations matter.
+  base.gbu.distance_threshold = 0.03;
+
+  variants.push_back({"GBU (paper defaults)", base});
+  {
+    ExperimentConfig c = base;
+    c.gbu.piggyback = false;
+    variants.push_back({"no piggyback", c});
+  }
+  {
+    ExperimentConfig c = base;
+    c.gbu.directional_extension = false;
+    variants.push_back({"uniform extension", c});
+  }
+  {
+    ExperimentConfig c = base;
+    c.gbu.summary_queries = false;
+    variants.push_back({"no summary queries", c});
+  }
+  {
+    ExperimentConfig c = base;
+    c.split = SplitAlgorithm::kLinear;
+    variants.push_back({"linear split", c});
+  }
+  {
+    ExperimentConfig c = base;
+    c.split = SplitAlgorithm::kRStar;
+    variants.push_back({"R* split", c});
+  }
+  {
+    ExperimentConfig c = base;
+    c.bulk_build = true;
+    variants.push_back({"STR bulk build", c});
+  }
+  {
+    ExperimentConfig c = base;
+    c.forced_reinsert = true;
+    variants.push_back({"R* forced reinsert", c});
+  }
+  {
+    ExperimentConfig c = base;
+    c.strategy = StrategyKind::kTopDown;
+    variants.push_back({"TD (reference)", c});
+  }
+  {
+    ExperimentConfig c = base;
+    c.strategy = StrategyKind::kTopDown;
+    c.forced_reinsert = true;
+    variants.push_back({"TD + forced reinsert", c});
+  }
+
+  TablePrinter t({"variant", "upd I/O", "qry I/O", "upd CPU s", "qry CPU s",
+                  "in-place", "extend", "sibling", "ascend", "topdown"});
+  for (const auto& v : variants) {
+    const ExperimentResult r = MustRun(v.cfg);
+    t.AddRow({v.name, TablePrinter::Fmt(r.avg_update_io, 2),
+              TablePrinter::Fmt(r.avg_query_io, 2),
+              TablePrinter::Fmt(r.update_cpu_s, 2),
+              TablePrinter::Fmt(r.query_cpu_s, 2),
+              TablePrinter::FmtInt(r.paths.in_place),
+              TablePrinter::FmtInt(r.paths.extend),
+              TablePrinter::FmtInt(r.paths.sibling),
+              TablePrinter::FmtInt(r.paths.ascend),
+              TablePrinter::FmtInt(r.paths.top_down)});
+  }
+  if (args.csv) {
+    t.PrintCsv(std::cout);
+  } else {
+    t.Print(std::cout);
+  }
+  return 0;
+}

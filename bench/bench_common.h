@@ -1,0 +1,128 @@
+// Shared plumbing for the figure-reproduction benches: common CLI flags,
+// the default (laptop-scale) workload, and figure-style table rendering.
+//
+// Scale note: the paper runs 1M objects / 1M updates / 1M queries; the
+// defaults here are 1/20 of that so the full suite replays in minutes.
+// Use --objects/--updates/--queries or BURTREE_SCALE=20 for paper scale.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/cli.h"
+#include "harness/experiment.h"
+#include "harness/table_printer.h"
+
+namespace burtree::bench {
+
+struct BenchArgs {
+  uint64_t objects = 50000;
+  uint64_t updates = 50000;
+  uint64_t queries = 1000;
+  double max_move = 0.03;
+  double query_max_dim = 0.1;
+  double buffer_fraction = 0.01;
+  uint64_t seed = 20030901;
+  Distribution distribution = Distribution::kUniform;
+  bool csv = false;
+
+  static BenchArgs Parse(int argc, char** argv) {
+    CliArgs cli(argc, argv);
+    BenchArgs a;
+    a.objects = CliArgs::Scaled(
+        static_cast<uint64_t>(cli.GetInt("objects", 50000)));
+    a.updates = CliArgs::Scaled(
+        static_cast<uint64_t>(cli.GetInt("updates", 50000)));
+    a.queries = CliArgs::Scaled(
+        static_cast<uint64_t>(cli.GetInt("queries", 1000)));
+    a.max_move = cli.GetDouble("max-move", 0.03);
+    a.query_max_dim = cli.GetDouble("query-dim", 0.1);
+    a.buffer_fraction = cli.GetDouble("buffer", 0.01);
+    a.seed = static_cast<uint64_t>(cli.GetInt("seed", 20030901));
+    a.csv = cli.GetBool("csv", false);
+    ParseDistribution(cli.GetString("dist", "uniform"), &a.distribution);
+    return a;
+  }
+
+  ExperimentConfig BaseConfig(StrategyKind kind) const {
+    ExperimentConfig cfg;
+    cfg.strategy = kind;
+    cfg.workload.num_objects = objects;
+    cfg.workload.max_move_distance = max_move;
+    cfg.workload.query_max_dim = query_max_dim;
+    cfg.workload.seed = seed;
+    cfg.workload.distribution = distribution;
+    cfg.num_updates = updates;
+    cfg.num_queries = queries;
+    cfg.buffer_fraction = buffer_fraction;
+    return cfg;
+  }
+};
+
+inline void PrintHeader(const std::string& title, const BenchArgs& a) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf(
+      "workload: %llu objects, %llu updates, %llu queries, max-move %.3f, "
+      "buffer %.1f%%, dist %s, seed %llu\n\n",
+      static_cast<unsigned long long>(a.objects),
+      static_cast<unsigned long long>(a.updates),
+      static_cast<unsigned long long>(a.queries), a.max_move,
+      a.buffer_fraction * 100.0, DistributionName(a.distribution),
+      static_cast<unsigned long long>(a.seed));
+}
+
+/// One swept x-value with results per strategy series.
+struct SeriesRow {
+  std::string x;
+  std::vector<ExperimentResult> results;  // one per series label
+};
+
+/// Prints the four panels the paper's figures use: avg disk I/O and total
+/// CPU seconds, for updates and queries.
+inline void PrintFigurePanels(const std::string& x_label,
+                              const std::vector<std::string>& series,
+                              const std::vector<SeriesRow>& rows,
+                              bool csv) {
+  auto panel = [&](const std::string& what,
+                   double (*get)(const ExperimentResult&)) {
+    std::vector<std::string> headers{x_label};
+    headers.insert(headers.end(), series.begin(), series.end());
+    TablePrinter t(headers);
+    for (const auto& row : rows) {
+      std::vector<std::string> cells{row.x};
+      for (const auto& r : row.results) {
+        cells.push_back(TablePrinter::Fmt(get(r), 2));
+      }
+      t.AddRow(std::move(cells));
+    }
+    std::printf("-- %s --\n", what.c_str());
+    if (csv) {
+      t.PrintCsv(std::cout);
+    } else {
+      t.Print(std::cout);
+    }
+    std::printf("\n");
+  };
+  panel("Avg disk I/O per update",
+        [](const ExperimentResult& r) { return r.avg_update_io; });
+  panel("Avg disk I/O per query",
+        [](const ExperimentResult& r) { return r.avg_query_io; });
+  panel("Update CPU time (s)",
+        [](const ExperimentResult& r) { return r.update_cpu_s; });
+  panel("Query CPU time (s)",
+        [](const ExperimentResult& r) { return r.query_cpu_s; });
+}
+
+inline ExperimentResult MustRun(const ExperimentConfig& cfg) {
+  auto res = RunExperiment(cfg);
+  if (!res.ok()) {
+    std::fprintf(stderr, "experiment failed: %s\n",
+                 res.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(res).value();
+}
+
+}  // namespace burtree::bench

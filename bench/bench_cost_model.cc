@@ -1,0 +1,60 @@
+// Section 4: analytical cost model versus measured I/O. Prints, per
+// movement speed, the model's expected bottom-up and top-down update
+// costs next to the measured averages, plus the paper's closed-form
+// bounds (bottom-up worst case 7 vs top-down best case H+1).
+#include "analysis/cost_model.h"
+#include "bench_common.h"
+
+using namespace burtree;
+using namespace burtree::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  PrintHeader("Section 4: analytic cost model vs measured", args);
+
+  // Shape of an insertion-built tree over the initial distribution.
+  ExperimentConfig shape_cfg =
+      args.BaseConfig(StrategyKind::kGeneralizedBottomUp);
+  WorkloadGenerator workload(shape_cfg.workload);
+  auto fx = MakeFixture(shape_cfg);
+  if (!BuildIndex(shape_cfg, workload, &fx).ok()) return 1;
+  const TreeShape shape = fx.system->tree().CollectShape();
+  const uint32_t height = fx.system->tree().height();
+
+  std::printf("tree height: %u, nodes: %llu, leaf avg MBR: %.5f x %.5f\n",
+              height, static_cast<unsigned long long>(shape.total_nodes),
+              shape.levels[0].avg_width, shape.levels[0].avg_height);
+  std::printf("bottom-up worst case (summary): %.0f I/O;  "
+              "top-down best case: %.0f I/O\n\n",
+              kBottomUpWorstCaseIo, TopDownBestCaseIo(height));
+
+  TablePrinter t({"max-dist", "model B (GBU)", "measured GBU",
+                  "model T (TD)", "measured TD"});
+  for (double d : {0.003, 0.03, 0.1, 0.15}) {
+    BottomUpCostParams params;
+    params.max_move_distance = d;
+    const double model_b = ExpectedBottomUpUpdateIo(shape, params);
+    const double model_t = ExpectedTopDownUpdateIo(shape);
+
+    ExperimentConfig gbu =
+        args.BaseConfig(StrategyKind::kGeneralizedBottomUp);
+    gbu.workload.max_move_distance = d;
+    gbu.buffer_fraction = 0.0;  // the model has no buffer
+    gbu.num_queries = 0;
+    ExperimentConfig td = args.BaseConfig(StrategyKind::kTopDown);
+    td.workload.max_move_distance = d;
+    td.buffer_fraction = 0.0;
+    td.num_queries = 0;
+
+    t.AddRow({TablePrinter::Fmt(d, 3), TablePrinter::Fmt(model_b, 2),
+              TablePrinter::Fmt(MustRun(gbu).avg_update_io, 2),
+              TablePrinter::Fmt(model_t, 2),
+              TablePrinter::Fmt(MustRun(td).avg_update_io, 2)});
+  }
+  if (args.csv) {
+    t.PrintCsv(std::cout);
+  } else {
+    t.Print(std::cout);
+  }
+  return 0;
+}

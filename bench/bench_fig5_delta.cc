@@ -1,0 +1,30 @@
+// Figure 5(e)-(f): effect of the distance threshold (delta) on GBU.
+// delta = 0 means sibling shift is always attempted first; large delta
+// favors iExtendMBR. TD and LBU are delta-independent (flat lines).
+#include "bench_common.h"
+
+using namespace burtree;
+using namespace burtree::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  PrintHeader("Figure 5(e)-(f): varying distance threshold delta", args);
+
+  const std::vector<double> deltas{0.0, 0.03, 0.3, 3.0};
+
+  const ExperimentResult td =
+      MustRun(args.BaseConfig(StrategyKind::kTopDown));
+  const ExperimentResult lbu =
+      MustRun(args.BaseConfig(StrategyKind::kLocalizedBottomUp));
+
+  std::vector<SeriesRow> rows;
+  for (double delta : deltas) {
+    ExperimentConfig gbu =
+        args.BaseConfig(StrategyKind::kGeneralizedBottomUp);
+    gbu.gbu.distance_threshold = delta;
+    rows.push_back(
+        SeriesRow{TablePrinter::Fmt(delta, 2), {td, lbu, MustRun(gbu)}});
+  }
+  PrintFigurePanels("delta", {"TD", "LBU", "GBU"}, rows, args.csv);
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Figure 5(a)-(d): effect of epsilon on update and query performance for
+// TD, LBU, GBU. Expected shape: GBU best update I/O/CPU (improving with
+// epsilon); LBU worse than TD overall; GBU query on par with TD for small
+// epsilon, degrading for large epsilon.
+#include "bench_common.h"
+
+using namespace burtree;
+using namespace burtree::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  PrintHeader("Figure 5(a)-(d): varying epsilon", args);
+
+  const std::vector<double> epsilons{0.0, 0.003, 0.007, 0.015, 0.03};
+
+  // TD ignores epsilon: run once and reuse (the paper's TD line is flat).
+  const ExperimentResult td =
+      MustRun(args.BaseConfig(StrategyKind::kTopDown));
+
+  std::vector<SeriesRow> rows;
+  for (double eps : epsilons) {
+    ExperimentConfig lbu = args.BaseConfig(StrategyKind::kLocalizedBottomUp);
+    lbu.lbu.epsilon = eps;
+    ExperimentConfig gbu =
+        args.BaseConfig(StrategyKind::kGeneralizedBottomUp);
+    gbu.gbu.epsilon = eps;
+    rows.push_back(SeriesRow{TablePrinter::Fmt(eps, 3),
+                             {td, MustRun(lbu), MustRun(gbu)}});
+  }
+  PrintFigurePanels("epsilon", {"TD", "LBU", "GBU"}, rows, args.csv);
+  return 0;
+}

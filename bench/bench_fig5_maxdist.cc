@@ -1,0 +1,30 @@
+// Figure 5(g)-(h): effect of the maximum distance moved between updates
+// (object speed). All techniques deteriorate as speed rises; TD worst at
+// 0.15 (reinsertion/split storm); GBU best throughout.
+#include "bench_common.h"
+
+using namespace burtree;
+using namespace burtree::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  PrintHeader("Figure 5(g)-(h): varying maximum distance moved", args);
+
+  const std::vector<double> dists{0.003, 0.015, 0.03, 0.06, 0.1, 0.15};
+
+  std::vector<SeriesRow> rows;
+  for (double d : dists) {
+    SeriesRow row;
+    row.x = TablePrinter::Fmt(d, 3);
+    for (StrategyKind kind :
+         {StrategyKind::kTopDown, StrategyKind::kLocalizedBottomUp,
+          StrategyKind::kGeneralizedBottomUp}) {
+      ExperimentConfig cfg = args.BaseConfig(kind);
+      cfg.workload.max_move_distance = d;
+      row.results.push_back(MustRun(cfg));
+    }
+    rows.push_back(std::move(row));
+  }
+  PrintFigurePanels("max-dist", {"TD", "LBU", "GBU"}, rows, args.csv);
+  return 0;
+}

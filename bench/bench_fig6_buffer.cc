@@ -1,0 +1,30 @@
+// Figure 6(g)-(h): effect of buffer size (0%..10% of the database).
+// Expected: LBU beats TD only without a buffer; GBU significantly best;
+// everything improves with more buffer.
+#include "bench_common.h"
+
+using namespace burtree;
+using namespace burtree::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  PrintHeader("Figure 6(g)-(h): varying buffer size", args);
+
+  const std::vector<double> fractions{0.0, 0.01, 0.03, 0.05, 0.10};
+
+  std::vector<SeriesRow> rows;
+  for (double f : fractions) {
+    SeriesRow row;
+    row.x = TablePrinter::Fmt(f * 100.0, 0) + "%";
+    for (StrategyKind kind :
+         {StrategyKind::kTopDown, StrategyKind::kLocalizedBottomUp,
+          StrategyKind::kGeneralizedBottomUp}) {
+      ExperimentConfig cfg = args.BaseConfig(kind);
+      cfg.buffer_fraction = f;
+      row.results.push_back(MustRun(cfg));
+    }
+    rows.push_back(std::move(row));
+  }
+  PrintFigurePanels("buffer", {"TD", "LBU", "GBU"}, rows, args.csv);
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Figure 6(c)-(d): effect of the initial data distribution (Uniform,
+// Gaussian, Skewed). Expected: updates cheapest under Uniform; skewed
+// queries cheapest (mostly empty space).
+#include "bench_common.h"
+
+using namespace burtree;
+using namespace burtree::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  PrintHeader("Figure 6(c)-(d): data distributions", args);
+
+  std::vector<SeriesRow> rows;
+  for (Distribution dist : {Distribution::kUniform, Distribution::kGaussian,
+                            Distribution::kSkewed}) {
+    SeriesRow row;
+    row.x = DistributionName(dist);
+    for (StrategyKind kind :
+         {StrategyKind::kTopDown, StrategyKind::kLocalizedBottomUp,
+          StrategyKind::kGeneralizedBottomUp}) {
+      ExperimentConfig cfg = args.BaseConfig(kind);
+      cfg.workload.distribution = dist;
+      row.results.push_back(MustRun(cfg));
+    }
+    rows.push_back(std::move(row));
+  }
+  PrintFigurePanels("distribution", {"TD", "LBU", "GBU"}, rows, args.csv);
+  return 0;
+}

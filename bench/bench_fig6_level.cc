@@ -1,0 +1,45 @@
+// Figure 6(a)-(b): ascending the R-tree — GBU with level threshold
+// lambda = 0..3 versus TD and LBU, swept over movement speed. Expected:
+// GBU-0 already beats LBU; GBU-2/GBU-3 best; TD spikes at 0.15.
+#include "bench_common.h"
+
+using namespace burtree;
+using namespace burtree::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  PrintHeader("Figure 6(a)-(b): level threshold lambda (ascending)", args);
+
+  const std::vector<double> dists{0.003, 0.03, 0.1, 0.15};
+  const std::vector<uint32_t> lambdas{0, 1, 2, 3};
+
+  std::vector<std::string> series{"TD", "LBU"};
+  for (uint32_t l : lambdas) series.push_back("GBU-" + std::to_string(l));
+
+  std::vector<SeriesRow> rows;
+  for (double d : dists) {
+    SeriesRow row;
+    row.x = TablePrinter::Fmt(d, 3);
+    {
+      ExperimentConfig cfg = args.BaseConfig(StrategyKind::kTopDown);
+      cfg.workload.max_move_distance = d;
+      row.results.push_back(MustRun(cfg));
+    }
+    {
+      ExperimentConfig cfg =
+          args.BaseConfig(StrategyKind::kLocalizedBottomUp);
+      cfg.workload.max_move_distance = d;
+      row.results.push_back(MustRun(cfg));
+    }
+    for (uint32_t l : lambdas) {
+      ExperimentConfig cfg =
+          args.BaseConfig(StrategyKind::kGeneralizedBottomUp);
+      cfg.workload.max_move_distance = d;
+      cfg.gbu.level_threshold = l;
+      row.results.push_back(MustRun(cfg));
+    }
+    rows.push_back(std::move(row));
+  }
+  PrintFigurePanels("max-dist", series, rows, args.csv);
+  return 0;
+}

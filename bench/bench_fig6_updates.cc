@@ -1,0 +1,32 @@
+// Figure 6(e)-(f): effect of the number of updates (1x .. 10x). Queries
+// run after all updates. Expected: costs rise with update volume; GBU
+// lowest throughout; TD deteriorates most.
+#include "bench_common.h"
+
+using namespace burtree;
+using namespace burtree::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  PrintHeader("Figure 6(e)-(f): varying number of updates", args);
+
+  // Paper: 1M..10M updates on 1M objects -> multiples of the object count.
+  const std::vector<double> multiples{1, 2, 3, 5, 7, 10};
+
+  std::vector<SeriesRow> rows;
+  for (double m : multiples) {
+    SeriesRow row;
+    row.x = TablePrinter::Fmt(m, 0) + "x";
+    for (StrategyKind kind :
+         {StrategyKind::kTopDown, StrategyKind::kLocalizedBottomUp,
+          StrategyKind::kGeneralizedBottomUp}) {
+      ExperimentConfig cfg = args.BaseConfig(kind);
+      cfg.num_updates =
+          static_cast<uint64_t>(m * static_cast<double>(args.objects));
+      row.results.push_back(MustRun(cfg));
+    }
+    rows.push_back(std::move(row));
+  }
+  PrintFigurePanels("updates", {"TD", "LBU", "GBU"}, rows, args.csv);
+  return 0;
+}

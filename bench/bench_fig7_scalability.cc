@@ -1,0 +1,32 @@
+// Figure 7(a)-(b): scalability — dataset size (and hence object density,
+// since the space is fixed) from 1x to 10x. Expected: update I/O grows
+// with density, GBU best; query costs explode at the highest density.
+#include "bench_common.h"
+
+using namespace burtree;
+using namespace burtree::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  PrintHeader("Figure 7: scalability (dataset size / density)", args);
+
+  const std::vector<double> multiples{1, 2, 5, 10};
+
+  std::vector<SeriesRow> rows;
+  for (double m : multiples) {
+    SeriesRow row;
+    row.x = TablePrinter::Fmt(m, 0) + "x";
+    for (StrategyKind kind :
+         {StrategyKind::kTopDown, StrategyKind::kLocalizedBottomUp,
+          StrategyKind::kGeneralizedBottomUp}) {
+      ExperimentConfig cfg = args.BaseConfig(kind);
+      cfg.workload.num_objects =
+          static_cast<uint64_t>(m * static_cast<double>(args.objects));
+      cfg.num_updates = cfg.workload.num_objects;  // paper: updates ~ N
+      row.results.push_back(MustRun(cfg));
+    }
+    rows.push_back(std::move(row));
+  }
+  PrintFigurePanels("dataset", {"TD", "LBU", "GBU"}, rows, args.csv);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 8: throughput (tps) under Dynamic Granular Locking with 50
+// threads, varying the update/query mix from 0% to 100% updates.
+// Queries use small windows in [0, 0.01] as in §5.4. Expected shape:
+// TD/LBU throughput falls as the update share rises; GBU's rises; GBU
+// consistently above TD; LBU below TD.
+#include "bench_common.h"
+
+using namespace burtree;
+using namespace burtree::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  CliArgs cli(argc, argv);
+  // Throughput defaults differ from the figure benches: a denser tree and
+  // no buffer keep per-op I/O in the paper's disk-bound regime (tps is
+  // governed by I/O counts + DGL conflicts; see DESIGN.md).
+  if (!cli.Has("objects")) {
+    args.objects = CliArgs::Scaled(150000);
+  }
+  if (!cli.Has("buffer")) args.buffer_fraction = 0.0;
+  const uint32_t threads =
+      static_cast<uint32_t>(cli.GetInt("threads", 50));
+  const uint64_t ops =
+      static_cast<uint64_t>(cli.GetInt("ops-per-thread", 120));
+  const uint64_t latency_us =
+      static_cast<uint64_t>(cli.GetInt("io-latency-us", 100));
+  PrintHeader("Figure 8: throughput, DGL, " + std::to_string(threads) +
+                  " threads",
+              args);
+
+  const std::vector<double> update_pct{0, 25, 50, 75, 100};
+
+  TablePrinter table({"%updates", "TD (tps)", "LBU (tps)", "GBU (tps)"});
+  for (double pct : update_pct) {
+    std::vector<std::string> cells{TablePrinter::Fmt(pct, 0)};
+    for (StrategyKind kind :
+         {StrategyKind::kTopDown, StrategyKind::kLocalizedBottomUp,
+          StrategyKind::kGeneralizedBottomUp}) {
+      ThroughputConfig cfg;
+      cfg.base = args.BaseConfig(kind);
+      cfg.threads = threads;
+      cfg.ops_per_thread = ops;
+      cfg.update_fraction = pct / 100.0;
+      cfg.query_max_dim = 0.01;  // §5.4 window range
+      cfg.concurrency.io_latency_us = latency_us;
+      auto res = RunThroughput(cfg);
+      if (!res.ok()) {
+        std::fprintf(stderr, "throughput run failed: %s\n",
+                     res.status().ToString().c_str());
+        return 1;
+      }
+      cells.push_back(TablePrinter::Fmt(res.value().tps, 0));
+    }
+    table.AddRow(std::move(cells));
+  }
+  if (args.csv) {
+    table.PrintCsv(std::cout);
+  } else {
+    table.Print(std::cout);
+  }
+  return 0;
+}

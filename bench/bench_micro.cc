@@ -1,0 +1,142 @@
+// Micro-benchmarks (google-benchmark): per-operation latency of the
+// storage engine, the R-tree primitives, and the three update strategies.
+#include <benchmark/benchmark.h>
+
+#include "harness/experiment.h"
+
+namespace burtree {
+namespace {
+
+void BM_PageFileWrite(benchmark::State& state) {
+  PageFile file(1024);
+  const PageId id = file.Allocate();
+  std::vector<uint8_t> buf(1024, 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(file.Write(id, buf.data()));
+  }
+}
+BENCHMARK(BM_PageFileWrite);
+
+void BM_BufferPoolHit(benchmark::State& state) {
+  PageFile file(1024);
+  BufferPool pool(&file, 16);
+  Page* p = pool.NewPage();
+  const PageId id = p->page_id();
+  pool.UnpinPage(id, true);
+  for (auto _ : state) {
+    auto res = pool.FetchPage(id);
+    benchmark::DoNotOptimize(res);
+    pool.UnpinPage(id, false);
+  }
+}
+BENCHMARK(BM_BufferPoolHit);
+
+void BM_RTreeInsert(benchmark::State& state) {
+  TreeOptions opts;
+  PageFile file(opts.page_size);
+  BufferPool pool(&file, 1 << 16);
+  RTree tree(&pool, opts);
+  Rng rng(1);
+  ObjectId oid = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Insert(
+        oid++,
+        Rect::FromPoint(Point{rng.NextDouble(), rng.NextDouble()})));
+  }
+}
+BENCHMARK(BM_RTreeInsert);
+
+void BM_RTreeQuery(benchmark::State& state) {
+  TreeOptions opts;
+  PageFile file(opts.page_size);
+  BufferPool pool(&file, 1 << 16);
+  RTree tree(&pool, opts);
+  Rng rng(2);
+  for (ObjectId i = 0; i < 50000; ++i) {
+    (void)tree.Insert(
+        i, Rect::FromPoint(Point{rng.NextDouble(), rng.NextDouble()}));
+  }
+  for (auto _ : state) {
+    size_t n = 0;
+    const double x = rng.NextDouble(0.0, 0.9);
+    const double y = rng.NextDouble(0.0, 0.9);
+    (void)tree.Query(Rect(x, y, x + 0.05, y + 0.05),
+                     [&](ObjectId, const Rect&) { ++n; });
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_RTreeQuery);
+
+struct StrategyBenchState {
+  explicit StrategyBenchState(StrategyKind kind) {
+    cfg.strategy = kind;
+    cfg.workload.num_objects = 50000;
+    workload = std::make_unique<WorkloadGenerator>(cfg.workload);
+    fx = MakeFixture(cfg);
+    BURTREE_CHECK(BuildIndex(cfg, *workload, &fx).ok());
+  }
+  ExperimentConfig cfg;
+  std::unique_ptr<WorkloadGenerator> workload;
+  StrategyFixture fx;
+};
+
+void BM_UpdateTD(benchmark::State& state) {
+  StrategyBenchState s(StrategyKind::kTopDown);
+  for (auto _ : state) {
+    const auto op = s.workload->NextUpdate();
+    benchmark::DoNotOptimize(s.fx.strategy->Update(op.oid, op.from, op.to));
+  }
+}
+BENCHMARK(BM_UpdateTD);
+
+void BM_UpdateLBU(benchmark::State& state) {
+  StrategyBenchState s(StrategyKind::kLocalizedBottomUp);
+  for (auto _ : state) {
+    const auto op = s.workload->NextUpdate();
+    benchmark::DoNotOptimize(s.fx.strategy->Update(op.oid, op.from, op.to));
+  }
+}
+BENCHMARK(BM_UpdateLBU);
+
+void BM_UpdateGBU(benchmark::State& state) {
+  StrategyBenchState s(StrategyKind::kGeneralizedBottomUp);
+  for (auto _ : state) {
+    const auto op = s.workload->NextUpdate();
+    benchmark::DoNotOptimize(s.fx.strategy->Update(op.oid, op.from, op.to));
+  }
+}
+BENCHMARK(BM_UpdateGBU);
+
+void BM_HashIndexLookup(benchmark::State& state) {
+  HashIndex idx;
+  for (ObjectId i = 0; i < 100000; ++i) {
+    idx.OnLeafEntryAdded(i, static_cast<PageId>(i % 4096));
+  }
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idx.Lookup(rng.NextBelow(100000)));
+  }
+}
+BENCHMARK(BM_HashIndexLookup);
+
+void BM_SummaryFindAncestor(benchmark::State& state) {
+  ExperimentConfig cfg;
+  cfg.strategy = StrategyKind::kGeneralizedBottomUp;
+  cfg.workload.num_objects = 50000;
+  WorkloadGenerator workload(cfg.workload);
+  auto fx = MakeFixture(cfg);
+  BURTREE_CHECK(BuildIndex(cfg, workload, &fx).ok());
+  auto leaf = fx.system->oid_index()->Lookup(7);
+  BURTREE_CHECK(leaf.ok());
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.system->summary()->FindAncestorContaining(
+        leaf.value(), Point{rng.NextDouble(), rng.NextDouble()}, 4));
+  }
+}
+BENCHMARK(BM_SummaryFindAncestor);
+
+}  // namespace
+}  // namespace burtree
+
+BENCHMARK_MAIN();

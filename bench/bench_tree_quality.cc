@@ -1,0 +1,55 @@
+// Index-quality deep dive (supporting §5.1's query-performance
+// explanations): after the same update stream, compare the trees that TD,
+// LBU, and GBU leave behind — per-level node counts, fill, average MBR
+// extents, and routing overlap (the driver of multi-path query descents).
+// The paper's claim: "indexes that result from the bottom-up updates are
+// more efficient for querying than their top-down counterparts".
+#include "bench_common.h"
+
+using namespace burtree;
+using namespace burtree::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  PrintHeader("Tree quality after updates (TD vs LBU vs GBU)", args);
+
+  for (StrategyKind kind :
+       {StrategyKind::kTopDown, StrategyKind::kLocalizedBottomUp,
+        StrategyKind::kGeneralizedBottomUp}) {
+    ExperimentConfig cfg = args.BaseConfig(kind);
+    WorkloadGenerator workload(cfg.workload);
+    auto fx = MakeFixture(cfg);
+    if (!BuildIndex(cfg, workload, &fx).ok()) return 1;
+    for (uint64_t i = 0; i < cfg.num_updates; ++i) {
+      const auto op = workload.NextUpdate();
+      auto r = fx.strategy->Update(op.oid, op.from, op.to);
+      if (!r.ok()) {
+        std::fprintf(stderr, "update failed\n");
+        return 1;
+      }
+    }
+    const TreeShape shape = fx.system->tree().CollectShape();
+
+    std::printf("-- %s: height %u, %llu nodes, %llu entries --\n",
+                StrategyName(kind), fx.system->tree().height(),
+                static_cast<unsigned long long>(shape.total_nodes),
+                static_cast<unsigned long long>(shape.total_entries));
+    TablePrinter t({"level", "nodes", "avg fill", "avg w", "avg h",
+                    "avg overlap (x1e6)"});
+    for (auto it = shape.levels.rbegin(); it != shape.levels.rend(); ++it) {
+      t.AddRow({TablePrinter::FmtInt(it->level),
+                TablePrinter::FmtInt(it->node_count),
+                TablePrinter::Fmt(it->avg_fill, 2),
+                TablePrinter::Fmt(it->avg_width, 4),
+                TablePrinter::Fmt(it->avg_height, 4),
+                TablePrinter::Fmt(it->avg_overlap * 1e6, 2)});
+    }
+    if (args.csv) {
+      t.PrintCsv(std::cout);
+    } else {
+      t.Print(std::cout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Section-4 analytical cost model.
+//
+// Top-down (Theorem 1): for a query window of size x*y over the unit
+// square, the expected number of node accesses is
+//     E(x, y) = sum over levels l, nodes i of  P[(x_i + x)(y_i + y)]
+// (Lemma 2, clipped to [0,1]) evaluated on the tree's measured per-level
+// MBR statistics; a top-down update costs T = E(0,0) for the deletion
+// descent plus the insertion descent and the leaf write-back.
+//
+// Bottom-up: the three-case expectation of Eq. (1)-(3) under the paper's
+// worst-case assumption (object sits at a corner of its leaf MBR and
+// moves a uniform distance in [0, d_max] in a random direction):
+//   stay within leaf MBR  -> 3 I/O  (hash, leaf R/W)
+//   extend the leaf MBR   -> 4 I/O  (+ parent read)
+//   shift / ascend        -> 6..7 I/O (with the direct access table the
+//                            ascent is capped at the constant 7)
+// Worst case with the summary structure: B = 7, which equals the BEST
+// case of top-down (T = H + 1 at height H = 6... the paper's point being
+// B_worst <= T_best for trees of height >= 4).
+#pragma once
+
+#include "rtree/rtree.h"
+
+namespace burtree {
+
+/// Expected node accesses of a window query of dimensions qx * qy
+/// (Theorem 1) given measured tree shape.
+double ExpectedQueryAccesses(const TreeShape& shape, double qx, double qy);
+
+/// Expected disk accesses of one top-down update (delete descent modeled
+/// as a point query + leaf write + insert descent of height H).
+double ExpectedTopDownUpdateIo(const TreeShape& shape);
+
+/// Probability that a point at the corner of a w*h leaf MBR, displaced a
+/// distance `d` in a uniformly random direction, stays inside the MBR
+/// (the paper's worst-case Case-1 probability; reconstructed as the
+/// product of per-axis survival with the diagonal component d/sqrt(2)).
+double ProbStayWithinMbr(double d, double w, double h);
+
+struct BottomUpCostParams {
+  double max_move_distance = 0.03;  ///< d is uniform in [0, this]
+  bool use_summary = true;  ///< direct access table caps the ascent at 7
+  /// Probability that a failed extension finds a suitable sibling
+  /// one level up (the paper leaves this workload-dependent; measured
+  /// values can be substituted).
+  double sibling_success = 0.5;
+};
+
+/// Expected disk accesses of one bottom-up update, Eq. (1)-(3),
+/// integrated over d ~ U[0, d_max] using the leaf level's measured
+/// average MBR dimensions.
+double ExpectedBottomUpUpdateIo(const TreeShape& shape,
+                                const BottomUpCostParams& params);
+
+/// The paper's closed-form worst-case bound with the summary structure:
+/// 1 (hash) + 2 (leaf R/W) + 2 (sibling R/W) + 2 (parent reads) = 7.
+inline constexpr double kBottomUpWorstCaseIo = 7.0;
+
+/// Best case of a top-down update: single root-to-leaf path both ways
+/// plus the leaf write: T = 2H + 1 for height H; the paper states the
+/// single-descent form H + 1 for one traversal.
+inline double TopDownBestCaseIo(uint32_t height) {
+  return static_cast<double>(height) + 1.0;
+}
+
+}  // namespace burtree

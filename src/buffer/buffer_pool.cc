@@ -1,0 +1,162 @@
+#include "buffer/buffer_pool.h"
+
+#include "common/logging.h"
+
+namespace burtree {
+
+BufferPool::BufferPool(PageFile* file, size_t capacity)
+    : file_(file), capacity_(capacity) {}
+
+BufferPool::~BufferPool() {
+  (void)FlushAll();
+  for (auto& [id, f] : frames_) {
+    delete f;
+  }
+}
+
+StatusOr<Page*> BufferPool::FetchPage(PageId id) {
+  std::unique_lock lock(mu_);
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    Frame* f = it->second;
+    ++stats_.hits;
+    file_->io_stats().RecordBufferHit();
+    if (f->in_lru) {
+      lru_list_.erase(f->lru_it);
+      f->in_lru = false;
+    }
+    f->page.Pin();
+    return &f->page;
+  }
+  ++stats_.misses;
+  auto* f = new Frame(file_->page_size());
+  Status s = file_->Read(id, f->page.data());
+  if (!s.ok()) {
+    delete f;
+    return s;
+  }
+  f->page.set_page_id(id);
+  f->page.set_dirty(false);
+  f->page.Pin();
+  frames_.emplace(id, f);
+  EvictToCapacityLocked();
+  return &f->page;
+}
+
+Page* BufferPool::NewPage() {
+  std::unique_lock lock(mu_);
+  PageId id = file_->Allocate();
+  auto* f = new Frame(file_->page_size());
+  f->page.set_page_id(id);
+  f->page.set_dirty(true);  // fresh page must reach disk eventually
+  f->page.Pin();
+  frames_.emplace(id, f);
+  EvictToCapacityLocked();
+  return &f->page;
+}
+
+void BufferPool::UnpinPage(PageId id, bool dirty) {
+  std::unique_lock lock(mu_);
+  auto it = frames_.find(id);
+  BURTREE_CHECK(it != frames_.end());
+  Frame* f = it->second;
+  BURTREE_CHECK(f->page.pin_count() > 0);
+  if (dirty) f->page.set_dirty(true);
+  f->page.Unpin();
+  if (f->page.pin_count() == 0) {
+    BURTREE_DCHECK(!f->in_lru);
+    lru_list_.push_front(id);
+    f->lru_it = lru_list_.begin();
+    f->in_lru = true;
+    EvictToCapacityLocked();
+  }
+}
+
+Status BufferPool::FlushPage(PageId id) {
+  std::unique_lock lock(mu_);
+  auto it = frames_.find(id);
+  if (it == frames_.end()) return Status::OK();
+  return FlushFrameLocked(*it->second);
+}
+
+Status BufferPool::FlushAll() {
+  std::unique_lock lock(mu_);
+  for (auto& [id, f] : frames_) {
+    BURTREE_RETURN_IF_ERROR(FlushFrameLocked(*f));
+  }
+  return Status::OK();
+}
+
+Status BufferPool::DeletePage(PageId id) {
+  std::unique_lock lock(mu_);
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    Frame* f = it->second;
+    if (f->page.pin_count() > 0) {
+      return Status::InvalidArgument("DeletePage of pinned page");
+    }
+    if (f->in_lru) lru_list_.erase(f->lru_it);
+    frames_.erase(it);
+    delete f;  // dirty content intentionally discarded: page is dead
+  }
+  return file_->Free(id);
+}
+
+void BufferPool::Resize(size_t capacity) {
+  std::unique_lock lock(mu_);
+  capacity_ = capacity;
+  EvictToCapacityLocked();
+}
+
+size_t BufferPool::resident_frames() const {
+  std::unique_lock lock(mu_);
+  return frames_.size();
+}
+
+BufferStats BufferPool::stats() const {
+  std::unique_lock lock(mu_);
+  return stats_;
+}
+
+void BufferPool::ResetStats() {
+  std::unique_lock lock(mu_);
+  stats_ = BufferStats{};
+}
+
+Status BufferPool::EvictOneLocked() {
+  if (lru_list_.empty()) {
+    // All frames pinned: allow temporary over-capacity growth rather than
+    // failing the caller; correctness over strict accounting.
+    return Status::ResourceExhausted("all frames pinned");
+  }
+  PageId victim = lru_list_.back();
+  lru_list_.pop_back();
+  auto it = frames_.find(victim);
+  BURTREE_CHECK(it != frames_.end());
+  Frame* f = it->second;
+  f->in_lru = false;
+  Status s = FlushFrameLocked(*f);
+  if (!s.ok()) return s;
+  frames_.erase(it);
+  delete f;
+  ++stats_.evictions;
+  return Status::OK();
+}
+
+void BufferPool::EvictToCapacityLocked() {
+  while (frames_.size() > capacity_) {
+    if (!EvictOneLocked().ok()) break;
+  }
+}
+
+Status BufferPool::FlushFrameLocked(Frame& f) {
+  if (!f.page.is_dirty()) return Status::OK();
+  BURTREE_RETURN_IF_ERROR(file_->Write(f.page.page_id(), f.page.data()));
+  f.page.set_dirty(false);
+  ++stats_.flushes;
+  return Status::OK();
+}
+
+void BufferPool::TouchLocked(Frame& f) { (void)f; }
+
+}  // namespace burtree

@@ -1,0 +1,88 @@
+// LRU buffer pool over a PageFile. Sized as a fraction of the database
+// (paper §5: buffers of 0%..10% of database size, default 1%). Capacity 0
+// degenerates to pass-through: every access is a disk access, matching the
+// paper's "no buffer" configuration.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+#include "storage/page.h"
+#include "storage/page_file.h"
+
+namespace burtree {
+
+/// Buffer pool statistics, separate from the underlying disk IoStats.
+struct BufferStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t flushes = 0;
+};
+
+class BufferPool {
+ public:
+  /// `capacity` is the maximum number of resident unpinned+pinned frames;
+  /// 0 means pass-through (no caching).
+  BufferPool(PageFile* file, size_t capacity);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns the pinned page image for `id`, reading from disk on a miss.
+  /// Callers must Unpin() exactly once.
+  StatusOr<Page*> FetchPage(PageId id);
+
+  /// Allocates a new page on disk and returns it pinned and dirty.
+  Page* NewPage();
+
+  /// Drops the pin. `dirty` marks the frame as modified; it will be
+  /// written back on eviction or flush.
+  void UnpinPage(PageId id, bool dirty);
+
+  /// Writes the frame back if dirty. No-op if not resident.
+  Status FlushPage(PageId id);
+
+  /// Writes back all dirty frames (call before reading final I/O stats so
+  /// buffered writes are accounted).
+  Status FlushAll();
+
+  /// Discards the frame (must be unpinned) and frees the disk page.
+  Status DeletePage(PageId id);
+
+  /// Re-sizes the pool; excess unpinned frames are evicted immediately.
+  void Resize(size_t capacity);
+
+  size_t capacity() const { return capacity_; }
+  size_t resident_frames() const;
+  BufferStats stats() const;
+  void ResetStats();
+
+  PageFile* file() { return file_; }
+
+ private:
+  struct Frame {
+    Frame(size_t page_size) : page(page_size) {}
+    Page page;
+    std::list<PageId>::iterator lru_it;  // valid iff in lru_list_
+    bool in_lru = false;
+  };
+
+  // All private helpers assume mu_ is held.
+  Status EvictOneLocked();
+  void EvictToCapacityLocked();
+  Status FlushFrameLocked(Frame& f);
+  void TouchLocked(Frame& f);
+
+  PageFile* file_;
+  size_t capacity_;
+  mutable std::mutex mu_;
+  std::unordered_map<PageId, Frame*> frames_;
+  std::list<PageId> lru_list_;  // front = most recent; only unpinned pages
+  BufferStats stats_;
+};
+
+}  // namespace burtree

@@ -1,0 +1,77 @@
+// RAII pin guard: fetches (or creates) a page and guarantees the matching
+// Unpin, propagating the dirty bit. All higher layers access pages
+// exclusively through guards so pins can never leak.
+#pragma once
+
+#include <utility>
+
+#include "buffer/buffer_pool.h"
+
+namespace burtree {
+
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, Page* page) : pool_(pool), page_(page) {}
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+
+  PageGuard(PageGuard&& o) noexcept { *this = std::move(o); }
+  PageGuard& operator=(PageGuard&& o) noexcept {
+    if (this != &o) {
+      Release();
+      pool_ = o.pool_;
+      page_ = o.page_;
+      dirty_ = o.dirty_;
+      o.pool_ = nullptr;
+      o.page_ = nullptr;
+      o.dirty_ = false;
+    }
+    return *this;
+  }
+
+  ~PageGuard() { Release(); }
+
+  /// Fetch an existing page, pinned. Aborts on I/O contract violations
+  /// (fetching a freed page is a bug, not a runtime condition).
+  static PageGuard Fetch(BufferPool* pool, PageId id) {
+    auto res = pool->FetchPage(id);
+    BURTREE_CHECK(res.ok());
+    return PageGuard(pool, res.value());
+  }
+
+  /// Allocate a fresh page, pinned and dirty.
+  static PageGuard New(BufferPool* pool) {
+    PageGuard g(pool, pool->NewPage());
+    g.MarkDirty();
+    return g;
+  }
+
+  bool valid() const { return page_ != nullptr; }
+  Page* page() { return page_; }
+  const Page* page() const { return page_; }
+  PageId id() const { return page_->page_id(); }
+  uint8_t* data() { return page_->data(); }
+  const uint8_t* data() const { return page_->data(); }
+
+  /// Record that the caller modified the page image.
+  void MarkDirty() { dirty_ = true; }
+
+  /// Explicit early unpin.
+  void Release() {
+    if (page_ != nullptr) {
+      pool_->UnpinPage(page_->page_id(), dirty_);
+      page_ = nullptr;
+      pool_ = nullptr;
+      dirty_ = false;
+    }
+  }
+
+ private:
+  BufferPool* pool_ = nullptr;
+  Page* page_ = nullptr;
+  bool dirty_ = false;
+};
+
+}  // namespace burtree

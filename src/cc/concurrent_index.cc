@@ -1,0 +1,73 @@
+#include "cc/concurrent_index.h"
+
+#include <chrono>
+#include <thread>
+
+namespace burtree {
+
+ConcurrentIndex::ConcurrentIndex(IndexSystem* system,
+                                 UpdateStrategy* strategy,
+                                 QueryExecutor* executor,
+                                 const ConcurrencyOptions& options)
+    : system_(system),
+      strategy_(strategy),
+      executor_(executor),
+      options_(options),
+      lock_manager_(options.lock),
+      granules_(options.grid_bits) {}
+
+void ConcurrentIndex::ChargeIoLatency(uint64_t ios) const {
+  if (options_.io_latency_us == 0 || ios == 0) return;
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(options_.io_latency_us * ios));
+}
+
+Status ConcurrentIndex::Update(ObjectId oid, const Point& from,
+                               const Point& to) {
+  const uint64_t ts = NextTs();
+  for (int attempt = 0;; ++attempt) {
+    Status s = AcquireUpdateLocks(&lock_manager_, granules_, ts, from, to);
+    if (s.ok()) break;
+    lock_manager_.ReleaseAll(ts);
+    if (attempt > 64) return s;
+    std::this_thread::sleep_for(std::chrono::microseconds(50u << (attempt & 7)));
+  }
+
+  uint64_t ios = 0;
+  Status op_status;
+  {
+    std::unique_lock latch(latch_);
+    PageFile::ResetThreadIo();
+    auto result = strategy_->Update(oid, from, to);
+    op_status = result.status();
+    ios = PageFile::thread_io();
+  }
+  ChargeIoLatency(ios);
+  lock_manager_.ReleaseAll(ts);
+  return op_status;
+}
+
+StatusOr<size_t> ConcurrentIndex::Query(const Rect& window) {
+  const uint64_t ts = NextTs();
+  for (int attempt = 0;; ++attempt) {
+    Status s = AcquireQueryLocks(&lock_manager_, granules_, ts, window);
+    if (s.ok()) break;
+    lock_manager_.ReleaseAll(ts);
+    if (attempt > 64) return s;
+    std::this_thread::sleep_for(std::chrono::microseconds(50u << (attempt & 7)));
+  }
+
+  uint64_t ios = 0;
+  StatusOr<size_t> result = Status::Aborted("unreached");
+  {
+    std::shared_lock latch(latch_);
+    PageFile::ResetThreadIo();
+    result = executor_->Query(window);
+    ios = PageFile::thread_io();
+  }
+  ChargeIoLatency(ios);
+  lock_manager_.ReleaseAll(ts);
+  return result;
+}
+
+}  // namespace burtree

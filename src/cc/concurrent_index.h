@@ -1,0 +1,64 @@
+// ConcurrentIndex: multi-threaded front end for the throughput study
+// (paper §5.4, Figure 8; 50 threads, DGL locking).
+//
+// Pipeline per operation:
+//   1. acquire the DGL lock set (sorted granules => deadlock-free; the
+//      lock manager's wait-die/timeout is a backstop),
+//   2. run the logical operation under a tree latch (updates exclusive,
+//      queries shared) — RAM-speed critical section,
+//   3. release the latch, then charge the simulated disk latency for the
+//      page I/Os the operation performed *while still holding the DGL
+//      locks* — so conflicting operations serialize their I/O time
+//      exactly as a disk-resident DGL R-tree would,
+//   4. release the locks.
+//
+// Throughput is therefore governed by per-operation I/O counts and
+// granule conflicts, the two quantities Figure 8 measures.
+#pragma once
+
+#include <atomic>
+#include <shared_mutex>
+
+#include "cc/dgl.h"
+#include "cc/lock_manager.h"
+#include "update/query_executor.h"
+#include "update/strategy.h"
+
+namespace burtree {
+
+struct ConcurrencyOptions {
+  uint32_t grid_bits = 6;         ///< 64x64 spatial granules
+  uint64_t io_latency_us = 100;   ///< simulated disk latency per page I/O
+  LockManagerOptions lock;
+};
+
+class ConcurrentIndex {
+ public:
+  ConcurrentIndex(IndexSystem* system, UpdateStrategy* strategy,
+                  QueryExecutor* executor,
+                  const ConcurrencyOptions& options);
+
+  /// Thread-safe update of one object.
+  Status Update(ObjectId oid, const Point& from, const Point& to);
+
+  /// Thread-safe window query; returns the match count.
+  StatusOr<size_t> Query(const Rect& window);
+
+  LockManager& lock_manager() { return lock_manager_; }
+  const ConcurrencyOptions& options() const { return options_; }
+
+ private:
+  uint64_t NextTs() { return ts_.fetch_add(1, std::memory_order_relaxed); }
+  void ChargeIoLatency(uint64_t ios) const;
+
+  IndexSystem* system_;
+  UpdateStrategy* strategy_;
+  QueryExecutor* executor_;
+  ConcurrencyOptions options_;
+  LockManager lock_manager_;
+  SpatialGranules granules_;
+  std::shared_mutex latch_;
+  std::atomic<uint64_t> ts_{1};
+};
+
+}  // namespace burtree

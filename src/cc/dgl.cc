@@ -1,0 +1,62 @@
+#include "cc/dgl.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace burtree {
+
+SpatialGranules::SpatialGranules(uint32_t grid_bits)
+    : grid_size_(1u << grid_bits) {
+  BURTREE_CHECK(grid_bits <= 15);
+}
+
+uint32_t SpatialGranules::Coord(double v) const {
+  if (v <= 0.0) return 0;
+  if (v >= 1.0) return grid_size_ - 1;
+  return static_cast<uint32_t>(v * grid_size_);
+}
+
+uint64_t SpatialGranules::CellOf(const Point& p) const {
+  return static_cast<uint64_t>(Coord(p.y)) * grid_size_ + Coord(p.x);
+}
+
+std::vector<uint64_t> SpatialGranules::CellsOf(const Rect& window) const {
+  std::vector<uint64_t> cells;
+  if (window.IsEmpty()) return cells;
+  const uint32_t x0 = Coord(window.min_x);
+  const uint32_t x1 = Coord(window.max_x);
+  const uint32_t y0 = Coord(window.min_y);
+  const uint32_t y1 = Coord(window.max_y);
+  cells.reserve(static_cast<size_t>(x1 - x0 + 1) * (y1 - y0 + 1));
+  for (uint32_t y = y0; y <= y1; ++y) {
+    for (uint32_t x = x0; x <= x1; ++x) {
+      cells.push_back(static_cast<uint64_t>(y) * grid_size_ + x);
+    }
+  }
+  return cells;  // row-major emission is already sorted ascending
+}
+
+Status AcquireUpdateLocks(LockManager* lm, const SpatialGranules& granules,
+                          uint64_t txn, const Point& from, const Point& to) {
+  BURTREE_RETURN_IF_ERROR(
+      lm->Acquire(txn, SpatialGranules::kRootGranule, LockMode::kIX));
+  uint64_t a = granules.CellOf(from);
+  uint64_t b = granules.CellOf(to);
+  if (a > b) std::swap(a, b);
+  BURTREE_RETURN_IF_ERROR(lm->Acquire(txn, a, LockMode::kX));
+  if (b != a) BURTREE_RETURN_IF_ERROR(lm->Acquire(txn, b, LockMode::kX));
+  return Status::OK();
+}
+
+Status AcquireQueryLocks(LockManager* lm, const SpatialGranules& granules,
+                         uint64_t txn, const Rect& window) {
+  BURTREE_RETURN_IF_ERROR(
+      lm->Acquire(txn, SpatialGranules::kRootGranule, LockMode::kIS));
+  for (uint64_t cell : granules.CellsOf(window)) {
+    BURTREE_RETURN_IF_ERROR(lm->Acquire(txn, cell, LockMode::kS));
+  }
+  return Status::OK();
+}
+
+}  // namespace burtree

@@ -1,0 +1,53 @@
+// Spatial granule mapping for the DGL-style protocol (paper §3.2.2).
+//
+// Chakrabarti & Mehrotra's DGL locks leaf granules plus per-node external
+// granules covering the space not owned by any leaf. We reproduce the
+// protocol over a uniform grid of spatial granules (DESIGN.md documents
+// the substitution): an update X-locks the source and destination cells
+// under an IX root intent; a window query S-locks every overlapping cell
+// under an IS root intent. Phantom protection holds because any insert
+// into the window's region must X-lock a cell the query holds in S.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+#include "cc/lock_manager.h"
+
+namespace burtree {
+
+class SpatialGranules {
+ public:
+  /// `grid_bits` of 6 gives a 64x64 grid over the unit square.
+  explicit SpatialGranules(uint32_t grid_bits = 6);
+
+  /// Distinguished root granule for intention locks.
+  static constexpr uint64_t kRootGranule = ~0ULL;
+
+  /// Granule id of the cell containing `p`.
+  uint64_t CellOf(const Point& p) const;
+
+  /// Granule ids of all cells overlapping `window`, sorted ascending
+  /// (sorted acquisition order keeps lock requests deadlock-free).
+  std::vector<uint64_t> CellsOf(const Rect& window) const;
+
+  uint32_t grid_size() const { return grid_size_; }
+
+ private:
+  uint32_t Coord(double v) const;
+
+  uint32_t grid_size_;
+};
+
+/// Acquires the DGL lock set for an update of an object moving
+/// `from` -> `to`: IX on the root granule, X on both cells (sorted).
+Status AcquireUpdateLocks(LockManager* lm, const SpatialGranules& granules,
+                          uint64_t txn, const Point& from, const Point& to);
+
+/// Acquires the DGL lock set for a window query: IS on the root granule,
+/// S on every overlapping cell.
+Status AcquireQueryLocks(LockManager* lm, const SpatialGranules& granules,
+                         uint64_t txn, const Rect& window);
+
+}  // namespace burtree

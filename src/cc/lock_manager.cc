@@ -1,0 +1,151 @@
+#include "cc/lock_manager.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace burtree {
+
+bool LockCompatible(LockMode held, LockMode requested) {
+  // rows: held, cols: requested — IS, IX, S, X
+  static constexpr bool kMatrix[4][4] = {
+      /*IS*/ {true, true, true, false},
+      /*IX*/ {true, true, false, false},
+      /*S */ {true, false, true, false},
+      /*X */ {false, false, false, false},
+  };
+  return kMatrix[static_cast<int>(held)][static_cast<int>(requested)];
+}
+
+const char* LockModeName(LockMode m) {
+  switch (m) {
+    case LockMode::kIS: return "IS";
+    case LockMode::kIX: return "IX";
+    case LockMode::kS: return "S";
+    case LockMode::kX: return "X";
+  }
+  return "?";
+}
+
+LockManager::LockManager(const LockManagerOptions& options)
+    : options_(options) {}
+
+bool LockManager::ModeCovers(LockMode held, LockMode requested) {
+  if (held == requested) return true;
+  if (held == LockMode::kX) return true;
+  if (held == LockMode::kS &&
+      (requested == LockMode::kIS)) {
+    return true;
+  }
+  if (held == LockMode::kIX && requested == LockMode::kIS) return true;
+  return false;
+}
+
+bool LockManager::CanGrantLocked(const Granule& g, uint64_t txn,
+                                 LockMode mode) const {
+  for (const Holder& h : g.holders) {
+    if (h.txn == txn) continue;  // self-compatibility is handled by caller
+    if (!LockCompatible(h.mode, mode)) return false;
+  }
+  return true;
+}
+
+bool LockManager::ConflictsWithOlderLocked(const Granule& g, uint64_t txn,
+                                           LockMode mode) const {
+  for (const Holder& h : g.holders) {
+    if (h.txn == txn) continue;
+    if (!LockCompatible(h.mode, mode) && h.txn < txn) return true;
+  }
+  return false;
+}
+
+Status LockManager::Acquire(uint64_t txn, uint64_t granule, LockMode mode) {
+  std::unique_lock lock(mu_);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options_.timeout_ms);
+  bool waited = false;
+  while (true) {
+    // The granule entry must be re-fetched after every wait: releases may
+    // erase it (and map growth may rehash) while the mutex is dropped.
+    Granule& g = granules_[granule];
+
+    // Already holding an equal-or-stronger mode?
+    for (const Holder& h : g.holders) {
+      if (h.txn == txn && ModeCovers(h.mode, mode)) return Status::OK();
+    }
+
+    if (CanGrantLocked(g, txn, mode)) {
+      if (waited) ++stats_.waits;
+      // Upgrade in place when the txn already holds a weaker mode.
+      for (Holder& h : g.holders) {
+        if (h.txn == txn) {
+          h.mode = mode;
+          ++stats_.acquisitions;
+          return Status::OK();
+        }
+      }
+      g.holders.push_back(Holder{txn, mode});
+      held_by_txn_[txn].push_back(granule);
+      ++stats_.acquisitions;
+      return Status::OK();
+    }
+
+    if (options_.wait_die && ConflictsWithOlderLocked(g, txn, mode)) {
+      ++stats_.aborts;
+      return Status::Aborted("wait-die: younger transaction dies");
+    }
+    waited = true;
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      ++stats_.timeouts;
+      return Status::Aborted("lock wait timeout");
+    }
+  }
+}
+
+void LockManager::Release(uint64_t txn, uint64_t granule) {
+  std::unique_lock lock(mu_);
+  auto it = granules_.find(granule);
+  if (it == granules_.end()) return;
+  auto& holders = it->second.holders;
+  holders.erase(std::remove_if(holders.begin(), holders.end(),
+                               [&](const Holder& h) { return h.txn == txn; }),
+                holders.end());
+  if (holders.empty()) granules_.erase(it);
+  auto ht = held_by_txn_.find(txn);
+  if (ht != held_by_txn_.end()) {
+    auto& v = ht->second;
+    v.erase(std::remove(v.begin(), v.end(), granule), v.end());
+    if (v.empty()) held_by_txn_.erase(ht);
+  }
+  cv_.notify_all();
+}
+
+void LockManager::ReleaseAll(uint64_t txn) {
+  std::unique_lock lock(mu_);
+  auto ht = held_by_txn_.find(txn);
+  if (ht == held_by_txn_.end()) return;
+  for (uint64_t granule : ht->second) {
+    auto it = granules_.find(granule);
+    if (it == granules_.end()) continue;
+    auto& holders = it->second.holders;
+    holders.erase(
+        std::remove_if(holders.begin(), holders.end(),
+                       [&](const Holder& h) { return h.txn == txn; }),
+        holders.end());
+    if (holders.empty()) granules_.erase(it);
+  }
+  held_by_txn_.erase(ht);
+  cv_.notify_all();
+}
+
+size_t LockManager::HeldCount(uint64_t txn) const {
+  std::lock_guard lock(mu_);
+  auto it = held_by_txn_.find(txn);
+  return it == held_by_txn_.end() ? 0 : it->second.size();
+}
+
+LockStats LockManager::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+}  // namespace burtree

@@ -1,0 +1,51 @@
+#include "common/geometry.h"
+
+#include <cstdio>
+#include <limits>
+
+namespace burtree {
+
+std::string Point::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "(%.6g, %.6g)", x, y);
+  return buf;
+}
+
+std::string Rect::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "[%.6g, %.6g; %.6g, %.6g]", min_x, min_y,
+                max_x, max_y);
+  return buf;
+}
+
+double Rect::MinDistanceTo(const Point& p) const {
+  if (IsEmpty()) return std::numeric_limits<double>::infinity();
+  const double dx = std::max({min_x - p.x, 0.0, p.x - max_x});
+  const double dy = std::max({min_y - p.y, 0.0, p.y - max_y});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+Rect ExtendMbrDirectional(const Rect& leaf, const Point& target,
+                          double epsilon, const Rect& parent) {
+  Rect r = leaf;
+  // Extend only in the direction moved, only enough to bound the target,
+  // capped at epsilon per side and clipped by the parent MBR (paper Alg. 4).
+  if (target.x > r.max_x) {
+    r.max_x = std::min({target.x, r.max_x + epsilon, parent.max_x});
+  } else if (target.x < r.min_x) {
+    r.min_x = std::max({target.x, r.min_x - epsilon, parent.min_x});
+  }
+  if (target.y > r.max_y) {
+    r.max_y = std::min({target.y, r.max_y + epsilon, parent.max_y});
+  } else if (target.y < r.min_y) {
+    r.min_y = std::max({target.y, r.min_y - epsilon, parent.min_y});
+  }
+  return r;
+}
+
+Rect InflateRect(const Rect& r, double epsilon) {
+  return Rect(r.min_x - epsilon, r.min_y - epsilon, r.max_x + epsilon,
+              r.max_y + epsilon);
+}
+
+}  // namespace burtree

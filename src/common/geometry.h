@@ -1,0 +1,122 @@
+// 2-D geometry primitives for the unit-square moving-object space of the
+// paper: points, axis-aligned rectangles (MBRs), and the predicates the
+// R-tree algorithms need (containment, intersection, enlargement).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace burtree {
+
+/// A point in the (conceptually unit-square) data space.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  bool operator==(const Point& o) const { return x == o.x && y == o.y; }
+
+  /// Euclidean distance to another point.
+  double DistanceTo(const Point& o) const {
+    const double dx = x - o.x;
+    const double dy = y - o.y;
+    return std::sqrt(dx * dx + dy * dy);
+  }
+
+  std::string ToString() const;
+};
+
+/// Axis-aligned minimum bounding rectangle. An MBR is *valid* when
+/// min_x <= max_x && min_y <= max_y; the default-constructed rect is the
+/// "empty" rect (inverted bounds) which behaves as the identity for
+/// ExpandToInclude.
+struct Rect {
+  double min_x = 1.0;
+  double min_y = 1.0;
+  double max_x = 0.0;
+  double max_y = 0.0;
+
+  Rect() = default;
+  Rect(double x0, double y0, double x1, double y1)
+      : min_x(x0), min_y(y0), max_x(x1), max_y(y1) {}
+
+  /// Degenerate rectangle covering exactly one point.
+  static Rect FromPoint(const Point& p) { return Rect(p.x, p.y, p.x, p.y); }
+
+  /// The canonical "nothing yet" rect: identity of ExpandToInclude.
+  static Rect Empty() { return Rect(); }
+
+  bool IsEmpty() const { return min_x > max_x || min_y > max_y; }
+
+  bool operator==(const Rect& o) const {
+    return min_x == o.min_x && min_y == o.min_y && max_x == o.max_x &&
+           max_y == o.max_y;
+  }
+
+  double Width() const { return std::max(0.0, max_x - min_x); }
+  double Height() const { return std::max(0.0, max_y - min_y); }
+  double Area() const { return Width() * Height(); }
+  /// Half-perimeter; the margin measure used by R*-style heuristics.
+  double Margin() const { return Width() + Height(); }
+  Point Center() const {
+    return Point{(min_x + max_x) / 2.0, (min_y + max_y) / 2.0};
+  }
+
+  bool Contains(const Point& p) const {
+    return !IsEmpty() && p.x >= min_x && p.x <= max_x && p.y >= min_y &&
+           p.y <= max_y;
+  }
+  bool Contains(const Rect& r) const {
+    return !IsEmpty() && !r.IsEmpty() && r.min_x >= min_x &&
+           r.max_x <= max_x && r.min_y >= min_y && r.max_y <= max_y;
+  }
+  bool Intersects(const Rect& r) const {
+    return !IsEmpty() && !r.IsEmpty() && r.min_x <= max_x &&
+           r.max_x >= min_x && r.min_y <= max_y && r.max_y >= min_y;
+  }
+
+  /// Smallest rect containing both this and `r`.
+  Rect UnionWith(const Rect& r) const {
+    if (IsEmpty()) return r;
+    if (r.IsEmpty()) return *this;
+    return Rect(std::min(min_x, r.min_x), std::min(min_y, r.min_y),
+                std::max(max_x, r.max_x), std::max(max_y, r.max_y));
+  }
+
+  /// Overlapping region (empty rect when disjoint).
+  Rect IntersectionWith(const Rect& r) const {
+    if (!Intersects(r)) return Rect::Empty();
+    return Rect(std::max(min_x, r.min_x), std::max(min_y, r.min_y),
+                std::min(max_x, r.max_x), std::min(max_y, r.max_y));
+  }
+
+  /// Area increase required to also cover `r` (Guttman's enlargement).
+  double Enlargement(const Rect& r) const {
+    return UnionWith(r).Area() - Area();
+  }
+
+  /// Grow in place to cover `r`.
+  void ExpandToInclude(const Rect& r) { *this = UnionWith(r); }
+  void ExpandToInclude(const Point& p) {
+    ExpandToInclude(Rect::FromPoint(p));
+  }
+
+  /// Minimum distance from this rect to a point (0 when inside).
+  double MinDistanceTo(const Point& p) const;
+
+  std::string ToString() const;
+};
+
+/// iExtendMBR (paper Algorithm 4): enlarge `leaf` towards `target` only in
+/// the directions of movement, by at most `epsilon` per side, never growing
+/// beyond `parent`. Returns the extended rect; the caller checks whether the
+/// result actually covers `target`.
+Rect ExtendMbrDirectional(const Rect& leaf, const Point& target,
+                          double epsilon, const Rect& parent);
+
+/// Uniform (all-direction) enlargement used by LBU / the lazy-update
+/// proposal of Kwon et al. (Algorithm 1): grow every side by `epsilon`,
+/// *unclipped* — the caller checks containment in the parent MBR.
+Rect InflateRect(const Rect& r, double epsilon);
+
+}  // namespace burtree

@@ -1,0 +1,32 @@
+// Minimal CHECK/DCHECK macros in the style used by database engines
+// (RocksDB/Arrow): invariant failures abort with file:line context rather
+// than raising exceptions.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace burtree::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace burtree::internal
+
+#define BURTREE_CHECK(expr)                                     \
+  do {                                                          \
+    if (!(expr)) {                                              \
+      ::burtree::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                           \
+  } while (0)
+
+#ifdef NDEBUG
+#define BURTREE_DCHECK(expr) \
+  do {                       \
+  } while (0)
+#else
+#define BURTREE_DCHECK(expr) BURTREE_CHECK(expr)
+#endif

@@ -1,0 +1,17 @@
+#include "common/metrics.h"
+
+#include <cstdio>
+
+namespace burtree {
+
+std::string IoStats::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "IoStats{reads=%llu, writes=%llu, buffer_hits=%llu}",
+                static_cast<unsigned long long>(reads()),
+                static_cast<unsigned long long>(writes()),
+                static_cast<unsigned long long>(buffer_hits()));
+  return buf;
+}
+
+}  // namespace burtree

@@ -1,0 +1,72 @@
+// Thread-safe counters for the paper's performance metrics: disk I/O
+// (page reads / writes below the buffer pool), buffer hits, and CPU time.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace burtree {
+
+/// Cumulative I/O statistics. All counters are atomic so the concurrent
+/// throughput experiment can share one instance across threads.
+class IoStats {
+ public:
+  void RecordRead() { reads_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordWrite() { writes_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordBufferHit() { hits_.fetch_add(1, std::memory_order_relaxed); }
+
+  uint64_t reads() const { return reads_.load(std::memory_order_relaxed); }
+  uint64_t writes() const { return writes_.load(std::memory_order_relaxed); }
+  uint64_t buffer_hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  /// Total disk accesses: the paper's headline metric.
+  uint64_t total_io() const { return reads() + writes(); }
+
+  void Reset() {
+    reads_.store(0, std::memory_order_relaxed);
+    writes_.store(0, std::memory_order_relaxed);
+    hits_.store(0, std::memory_order_relaxed);
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> writes_{0};
+  std::atomic<uint64_t> hits_{0};
+};
+
+/// Snapshot of an IoStats for interval measurement (stats at t1 - t0).
+struct IoSnapshot {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t buffer_hits = 0;
+
+  static IoSnapshot Take(const IoStats& s) {
+    return IoSnapshot{s.reads(), s.writes(), s.buffer_hits()};
+  }
+  IoSnapshot operator-(const IoSnapshot& o) const {
+    return IoSnapshot{reads - o.reads, writes - o.writes,
+                      buffer_hits - o.buffer_hits};
+  }
+  uint64_t total_io() const { return reads + writes; }
+};
+
+/// Simple wall-clock stopwatch for the CPU-time series of Figures 5(c)/(d).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+  void Restart() { start_ = Clock::now(); }
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace burtree

@@ -1,0 +1,82 @@
+// Configuration knobs for the tree, the update strategies, and experiments.
+// Defaults follow the bold values of the paper's Table 1.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace burtree {
+
+/// Node-split algorithm for the R-tree.
+enum class SplitAlgorithm {
+  kQuadratic,  ///< Guttman's quadratic split (default; what the paper used).
+  kLinear,     ///< Guttman's linear split.
+  kRStar,      ///< R*-style axis/index choice (extension, for ablations).
+};
+
+/// Options fixed at tree construction time.
+struct TreeOptions {
+  /// On-disk page size in bytes. The paper uses 1024 for all experiments.
+  size_t page_size = 1024;
+
+  /// Minimum fill factor m as a fraction of capacity M (Guttman suggests
+  /// m <= M/2; 0.4 is the common choice).
+  double min_fill_fraction = 0.4;
+
+  SplitAlgorithm split = SplitAlgorithm::kQuadratic;
+
+  /// Store a parent PageId in every node header. Required by LBU
+  /// (Algorithm 1); costs one entry slot of fanout and split-time
+  /// maintenance, exactly the drawback the paper attributes to LBU.
+  bool parent_pointers = false;
+
+  /// Re-insert orphaned entries on underflow (CondenseTree). The paper's
+  /// baseline is "the original R-tree with re-insertions".
+  bool reinsert_on_underflow = true;
+
+  /// R*-style forced re-insertion on node overflow: instead of splitting
+  /// immediately, evict the `reinsert_fraction` of entries farthest from
+  /// the node's center (once per level per operation) and re-insert them
+  /// from the root. Improves query quality at extra update cost — the
+  /// alternative reading of the paper's "R-tree with re-insertions"
+  /// baseline; off by default, exercised by the ablation bench.
+  bool forced_reinsert = false;
+  double reinsert_fraction = 0.3;
+};
+
+/// Tuning parameters of the Generalized Bottom-Up strategy (§3.2.1).
+struct GbuOptions {
+  /// Epsilon: cap on directional MBR enlargement (unit-square units).
+  /// Paper recommendation: 0.003.
+  double epsilon = 0.003;
+
+  /// Distance threshold (delta): objects that moved further than this are
+  /// "fast" — try sibling shift before MBR extension. Paper choice: 0.03.
+  double distance_threshold = 0.03;
+
+  /// Level threshold (lambda): maximum number of levels to ascend above
+  /// the leaf. kLevelThresholdMax means "up to the root" (paper default:
+  /// height - 1, i.e., the maximum possible).
+  uint32_t level_threshold = kLevelThresholdMax;
+  static constexpr uint32_t kLevelThresholdMax = 0xFFFFFFFFu;
+
+  /// Piggyback equally-mobile entries when shifting to a sibling (§3.2.1
+  /// optimization 4). Disable only for ablation studies.
+  bool piggyback = true;
+
+  /// Use the summary structure's direct access table to prune internal
+  /// levels during window queries (§3.2). Disable only for ablations.
+  bool summary_queries = true;
+
+  /// Use directional (Algorithm 4) extension rather than uniform
+  /// all-direction extension. Disable only for ablations.
+  bool directional_extension = true;
+};
+
+/// Tuning parameters of the Localized Bottom-Up strategy (Algorithm 1).
+struct LbuOptions {
+  /// Uniform enlargement amount applied to all four sides.
+  double epsilon = 0.003;
+};
+
+}  // namespace burtree

@@ -1,0 +1,43 @@
+// Deterministic, fast PRNG (xoshiro256**) plus the samplers the workload
+// generator needs. We avoid <random> engines in hot paths for speed and
+// cross-platform reproducibility of experiment streams.
+#pragma once
+
+#include <cstdint>
+
+namespace burtree {
+
+/// xoshiro256** by Blackman & Vigna — fast, high-quality, splittable via
+/// Jump(). Deterministic across platforms given the same seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t NextBelow(uint64_t n);
+
+  /// Standard normal via Box–Muller (cached second value).
+  double NextGaussian();
+
+  /// Bernoulli with probability p.
+  bool NextBool(double p);
+
+  /// Advance 2^128 steps: used to derive independent per-thread streams.
+  void Jump();
+
+ private:
+  uint64_t s_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace burtree

@@ -1,0 +1,25 @@
+// Core scalar types shared by every burtree module.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace burtree {
+
+/// Identifier of a fixed-size page inside a PageFile.
+using PageId = uint32_t;
+
+/// Sentinel for "no page".
+inline constexpr PageId kInvalidPageId = std::numeric_limits<PageId>::max();
+
+/// Identifier of an indexed (moving) object.
+using ObjectId = uint64_t;
+
+/// Sentinel for "no object".
+inline constexpr ObjectId kInvalidObjectId =
+    std::numeric_limits<ObjectId>::max();
+
+/// Tree level: 0 is the leaf level, increasing towards the root.
+using Level = uint32_t;
+
+}  // namespace burtree

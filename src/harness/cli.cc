@@ -1,0 +1,58 @@
+#include "harness/cli.h"
+
+#include <cstdlib>
+
+namespace burtree {
+
+CliArgs::CliArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+      kv_[arg] = argv[++i];
+    } else {
+      kv_[arg] = "true";
+    }
+  }
+}
+
+bool CliArgs::Has(const std::string& key) const { return kv_.count(key) > 0; }
+
+int64_t CliArgs::GetInt(const std::string& key, int64_t def) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double CliArgs::GetDouble(const std::string& key, double def) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string CliArgs::GetString(const std::string& key,
+                               std::string def) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? def : it->second;
+}
+
+bool CliArgs::GetBool(const std::string& key, bool def) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+double CliArgs::ScaleFactor() {
+  const char* env = std::getenv("BURTREE_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::strtod(env, nullptr);
+  return v > 0.0 ? v : 1.0;
+}
+
+uint64_t CliArgs::Scaled(uint64_t base) {
+  return static_cast<uint64_t>(static_cast<double>(base) * ScaleFactor());
+}
+
+}  // namespace burtree

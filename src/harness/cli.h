@@ -1,0 +1,31 @@
+// Minimal --flag=value / --flag value parser shared by the bench and
+// example binaries, plus the BURTREE_SCALE environment knob that scales
+// workload sizes towards (or past) the paper's 1M-object setting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace burtree {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, char** argv);
+
+  bool Has(const std::string& key) const;
+  int64_t GetInt(const std::string& key, int64_t def) const;
+  double GetDouble(const std::string& key, double def) const;
+  std::string GetString(const std::string& key, std::string def) const;
+  bool GetBool(const std::string& key, bool def) const;
+
+  /// BURTREE_SCALE env var (default 1.0) multiplied onto workload sizes:
+  /// `ScaledCount(100000)` with BURTREE_SCALE=10 reproduces paper scale.
+  static double ScaleFactor();
+  static uint64_t Scaled(uint64_t base);
+
+ private:
+  std::unordered_map<std::string, std::string> kv_;
+};
+
+}  // namespace burtree

@@ -1,0 +1,109 @@
+// Experiment runner reproducing the paper's §5 pipeline: build the index
+// by insertion (GSTD initial distribution), replay U updates, then run Q
+// window queries on the resulting tree, reporting average disk I/O per
+// update / query and CPU seconds — the exact series of Figures 5-7 — and
+// the 50-thread DGL throughput of Figure 8.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "cc/concurrent_index.h"
+#include "update/gbu.h"
+#include "update/index_system.h"
+#include "update/lbu.h"
+#include "update/query_executor.h"
+#include "update/top_down.h"
+#include "workload/generator.h"
+
+namespace burtree {
+
+enum class StrategyKind { kTopDown, kLocalizedBottomUp, kGeneralizedBottomUp };
+
+const char* StrategyName(StrategyKind kind);
+
+struct ExperimentConfig {
+  WorkloadOptions workload;
+  uint64_t num_updates = 100000;
+  uint64_t num_queries = 2000;
+
+  StrategyKind strategy = StrategyKind::kGeneralizedBottomUp;
+  GbuOptions gbu;
+  LbuOptions lbu;
+
+  /// Buffer pool sized as a fraction of the tree's pages after the build
+  /// (paper default 1%).
+  double buffer_fraction = 0.01;
+  size_t page_size = 1024;
+  SplitAlgorithm split = SplitAlgorithm::kQuadratic;
+  /// R*-style forced re-insertion on overflow (see TreeOptions).
+  bool forced_reinsert = false;
+
+  /// Build with STR bulk loading instead of one-by-one insertion
+  /// (extension; default matches the paper's insertion build).
+  bool bulk_build = false;
+
+  /// Validate tree + summary integrity after the run (tests set this;
+  /// benches skip it to keep I/O counters clean).
+  bool validate_after = false;
+};
+
+struct ExperimentResult {
+  std::string strategy;
+  uint64_t num_updates = 0;
+  uint64_t num_queries = 0;
+
+  double avg_update_io = 0.0;  ///< disk accesses / update (tree + hash)
+  double avg_query_io = 0.0;   ///< disk accesses / query
+  double update_cpu_s = 0.0;   ///< wall time of the update phase
+  double query_cpu_s = 0.0;    ///< wall time of the query phase
+
+  UpdatePathCounts paths;
+  uint64_t query_matches = 0;
+  uint32_t tree_height = 0;
+  uint64_t tree_nodes = 0;
+  RTreeStats tree_stats;
+};
+
+/// A fully wired system + strategy + executor, reusable across phases.
+struct StrategyFixture {
+  std::unique_ptr<IndexSystem> system;
+  std::unique_ptr<UpdateStrategy> strategy;
+  std::unique_ptr<QueryExecutor> executor;
+};
+
+/// Builds the IndexSystem appropriate for `kind` (TD: bare tree; LBU:
+/// parent pointers + hash index; GBU: hash index + summary structure).
+StrategyFixture MakeFixture(const ExperimentConfig& config);
+
+/// Loads the initial objects (insertion build unless bulk_build), then
+/// sizes the buffer pool per buffer_fraction and flushes, leaving the
+/// fixture ready for measurement.
+Status BuildIndex(const ExperimentConfig& config,
+                  const WorkloadGenerator& workload, StrategyFixture* fx);
+
+/// Full single-threaded pipeline: build -> updates -> queries.
+StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& config);
+
+struct ThroughputConfig {
+  ExperimentConfig base;
+  uint32_t threads = 50;            ///< paper: 50
+  double update_fraction = 0.5;     ///< share of operations that update
+  uint64_t ops_per_thread = 200;
+  double query_max_dim = 0.01;      ///< paper §5.4 uses [0, 0.01] windows
+  ConcurrencyOptions concurrency;
+};
+
+struct ThroughputResult {
+  double tps = 0.0;
+  uint64_t total_ops = 0;
+  double elapsed_s = 0.0;
+  LockStats lock_stats;
+};
+
+/// Figure-8 style run: N threads over a DGL-locked ConcurrentIndex with
+/// the given update/query mix.
+StatusOr<ThroughputResult> RunThroughput(const ThroughputConfig& config);
+
+}  // namespace burtree

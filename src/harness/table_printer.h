@@ -1,0 +1,31 @@
+// Fixed-width table output for the benchmark binaries — each bench prints
+// the same rows/series as the corresponding paper figure.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace burtree {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Aligned plain-text rendering.
+  void Print(std::ostream& os) const;
+
+  /// Comma-separated rendering for downstream plotting.
+  void PrintCsv(std::ostream& os) const;
+
+  static std::string Fmt(double v, int precision = 2);
+  static std::string FmtInt(uint64_t v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace burtree

@@ -1,0 +1,244 @@
+#include "oid_index/hash_index.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace burtree {
+
+namespace {
+
+// Byte-level accessors for bucket pages (memcpy-addressed, no alignment
+// assumptions — same convention as the R-tree NodeView).
+uint32_t LoadU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+void StoreU32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, 4); }
+uint64_t LoadU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+void StoreU64(uint8_t* p, uint64_t v) { std::memcpy(p, &v, 8); }
+
+}  // namespace
+
+HashIndex::HashIndex(const HashIndexOptions& options)
+    : options_(options),
+      file_(options.page_size),
+      pool_(&file_, options.buffer_pages) {
+  BURTREE_CHECK((options_.initial_buckets &
+                 (options_.initial_buckets - 1)) == 0);
+  base_buckets_ = options_.initial_buckets;
+  buckets_.reserve(base_buckets_);
+  for (uint32_t i = 0; i < base_buckets_; ++i) {
+    PageGuard g = PageGuard::New(&pool_);
+    uint8_t* d = g.data();
+    StoreU32(d, 0);
+    StoreU32(d + 4, kInvalidPageId);
+    buckets_.push_back(g.id());
+  }
+}
+
+HashIndex::~HashIndex() = default;
+
+uint64_t HashIndex::HashOid(ObjectId oid) {
+  // SplitMix64 finalizer: strong avalanche for sequential oids.
+  uint64_t z = oid + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint32_t HashIndex::BucketFor(uint64_t h) const {
+  uint32_t idx = static_cast<uint32_t>(h & (base_buckets_ - 1));
+  if (idx < split_next_) {
+    idx = static_cast<uint32_t>(h & (2 * base_buckets_ - 1));
+  }
+  return idx;
+}
+
+StatusOr<PageId> HashIndex::Lookup(ObjectId oid) {
+  std::lock_guard lock(mu_);
+  if (options_.charge_unit_read) {
+    // Cost-model charge: one disk access per secondary-index probe, even
+    // when the table is memory-resident (see HashIndexOptions).
+    file_.io_stats().RecordRead();
+    PageFile::AddThreadIo(1);
+  }
+  PageId page = buckets_[BucketFor(HashOid(oid))];
+  while (page != kInvalidPageId) {
+    PageGuard g = PageGuard::Fetch(&pool_, page);
+    const uint8_t* d = g.data();
+    const uint32_t count = LoadU32(d);
+    for (uint32_t i = 0; i < count; ++i) {
+      const uint8_t* e = d + kHeaderSize + i * kEntrySize;
+      if (LoadU64(e) == oid) return LoadU32(e + 8);
+    }
+    page = LoadU32(d + 4);
+  }
+  return Status::NotFound("oid not in hash index");
+}
+
+size_t HashIndex::size() const {
+  std::lock_guard lock(mu_);
+  return entries_;
+}
+
+uint32_t HashIndex::bucket_count() const {
+  std::lock_guard lock(mu_);
+  return static_cast<uint32_t>(buckets_.size());
+}
+
+void HashIndex::OnLeafEntryAdded(ObjectId oid, PageId leaf) {
+  std::lock_guard lock(mu_);
+  UpsertLocked(oid, leaf);
+}
+
+void HashIndex::OnLeafEntryRemoved(ObjectId oid, PageId leaf) {
+  std::lock_guard lock(mu_);
+  RemoveLocked(oid, leaf);
+}
+
+void HashIndex::UpsertLocked(ObjectId oid, PageId leaf) {
+  const PageId head = buckets_[BucketFor(HashOid(oid))];
+
+  // Pass 1: update in place when the oid is already mapped.
+  PageId page = head;
+  while (page != kInvalidPageId) {
+    PageGuard g = PageGuard::Fetch(&pool_, page);
+    uint8_t* d = g.data();
+    const uint32_t count = LoadU32(d);
+    for (uint32_t i = 0; i < count; ++i) {
+      uint8_t* e = d + kHeaderSize + i * kEntrySize;
+      if (LoadU64(e) == oid) {
+        StoreU32(e + 8, leaf);
+        g.MarkDirty();
+        return;
+      }
+    }
+    page = LoadU32(d + 4);
+  }
+
+  AppendToChainLocked(head, oid, leaf);
+  ++entries_;
+
+  const double load = static_cast<double>(entries_) /
+                      (static_cast<double>(buckets_.size()) *
+                       BucketCapacity());
+  if (load > options_.max_load_factor) SplitOneBucketLocked();
+}
+
+void HashIndex::RemoveLocked(ObjectId oid, PageId leaf) {
+  PageId page = buckets_[BucketFor(HashOid(oid))];
+  while (page != kInvalidPageId) {
+    PageGuard g = PageGuard::Fetch(&pool_, page);
+    uint8_t* d = g.data();
+    const uint32_t count = LoadU32(d);
+    for (uint32_t i = 0; i < count; ++i) {
+      uint8_t* e = d + kHeaderSize + i * kEntrySize;
+      if (LoadU64(e) == oid) {
+        if (LoadU32(e + 8) != leaf) return;  // remapped concurrently: keep
+        const uint32_t last = count - 1;
+        if (i != last) {
+          std::memcpy(e, d + kHeaderSize + last * kEntrySize, kEntrySize);
+        }
+        StoreU32(d, last);
+        g.MarkDirty();
+        --entries_;
+        return;
+      }
+    }
+    page = LoadU32(d + 4);
+  }
+}
+
+void HashIndex::AppendToChainLocked(PageId head, ObjectId oid, PageId leaf) {
+  PageId page = head;
+  while (true) {
+    PageGuard g = PageGuard::Fetch(&pool_, page);
+    uint8_t* d = g.data();
+    const uint32_t count = LoadU32(d);
+    if (count < BucketCapacity()) {
+      uint8_t* e = d + kHeaderSize + count * kEntrySize;
+      StoreU64(e, oid);
+      StoreU32(e + 8, leaf);
+      StoreU32(d, count + 1);
+      g.MarkDirty();
+      return;
+    }
+    const PageId next = LoadU32(d + 4);
+    if (next != kInvalidPageId) {
+      page = next;
+      continue;
+    }
+    // Chain full: append an overflow page.
+    PageGuard og = PageGuard::New(&pool_);
+    uint8_t* od = og.data();
+    StoreU32(od, 1);
+    StoreU32(od + 4, kInvalidPageId);
+    uint8_t* e = od + kHeaderSize;
+    StoreU64(e, oid);
+    StoreU32(e + 8, leaf);
+    StoreU32(d + 4, og.id());
+    g.MarkDirty();
+    return;
+  }
+}
+
+void HashIndex::DrainChainLocked(
+    PageId head, std::vector<std::pair<ObjectId, PageId>>* out) {
+  PageId page = head;
+  bool first = true;
+  while (page != kInvalidPageId) {
+    PageId next;
+    {
+      PageGuard g = PageGuard::Fetch(&pool_, page);
+      uint8_t* d = g.data();
+      const uint32_t count = LoadU32(d);
+      for (uint32_t i = 0; i < count; ++i) {
+        const uint8_t* e = d + kHeaderSize + i * kEntrySize;
+        out->emplace_back(LoadU64(e), LoadU32(e + 8));
+      }
+      next = LoadU32(d + 4);
+      if (first) {
+        // Reset the primary page in place.
+        StoreU32(d, 0);
+        StoreU32(d + 4, kInvalidPageId);
+        g.MarkDirty();
+      }
+    }
+    if (!first) {
+      BURTREE_CHECK(pool_.DeletePage(page).ok());
+    }
+    first = false;
+    page = next;
+  }
+}
+
+void HashIndex::SplitOneBucketLocked() {
+  const uint32_t victim = split_next_;
+  // Create the image bucket.
+  PageGuard ng = PageGuard::New(&pool_);
+  StoreU32(ng.data(), 0);
+  StoreU32(ng.data() + 4, kInvalidPageId);
+  buckets_.push_back(ng.id());
+  ng.Release();
+
+  ++split_next_;
+  if (split_next_ == base_buckets_) {
+    base_buckets_ *= 2;
+    split_next_ = 0;
+  }
+
+  std::vector<std::pair<ObjectId, PageId>> moved;
+  DrainChainLocked(buckets_[victim], &moved);
+  for (const auto& [oid, leaf] : moved) {
+    const uint32_t idx = BucketFor(HashOid(oid));
+    AppendToChainLocked(buckets_[idx], oid, leaf);
+  }
+}
+
+}  // namespace burtree

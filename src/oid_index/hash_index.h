@@ -1,0 +1,102 @@
+// Disk-resident linear-hashing table mapping oid -> leaf page. This is the
+// "secondary identity index such as a hash table" of §3.1/§3.2: lookups and
+// maintenance are charged real page I/O against a dedicated PageFile, so
+// the cost model's "1 (hash index)" term is measured, not assumed.
+//
+// Bucket page layout:
+//   u32 count | u32 overflow_page (kInvalidPageId = none) |
+//   entries { u64 oid; u32 leaf } * capacity
+#pragma once
+
+#include <limits>
+#include <mutex>
+#include <vector>
+
+#include "buffer/buffer_pool.h"
+#include "buffer/page_guard.h"
+#include "oid_index/oid_index.h"
+
+namespace burtree {
+
+struct HashIndexOptions {
+  size_t page_size = 1024;
+  /// Buffer pool capacity (pages) for bucket pages. 0 = pass-through so
+  /// every probe is a disk access.
+  size_t buffer_pages = 0;
+  /// Charge one synthetic disk read per Lookup regardless of buffering —
+  /// the paper's "1 I/O (hash index)" cost-model term.
+  bool charge_unit_read = false;
+  /// Split when entries / (buckets * bucket_capacity) exceeds this.
+  double max_load_factor = 0.75;
+  /// Initial number of primary buckets (power of two).
+  uint32_t initial_buckets = 8;
+
+  /// The configuration the experiments use, mirroring the paper: the
+  /// table itself is memory-resident (1M objects need ~12 MB, trivially
+  /// cached in 2003 already), maintenance is free, but every lookup is
+  /// charged the cost model's one disk read.
+  static HashIndexOptions MemoryResident() {
+    HashIndexOptions o;
+    o.buffer_pages = std::numeric_limits<size_t>::max();
+    o.charge_unit_read = true;
+    return o;
+  }
+};
+
+class HashIndex final : public OidIndex {
+ public:
+  explicit HashIndex(const HashIndexOptions& options = {});
+  ~HashIndex() override;
+
+  StatusOr<PageId> Lookup(ObjectId oid) override;
+  size_t size() const override;
+
+  void OnLeafEntryAdded(ObjectId oid, PageId leaf) override;
+  void OnLeafEntryRemoved(ObjectId oid, PageId leaf) override;
+
+  /// I/O performed by the hash index (separate device from the tree).
+  const IoStats& io_stats() const { return file_.io_stats(); }
+  IoStats& io_stats() { return file_.io_stats(); }
+  BufferPool& buffer() { return pool_; }
+
+  /// Current number of primary buckets (testing / introspection).
+  uint32_t bucket_count() const;
+  /// Total pages including overflow pages.
+  size_t page_count() const { return file_.live_pages(); }
+
+ private:
+  static constexpr size_t kHeaderSize = 8;
+  static constexpr size_t kEntrySize = 12;  // u64 oid + u32 leaf
+
+  uint32_t BucketCapacity() const {
+    return static_cast<uint32_t>((options_.page_size - kHeaderSize) /
+                                 kEntrySize);
+  }
+  static uint64_t HashOid(ObjectId oid);
+  /// Maps a hash to a primary-bucket index under the current level/split
+  /// pointer (classic linear hashing address computation).
+  uint32_t BucketFor(uint64_t h) const;
+
+  /// Inserts or updates (oid -> leaf) in the bucket chain.
+  void UpsertLocked(ObjectId oid, PageId leaf);
+  /// Removes oid if present *and* mapped to `leaf`.
+  void RemoveLocked(ObjectId oid, PageId leaf);
+  /// Splits the bucket at the split pointer, redistributing its chain.
+  void SplitOneBucketLocked();
+  /// Collects every entry of a bucket chain and frees overflow pages.
+  void DrainChainLocked(PageId head,
+                        std::vector<std::pair<ObjectId, PageId>>* out);
+  /// Appends an entry to a chain, adding overflow pages as needed.
+  void AppendToChainLocked(PageId head, ObjectId oid, PageId leaf);
+
+  HashIndexOptions options_;
+  PageFile file_;
+  BufferPool pool_;
+  mutable std::mutex mu_;
+  std::vector<PageId> buckets_;  // in-memory directory of primary buckets
+  uint32_t base_buckets_;        // N: buckets at level start (power of 2)
+  uint32_t split_next_ = 0;      // next bucket to split
+  size_t entries_ = 0;
+};
+
+}  // namespace burtree

@@ -1,0 +1,45 @@
+// In-memory oid -> leaf map. Zero-I/O variant for unit tests and for
+// applications that can afford the RAM; the experiments use HashIndex so
+// the cost model's hash-access I/O is charged.
+#pragma once
+
+#include <mutex>
+#include <unordered_map>
+
+#include "oid_index/oid_index.h"
+
+namespace burtree {
+
+class MemoryOidIndex final : public OidIndex {
+ public:
+  StatusOr<PageId> Lookup(ObjectId oid) override {
+    std::lock_guard lock(mu_);
+    auto it = map_.find(oid);
+    if (it == map_.end()) return Status::NotFound("oid not mapped");
+    return it->second;
+  }
+
+  size_t size() const override {
+    std::lock_guard lock(mu_);
+    return map_.size();
+  }
+
+  void OnLeafEntryAdded(ObjectId oid, PageId leaf) override {
+    std::lock_guard lock(mu_);
+    map_[oid] = leaf;
+  }
+
+  void OnLeafEntryRemoved(ObjectId oid, PageId leaf) override {
+    std::lock_guard lock(mu_);
+    auto it = map_.find(oid);
+    // Removal events may race re-additions during split rewiring; only
+    // erase when the mapping still points at the removing leaf.
+    if (it != map_.end() && it->second == leaf) map_.erase(it);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<ObjectId, PageId> map_;
+};
+
+}  // namespace burtree

@@ -1,0 +1,25 @@
+// Secondary object-ID index: oid -> leaf page (paper §3.1, Figure 2).
+// Implementations subscribe to tree events so the mapping tracks entry
+// movement through splits, condenses, and bottom-up shifts automatically.
+#pragma once
+
+#include "common/status.h"
+#include "common/types.h"
+#include "rtree/observer.h"
+
+namespace burtree {
+
+class OidIndex : public TreeObserver {
+ public:
+  ~OidIndex() override = default;
+
+  /// Leaf page currently holding `oid`'s entry. For the disk-resident
+  /// implementation this charges the "1 I/O (hash index)" of the paper's
+  /// cost model.
+  virtual StatusOr<PageId> Lookup(ObjectId oid) = 0;
+
+  /// Number of mapped objects.
+  virtual size_t size() const = 0;
+};
+
+}  // namespace burtree

@@ -1,0 +1,143 @@
+#include "rtree/bulk_load.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace burtree {
+
+namespace {
+
+struct Packed {
+  Rect rect;
+  PageId page;
+};
+
+}  // namespace
+
+Status BulkLoader::Load(RTree* tree, std::vector<LeafEntry> entries,
+                        double fill) {
+  BURTREE_CHECK(tree != nullptr);
+  if (entries.empty()) return Status::OK();
+  BufferPool* pool = tree->pool_;
+  TreeObserver* obs = tree->observer_;
+
+  {
+    PageGuard g = PageGuard::Fetch(pool, tree->root_);
+    if (tree->View(g).count() != 0 || tree->root_level_ != 0) {
+      return Status::InvalidArgument("bulk load requires an empty tree");
+    }
+  }
+
+  const uint32_t leaf_cap = tree->Capacity(/*leaf=*/true);
+  const uint32_t node_cap = tree->Capacity(/*leaf=*/false);
+  const uint32_t per_leaf = std::clamp<uint32_t>(
+      static_cast<uint32_t>(std::lround(leaf_cap * fill)),
+      std::max<uint32_t>(1, tree->MinFill(true)), leaf_cap);
+  const uint32_t per_node = std::clamp<uint32_t>(
+      static_cast<uint32_t>(std::lround(node_cap * fill)),
+      std::max<uint32_t>(1, tree->MinFill(false)), node_cap);
+
+  // --- Pack the leaf level with Sort-Tile-Recursive tiling. ---
+  const size_t n = entries.size();
+  const size_t num_leaves = (n + per_leaf - 1) / per_leaf;
+  const size_t slices =
+      static_cast<size_t>(std::ceil(std::sqrt(static_cast<double>(num_leaves))));
+  const size_t slice_size = (n + slices - 1) / slices;
+
+  std::sort(entries.begin(), entries.end(),
+            [](const LeafEntry& a, const LeafEntry& b) {
+              return a.rect.Center().x < b.rect.Center().x;
+            });
+
+  std::vector<Packed> current;
+  current.reserve(num_leaves);
+  for (size_t s = 0; s < slices; ++s) {
+    const size_t lo = s * slice_size;
+    if (lo >= n) break;
+    const size_t hi = std::min(n, lo + slice_size);
+    std::sort(entries.begin() + static_cast<long>(lo),
+              entries.begin() + static_cast<long>(hi),
+              [](const LeafEntry& a, const LeafEntry& b) {
+                return a.rect.Center().y < b.rect.Center().y;
+              });
+    for (size_t i = lo; i < hi; i += per_leaf) {
+      const size_t end = std::min(hi, i + per_leaf);
+      PageGuard g = PageGuard::New(pool);
+      NodeView v = tree->View(g);
+      v.Format(/*level=*/0);
+      Rect mbr = Rect::Empty();
+      for (size_t k = i; k < end; ++k) {
+        v.AppendLeafEntry(entries[k]);
+        mbr.ExpandToInclude(entries[k].rect);
+      }
+      v.set_mbr(mbr);
+      obs->OnNodeCreated(g.id(), 0);
+      for (size_t k = i; k < end; ++k) {
+        obs->OnLeafEntryAdded(entries[k].oid, g.id());
+      }
+      obs->OnNodeMbrChanged(g.id(), 0, mbr);
+      obs->OnLeafOccupancyChanged(g.id(), v.count(), v.capacity());
+      current.push_back(Packed{mbr, g.id()});
+    }
+  }
+
+  // --- Pack internal levels until a single node remains. ---
+  Level level = 0;
+  while (current.size() > 1) {
+    ++level;
+    const size_t cn = current.size();
+    const size_t num_nodes = (cn + per_node - 1) / per_node;
+    const size_t nslices = static_cast<size_t>(
+        std::ceil(std::sqrt(static_cast<double>(num_nodes))));
+    const size_t nslice_size = (cn + nslices - 1) / nslices;
+    std::sort(current.begin(), current.end(),
+              [](const Packed& a, const Packed& b) {
+                return a.rect.Center().x < b.rect.Center().x;
+              });
+    std::vector<Packed> next;
+    next.reserve(num_nodes);
+    for (size_t s = 0; s < nslices; ++s) {
+      const size_t lo = s * nslice_size;
+      if (lo >= cn) break;
+      const size_t hi = std::min(cn, lo + nslice_size);
+      std::sort(current.begin() + static_cast<long>(lo),
+                current.begin() + static_cast<long>(hi),
+                [](const Packed& a, const Packed& b) {
+                  return a.rect.Center().y < b.rect.Center().y;
+                });
+      for (size_t i = lo; i < hi; i += per_node) {
+        const size_t end = std::min(hi, i + per_node);
+        PageGuard g = PageGuard::New(pool);
+        NodeView v = tree->View(g);
+        v.Format(level);
+        Rect mbr = Rect::Empty();
+        for (size_t k = i; k < end; ++k) {
+          v.AppendInternalEntry(
+              InternalEntry{current[k].rect, current[k].page});
+          mbr.ExpandToInclude(current[k].rect);
+        }
+        v.set_mbr(mbr);
+        obs->OnNodeCreated(g.id(), level);
+        for (size_t k = i; k < end; ++k) {
+          obs->OnChildLinked(g.id(), current[k].page);
+          tree->SetParentPointer(current[k].page, g.id());
+        }
+        obs->OnNodeMbrChanged(g.id(), level, mbr);
+        next.push_back(Packed{mbr, g.id()});
+      }
+    }
+    current = std::move(next);
+  }
+
+  // Swap in the new root, discarding the constructor's empty leaf.
+  const PageId old_root = tree->root_;
+  obs->OnNodeFreed(old_root, 0);
+  BURTREE_RETURN_IF_ERROR(pool->DeletePage(old_root));
+  tree->root_ = current.front().page;
+  tree->root_level_ = level;
+  obs->OnRootChanged(tree->root_, tree->root_level_);
+  tree->stats_.inserts += entries.size();
+  return Status::OK();
+}
+
+}  // namespace burtree

@@ -1,0 +1,22 @@
+// Sort-Tile-Recursive (STR) bulk loading — an extension beyond the paper
+// (which builds by repeated insertion) used to construct large experiment
+// trees quickly and as a packed-R-tree baseline for ablations.
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "rtree/rtree.h"
+
+namespace burtree {
+
+class BulkLoader {
+ public:
+  /// Replaces the (empty) tree's contents with an STR-packed tree over
+  /// `entries`. `fill` is the target node utilization (paper: 66%).
+  /// The tree must be freshly constructed (no prior inserts).
+  static Status Load(RTree* tree, std::vector<LeafEntry> entries,
+                     double fill = 0.66);
+};
+
+}  // namespace burtree

@@ -1,0 +1,110 @@
+// TreeObserver: structural change notifications emitted by the R-tree (and
+// by the bottom-up update strategies, which modify leaf pages directly).
+// The secondary object-ID index and the main-memory summary structure
+// subscribe to these events so they can never desynchronize from the tree,
+// no matter which code path (insert, delete, split, condense, reinsertion,
+// bottom-up shift) moved an entry.
+#pragma once
+
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/types.h"
+
+namespace burtree {
+
+class TreeObserver {
+ public:
+  virtual ~TreeObserver() = default;
+
+  // ---- Leaf-entry events (drive the oid -> leaf-page index) ----
+
+  /// `oid`'s data entry now lives in leaf `leaf`.
+  virtual void OnLeafEntryAdded(ObjectId oid, PageId leaf) {
+    (void)oid;
+    (void)leaf;
+  }
+  /// `oid`'s data entry was removed from leaf `leaf`.
+  virtual void OnLeafEntryRemoved(ObjectId oid, PageId leaf) {
+    (void)oid;
+    (void)leaf;
+  }
+
+  // ---- Node lifecycle events (drive the summary structure) ----
+
+  virtual void OnNodeCreated(PageId page, Level level) {
+    (void)page;
+    (void)level;
+  }
+  virtual void OnNodeFreed(PageId page, Level level) {
+    (void)page;
+    (void)level;
+  }
+  /// A node's own MBR changed (leaf or internal).
+  virtual void OnNodeMbrChanged(PageId page, Level level, const Rect& mbr) {
+    (void)page;
+    (void)level;
+    (void)mbr;
+  }
+  /// `child` became / stopped being a child of internal node `parent`.
+  virtual void OnChildLinked(PageId parent, PageId child) {
+    (void)parent;
+    (void)child;
+  }
+  virtual void OnChildUnlinked(PageId parent, PageId child) {
+    (void)parent;
+    (void)child;
+  }
+  /// Leaf occupancy changed: drives the "is full" bit vector.
+  virtual void OnLeafOccupancyChanged(PageId leaf, uint32_t count,
+                                      uint32_t capacity) {
+    (void)leaf;
+    (void)count;
+    (void)capacity;
+  }
+  /// The root page or tree height changed.
+  virtual void OnRootChanged(PageId new_root, Level new_level) {
+    (void)new_root;
+    (void)new_level;
+  }
+};
+
+/// Fans events out to several observers (e.g., oid index + summary).
+class CompositeObserver : public TreeObserver {
+ public:
+  void Add(TreeObserver* obs) { children_.push_back(obs); }
+
+  void OnLeafEntryAdded(ObjectId oid, PageId leaf) override {
+    for (auto* c : children_) c->OnLeafEntryAdded(oid, leaf);
+  }
+  void OnLeafEntryRemoved(ObjectId oid, PageId leaf) override {
+    for (auto* c : children_) c->OnLeafEntryRemoved(oid, leaf);
+  }
+  void OnNodeCreated(PageId page, Level level) override {
+    for (auto* c : children_) c->OnNodeCreated(page, level);
+  }
+  void OnNodeFreed(PageId page, Level level) override {
+    for (auto* c : children_) c->OnNodeFreed(page, level);
+  }
+  void OnNodeMbrChanged(PageId page, Level level, const Rect& mbr) override {
+    for (auto* c : children_) c->OnNodeMbrChanged(page, level, mbr);
+  }
+  void OnChildLinked(PageId parent, PageId child) override {
+    for (auto* c : children_) c->OnChildLinked(parent, child);
+  }
+  void OnChildUnlinked(PageId parent, PageId child) override {
+    for (auto* c : children_) c->OnChildUnlinked(parent, child);
+  }
+  void OnLeafOccupancyChanged(PageId leaf, uint32_t count,
+                              uint32_t capacity) override {
+    for (auto* c : children_) c->OnLeafOccupancyChanged(leaf, count, capacity);
+  }
+  void OnRootChanged(PageId new_root, Level new_level) override {
+    for (auto* c : children_) c->OnRootChanged(new_root, new_level);
+  }
+
+ private:
+  std::vector<TreeObserver*> children_;
+};
+
+}  // namespace burtree

@@ -1,0 +1,792 @@
+#include "rtree/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "rtree/split.h"
+
+namespace burtree {
+
+namespace {
+/// Shared no-op observer so call sites never need null checks.
+TreeObserver* NoopObserver() {
+  static TreeObserver noop;
+  return &noop;
+}
+}  // namespace
+
+RTree::RTree(BufferPool* pool, const TreeOptions& options)
+    : pool_(pool), options_(options), observer_(NoopObserver()) {
+  PageGuard g = PageGuard::New(pool_);
+  NodeView v = View(g);
+  v.Format(/*level=*/0);
+  root_ = g.id();
+  root_level_ = 0;
+}
+
+uint32_t RTree::Capacity(bool leaf) const {
+  return NodeView::CapacityFor(options_.page_size, options_.parent_pointers,
+                               leaf);
+}
+
+uint32_t RTree::MinFill(bool leaf) const {
+  const uint32_t cap = Capacity(leaf);
+  uint32_t m = static_cast<uint32_t>(
+      std::floor(cap * options_.min_fill_fraction));
+  m = std::max<uint32_t>(1, std::min(m, cap / 2));
+  return m;
+}
+
+Rect RTree::ReadRootMbr() {
+  PageGuard g = PageGuard::Fetch(pool_, root_);
+  return View(g).mbr();
+}
+
+void RTree::NotifyLeafOccupancy(PageId leaf, const NodeView& v) {
+  observer_->OnLeafOccupancyChanged(leaf, v.count(), v.capacity());
+}
+
+void RTree::SetParentPointer(PageId child, PageId parent) {
+  if (!options_.parent_pointers) return;
+  PageGuard g = PageGuard::Fetch(pool_, child);
+  NodeView v = View(g);
+  if (v.parent() != parent) {
+    v.set_parent(parent);
+    g.MarkDirty();
+  }
+}
+
+void RTree::set_observer(TreeObserver* obs) {
+  observer_ = obs != nullptr ? obs : NoopObserver();
+}
+
+// ---------------------------------------------------------------------------
+// Insertion
+// ---------------------------------------------------------------------------
+
+Status RTree::DescendChooseSubtree(std::vector<PageId>* path,
+                                   const Rect& rect, Level target_level) {
+  while (true) {
+    PageGuard g = PageGuard::Fetch(pool_, path->back());
+    NodeView v = View(g);
+    if (v.level() == target_level) return Status::OK();
+    if (v.level() < target_level) {
+      return Status::InvalidArgument("descent below target level");
+    }
+    BURTREE_CHECK(v.count() > 0);  // internal nodes are never empty
+    // Guttman ChooseLeaf: least enlargement, ties by smallest area.
+    uint32_t best = 0;
+    double best_enl = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    for (uint32_t i = 0; i < v.count(); ++i) {
+      const Rect r = v.entry_rect(i);
+      const double enl = r.Enlargement(rect);
+      const double area = r.Area();
+      if (enl < best_enl || (enl == best_enl && area < best_area)) {
+        best_enl = enl;
+        best_area = area;
+        best = i;
+      }
+    }
+    path->push_back(v.internal_entry(best).child);
+  }
+}
+
+Status RTree::Insert(ObjectId oid, const Rect& rect) {
+  std::vector<PageId> path{root_};
+  BURTREE_RETURN_IF_ERROR(DescendChooseSubtree(&path, rect, /*target=*/0));
+  BURTREE_RETURN_IF_ERROR(InsertEntryAlongPath(path, rect, oid));
+  ++stats_.inserts;
+  return Status::OK();
+}
+
+Status RTree::InsertDescendingFrom(std::vector<PageId> path_from_root,
+                                   ObjectId oid, const Rect& rect) {
+  BURTREE_CHECK(!path_from_root.empty());
+  BURTREE_DCHECK(path_from_root.front() == root_);
+  BURTREE_RETURN_IF_ERROR(
+      DescendChooseSubtree(&path_from_root, rect, /*target=*/0));
+  BURTREE_RETURN_IF_ERROR(InsertEntryAlongPath(path_from_root, rect, oid));
+  ++stats_.inserts;
+  return Status::OK();
+}
+
+namespace {
+/// Clears the per-operation forced-reinsert level flags when the
+/// outermost InsertEntryAlongPath call unwinds.
+struct InsertOpScope {
+  InsertOpScope(bool* flag, std::vector<bool>* levels)
+      : flag_(flag), levels_(levels), top_(!*flag) {
+    if (top_) {
+      *flag_ = true;
+      levels_->assign(levels_->size(), false);
+    }
+  }
+  ~InsertOpScope() {
+    if (top_) *flag_ = false;
+  }
+  bool* flag_;
+  std::vector<bool>* levels_;
+  bool top_;
+};
+}  // namespace
+
+Status RTree::InsertEntryAlongPath(const std::vector<PageId>& path,
+                                   const Rect& rect, uint64_t payload) {
+  InsertOpScope op_scope(&in_insert_op_, &levels_reinserted_);
+  std::optional<PendingSplit> pending;
+  Rect cur_rect = rect;
+  uint64_t cur_payload = payload;
+
+  for (int i = static_cast<int>(path.size()) - 1; i >= 0; --i) {
+    PageGuard g = PageGuard::Fetch(pool_, path[i]);
+    NodeView v = View(g);
+
+    // When a child below was split, the refreshed routing entry for the
+    // original child (mbr_a) can extend beyond this node's old cover if
+    // the incoming entry landed in group A — the cover must absorb it.
+    Rect refreshed_rect = Rect::Empty();
+
+    if (pending.has_value()) {
+      // A child below was split: refresh its routing entry, then insert
+      // the promoted sibling entry at this level.
+      const int slot = v.FindChildSlot(path[i + 1]);
+      BURTREE_CHECK(slot >= 0);
+      v.set_entry_rect(static_cast<uint32_t>(slot), pending->original_mbr);
+      refreshed_rect = pending->original_mbr;
+      g.MarkDirty();
+      cur_rect = pending->promoted.rect;
+      cur_payload = pending->promoted.child;
+      pending.reset();
+    }
+
+    if (v.count() < v.capacity()) {
+      if (v.is_leaf()) {
+        v.AppendLeafEntry(LeafEntry{cur_rect, cur_payload});
+        observer_->OnLeafEntryAdded(cur_payload, path[i]);
+        NotifyLeafOccupancy(path[i], v);
+      } else {
+        const PageId child = static_cast<PageId>(cur_payload);
+        v.AppendInternalEntry(InternalEntry{cur_rect, child});
+        observer_->OnChildLinked(path[i], child);
+        SetParentPointer(child, path[i]);
+      }
+      const Rect new_cover =
+          v.mbr().UnionWith(cur_rect).UnionWith(refreshed_rect);
+      if (!(new_cover == v.mbr())) {
+        v.set_mbr(new_cover);
+        observer_->OnNodeMbrChanged(path[i], v.level(), new_cover);
+      }
+      g.MarkDirty();
+      g.Release();
+      AdjustAncestors(path, i - 1, path[i], new_cover,
+                      /*expand_only=*/true);
+      return Status::OK();
+    }
+
+    // Overflow. R*-style forced re-insertion takes precedence over a
+    // split, once per level per operation, never at the root.
+    const Level lvl = v.level();
+    if (options_.forced_reinsert && i > 0) {
+      if (lvl >= levels_reinserted_.size()) {
+        levels_reinserted_.resize(root_level_ + 1, false);
+      }
+      if (lvl < levels_reinserted_.size() && !levels_reinserted_[lvl]) {
+        levels_reinserted_[lvl] = true;
+        return ForcedReinsertOverflow(path, i, g, cur_rect, cur_payload);
+      }
+    }
+    pending = SplitNode(g, cur_rect, cur_payload);
+  }
+
+  // The split propagated past the top of the supplied path; that can only
+  // be the root.
+  BURTREE_CHECK(pending.has_value());
+  BURTREE_CHECK(path.front() == root_);
+  GrowRoot(pending->original_mbr, pending->promoted);
+  return Status::OK();
+}
+
+RTree::PendingSplit RTree::SplitNode(PageGuard& node_guard,
+                                     const Rect& pending_rect,
+                                     uint64_t pending_payload) {
+  NodeView v = View(node_guard);
+  const PageId node_id = node_guard.id();
+  const Level level = v.level();
+  const bool leaf = v.is_leaf();
+
+  std::vector<SplitEntry> all;
+  all.reserve(v.count() + 1);
+  for (uint32_t i = 0; i < v.count(); ++i) {
+    if (leaf) {
+      const LeafEntry e = v.leaf_entry(i);
+      all.push_back(SplitEntry{e.rect, e.oid});
+    } else {
+      const InternalEntry e = v.internal_entry(i);
+      all.push_back(SplitEntry{e.rect, e.child});
+    }
+  }
+  all.push_back(SplitEntry{pending_rect, pending_payload});
+  const uint32_t pending_index = static_cast<uint32_t>(all.size() - 1);
+
+  const SplitResult sr = SplitEntries(all, MinFill(leaf), options_.split);
+
+  PageGuard new_guard = PageGuard::New(pool_);
+  NodeView nv = View(new_guard);
+  nv.Format(level);
+  const PageId new_id = new_guard.id();
+  observer_->OnNodeCreated(new_id, level);
+
+  // Rewrite the original node with group A.
+  v.set_count(0);
+  Rect mbr_a = Rect::Empty();
+  bool pending_in_a = false;
+  for (uint32_t idx : sr.group_a) {
+    if (leaf) {
+      v.AppendLeafEntry(LeafEntry{all[idx].rect, all[idx].payload});
+    } else {
+      v.AppendInternalEntry(
+          InternalEntry{all[idx].rect, static_cast<PageId>(all[idx].payload)});
+    }
+    mbr_a.ExpandToInclude(all[idx].rect);
+    if (idx == pending_index) pending_in_a = true;
+  }
+  v.set_mbr(mbr_a);  // splits re-tighten covering rects
+  node_guard.MarkDirty();
+
+  Rect mbr_b = Rect::Empty();
+  for (uint32_t idx : sr.group_b) {
+    if (leaf) {
+      nv.AppendLeafEntry(LeafEntry{all[idx].rect, all[idx].payload});
+    } else {
+      nv.AppendInternalEntry(
+          InternalEntry{all[idx].rect, static_cast<PageId>(all[idx].payload)});
+    }
+    mbr_b.ExpandToInclude(all[idx].rect);
+  }
+  nv.set_mbr(mbr_b);
+
+  // Observer notifications + parent-pointer maintenance.
+  if (leaf) {
+    for (uint32_t idx : sr.group_b) {
+      const ObjectId oid = all[idx].payload;
+      if (idx != pending_index) observer_->OnLeafEntryRemoved(oid, node_id);
+      observer_->OnLeafEntryAdded(oid, new_id);
+    }
+    if (pending_in_a) {
+      observer_->OnLeafEntryAdded(pending_payload, node_id);
+    }
+    NotifyLeafOccupancy(node_id, v);
+    NotifyLeafOccupancy(new_id, nv);
+    ++stats_.leaf_splits;
+  } else {
+    for (uint32_t idx : sr.group_b) {
+      const PageId child = static_cast<PageId>(all[idx].payload);
+      if (idx != pending_index) observer_->OnChildUnlinked(node_id, child);
+      observer_->OnChildLinked(new_id, child);
+      SetParentPointer(child, new_id);
+    }
+    if (pending_in_a) {
+      const PageId child = static_cast<PageId>(pending_payload);
+      observer_->OnChildLinked(node_id, child);
+      SetParentPointer(child, node_id);
+    }
+    ++stats_.internal_splits;
+  }
+  observer_->OnNodeMbrChanged(node_id, level, mbr_a);
+  observer_->OnNodeMbrChanged(new_id, level, mbr_b);
+
+  return PendingSplit{mbr_a, InternalEntry{mbr_b, new_id}};
+}
+
+Status RTree::ForcedReinsertOverflow(const std::vector<PageId>& path, int i,
+                                     PageGuard& node_guard,
+                                     const Rect& pending_rect,
+                                     uint64_t pending_payload) {
+  NodeView v = View(node_guard);
+  const PageId node_id = node_guard.id();
+  const Level level = v.level();
+  const bool leaf = v.is_leaf();
+
+  std::vector<SplitEntry> all;
+  all.reserve(v.count() + 1);
+  for (uint32_t k = 0; k < v.count(); ++k) {
+    if (leaf) {
+      const LeafEntry e = v.leaf_entry(k);
+      all.push_back(SplitEntry{e.rect, e.oid});
+    } else {
+      const InternalEntry e = v.internal_entry(k);
+      all.push_back(SplitEntry{e.rect, e.child});
+    }
+  }
+  const uint32_t pending_index = static_cast<uint32_t>(all.size());
+  all.push_back(SplitEntry{pending_rect, pending_payload});
+
+  // Evict the entries whose centers lie farthest from the node's center
+  // (R* sorts by center distance and removes the far `p` fraction).
+  const Point center = v.mbr().Center();
+  std::vector<uint32_t> order(all.size());
+  for (uint32_t k = 0; k < all.size(); ++k) order[k] = k;
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return all[a].rect.Center().DistanceTo(center) >
+           all[b].rect.Center().DistanceTo(center);
+  });
+  uint32_t evict = std::max<uint32_t>(
+      1, static_cast<uint32_t>(
+             std::lround(options_.reinsert_fraction * v.capacity())));
+  const uint32_t min_keep = MinFill(leaf);
+  if (all.size() - evict < min_keep) {
+    evict = static_cast<uint32_t>(all.size()) - min_keep;
+  }
+  std::vector<SplitEntry> removed;
+  std::vector<bool> is_removed(all.size(), false);
+  for (uint32_t k = 0; k < evict; ++k) {
+    removed.push_back(all[order[k]]);
+    is_removed[order[k]] = true;
+  }
+
+  // Rewrite the node with the kept entries and a tightened cover.
+  v.set_count(0);
+  Rect new_cover = Rect::Empty();
+  bool pending_kept = false;
+  for (uint32_t k = 0; k < all.size(); ++k) {
+    if (is_removed[k]) continue;
+    if (leaf) {
+      v.AppendLeafEntry(LeafEntry{all[k].rect, all[k].payload});
+    } else {
+      v.AppendInternalEntry(
+          InternalEntry{all[k].rect, static_cast<PageId>(all[k].payload)});
+    }
+    new_cover.ExpandToInclude(all[k].rect);
+    if (k == pending_index) pending_kept = true;
+  }
+  v.set_mbr(new_cover);
+  node_guard.MarkDirty();
+
+  if (leaf) {
+    for (uint32_t k = 0; k < all.size(); ++k) {
+      if (!is_removed[k] || k == pending_index) continue;
+      observer_->OnLeafEntryRemoved(all[k].payload, node_id);
+    }
+    if (pending_kept) {
+      observer_->OnLeafEntryAdded(pending_payload, node_id);
+    }
+    NotifyLeafOccupancy(node_id, v);
+  } else {
+    for (uint32_t k = 0; k < all.size(); ++k) {
+      if (!is_removed[k] || k == pending_index) continue;
+      observer_->OnChildUnlinked(node_id, static_cast<PageId>(all[k].payload));
+    }
+    if (pending_kept) {
+      const PageId child = static_cast<PageId>(pending_payload);
+      observer_->OnChildLinked(node_id, child);
+      SetParentPointer(child, node_id);
+    }
+  }
+  observer_->OnNodeMbrChanged(node_id, level, new_cover);
+  node_guard.Release();
+
+  // Tighten routing entries up the path (exact mode recomputes covers).
+  AdjustAncestors(path, i - 1, path[i], new_cover, /*expand_only=*/false);
+
+  // Re-insert the evicted entries from the root at this node's level.
+  // The level flag set by the caller turns any further overflow at this
+  // level into a split, so the recursion terminates.
+  for (const SplitEntry& e : removed) {
+    std::vector<PageId> p{root_};
+    BURTREE_RETURN_IF_ERROR(DescendChooseSubtree(&p, e.rect, level));
+    BURTREE_RETURN_IF_ERROR(InsertEntryAlongPath(p, e.rect, e.payload));
+    ++stats_.forced_reinserts;
+  }
+  return Status::OK();
+}
+
+void RTree::GrowRoot(const Rect& old_root_mbr,
+                     const InternalEntry& promoted) {
+  PageGuard g = PageGuard::New(pool_);
+  NodeView v = View(g);
+  const Level new_level = root_level_ + 1;
+  v.Format(new_level);
+  v.AppendInternalEntry(InternalEntry{old_root_mbr, root_});
+  v.AppendInternalEntry(promoted);
+  const Rect cover = old_root_mbr.UnionWith(promoted.rect);
+  v.set_mbr(cover);
+
+  const PageId new_root = g.id();
+  observer_->OnNodeCreated(new_root, new_level);
+  observer_->OnChildLinked(new_root, root_);
+  observer_->OnChildLinked(new_root, promoted.child);
+  observer_->OnNodeMbrChanged(new_root, new_level, cover);
+  SetParentPointer(root_, new_root);
+  SetParentPointer(promoted.child, new_root);
+
+  root_ = new_root;
+  root_level_ = new_level;
+  ++stats_.root_grows;
+  observer_->OnRootChanged(root_, root_level_);
+}
+
+void RTree::AdjustAncestors(const std::vector<PageId>& path, int upto,
+                            PageId child, Rect child_mbr, bool expand_only) {
+  for (int j = upto; j >= 0; --j) {
+    PageGuard g = PageGuard::Fetch(pool_, path[j]);
+    NodeView v = View(g);
+    const int slot = v.FindChildSlot(child);
+    BURTREE_CHECK(slot >= 0);
+    const Rect er = v.entry_rect(static_cast<uint32_t>(slot));
+    const Rect ner = expand_only ? er.UnionWith(child_mbr) : child_mbr;
+    const bool entry_changed = !(ner == er);
+    if (entry_changed) {
+      v.set_entry_rect(static_cast<uint32_t>(slot), ner);
+      g.MarkDirty();
+    }
+    const Rect cover = v.mbr();
+    const Rect ncover =
+        expand_only ? cover.UnionWith(child_mbr) : v.ComputeMbr();
+    const bool cover_changed = !(ncover == cover);
+    if (cover_changed) {
+      v.set_mbr(ncover);
+      g.MarkDirty();
+      observer_->OnNodeMbrChanged(path[j], v.level(), ncover);
+    }
+    if (!entry_changed && !cover_changed) return;  // ancestors unaffected
+    child = path[j];
+    child_mbr = ncover;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deletion
+// ---------------------------------------------------------------------------
+
+namespace {
+struct FindFrame {
+  PageId page;
+  uint32_t next_child = 0;
+};
+}  // namespace
+
+StatusOr<std::vector<PageId>> RTree::FindLeafPath(ObjectId oid,
+                                                  const Rect& hint_rect) {
+  // Iterative DFS with explicit backtracking: overlap may force multiple
+  // partial root-to-leaf probes, exactly the top-down cost the paper
+  // describes.
+  std::vector<PageId> path{root_};
+  std::vector<uint32_t> cursor{0};
+
+  while (!path.empty()) {
+    PageGuard g = PageGuard::Fetch(pool_, path.back());
+    NodeView v = View(g);
+    if (v.is_leaf()) {
+      if (v.FindOidSlot(oid) >= 0) return path;
+      // backtrack
+      g.Release();
+      path.pop_back();
+      cursor.pop_back();
+      continue;
+    }
+    bool descended = false;
+    for (uint32_t i = cursor.back(); i < v.count(); ++i) {
+      const InternalEntry e = v.internal_entry(i);
+      if (e.rect.Contains(hint_rect)) {
+        cursor.back() = i + 1;
+        path.push_back(e.child);
+        cursor.push_back(0);
+        descended = true;
+        break;
+      }
+    }
+    if (!descended) {
+      g.Release();
+      path.pop_back();
+      cursor.pop_back();
+    }
+  }
+  return Status::NotFound("object not in tree");
+}
+
+Status RTree::Delete(ObjectId oid, const Rect& rect) {
+  auto path_or = FindLeafPath(oid, rect);
+  if (!path_or.ok()) return path_or.status();
+  return DeleteAtLeaf(path_or.value(), oid);
+}
+
+Status RTree::DeleteAtLeaf(const std::vector<PageId>& path_from_root,
+                           ObjectId oid) {
+  BURTREE_CHECK(!path_from_root.empty());
+  const PageId leaf = path_from_root.back();
+  {
+    PageGuard g = PageGuard::Fetch(pool_, leaf);
+    NodeView v = View(g);
+    BURTREE_CHECK(v.is_leaf());
+    const int slot = v.FindOidSlot(oid);
+    if (slot < 0) return Status::NotFound("oid not in leaf");
+    v.RemoveEntry(static_cast<uint32_t>(slot));
+    g.MarkDirty();
+    observer_->OnLeafEntryRemoved(oid, leaf);
+    NotifyLeafOccupancy(leaf, v);
+  }
+  BURTREE_RETURN_IF_ERROR(CondenseTree(path_from_root));
+  ++stats_.deletes;
+  return Status::OK();
+}
+
+Status RTree::RemoveFromLeafNoCondense(PageId leaf, ObjectId oid) {
+  PageGuard g = PageGuard::Fetch(pool_, leaf);
+  NodeView v = View(g);
+  BURTREE_CHECK(v.is_leaf());
+  const int slot = v.FindOidSlot(oid);
+  if (slot < 0) return Status::NotFound("oid not in leaf");
+  v.RemoveEntry(static_cast<uint32_t>(slot));
+  g.MarkDirty();
+  observer_->OnLeafEntryRemoved(oid, leaf);
+  NotifyLeafOccupancy(leaf, v);
+  return Status::OK();
+}
+
+Status RTree::CondenseTree(const std::vector<PageId>& path) {
+  struct Orphan {
+    Level node_level;
+    std::vector<SplitEntry> entries;
+  };
+  std::vector<Orphan> orphans;
+
+  for (int i = static_cast<int>(path.size()) - 1; i > 0; --i) {
+    const PageId node_id = path[i];
+    const PageId parent_id = path[i - 1];
+    PageGuard g = PageGuard::Fetch(pool_, node_id);
+    NodeView v = View(g);
+    const bool leaf = v.is_leaf();
+
+    if (v.count() < MinFill(leaf) && options_.reinsert_on_underflow) {
+      // Eliminate the node; stash its entries for re-insertion.
+      Orphan o{v.level(), {}};
+      o.entries.reserve(v.count());
+      for (uint32_t k = 0; k < v.count(); ++k) {
+        if (leaf) {
+          const LeafEntry e = v.leaf_entry(k);
+          o.entries.push_back(SplitEntry{e.rect, e.oid});
+          observer_->OnLeafEntryRemoved(e.oid, node_id);
+        } else {
+          const InternalEntry e = v.internal_entry(k);
+          o.entries.push_back(SplitEntry{e.rect, e.child});
+          observer_->OnChildUnlinked(node_id, e.child);
+        }
+      }
+      orphans.push_back(std::move(o));
+
+      {
+        PageGuard pg = PageGuard::Fetch(pool_, parent_id);
+        NodeView pv = View(pg);
+        const int slot = pv.FindChildSlot(node_id);
+        BURTREE_CHECK(slot >= 0);
+        pv.RemoveEntry(static_cast<uint32_t>(slot));
+        pg.MarkDirty();
+        observer_->OnChildUnlinked(parent_id, node_id);
+        const Rect tight = pv.ComputeMbr();
+        if (!(tight == pv.mbr())) {
+          pv.set_mbr(tight);
+          observer_->OnNodeMbrChanged(parent_id, pv.level(), tight);
+        }
+      }
+      observer_->OnNodeFreed(node_id, v.level());
+      g.Release();
+      BURTREE_RETURN_IF_ERROR(pool_->DeletePage(node_id));
+      ++stats_.underflow_condenses;
+    } else {
+      // Keep the node; tighten its covering rect and the parent's routing
+      // entry (top-down deletes re-tighten; deliberate bottom-up looseness
+      // never reaches this code path).
+      const Rect tight = v.ComputeMbr();
+      if (!(tight == v.mbr())) {
+        v.set_mbr(tight);
+        g.MarkDirty();
+        observer_->OnNodeMbrChanged(node_id, v.level(), tight);
+      }
+      g.Release();
+      PageGuard pg = PageGuard::Fetch(pool_, parent_id);
+      NodeView pv = View(pg);
+      const int slot = pv.FindChildSlot(node_id);
+      BURTREE_CHECK(slot >= 0);
+      if (!(pv.entry_rect(static_cast<uint32_t>(slot)) == tight)) {
+        pv.set_entry_rect(static_cast<uint32_t>(slot), tight);
+        pg.MarkDirty();
+      }
+    }
+  }
+
+  // Tighten the root's own cover.
+  {
+    PageGuard g = PageGuard::Fetch(pool_, root_);
+    NodeView v = View(g);
+    const Rect tight = v.ComputeMbr();
+    if (!(tight == v.mbr())) {
+      v.set_mbr(tight);
+      g.MarkDirty();
+      observer_->OnNodeMbrChanged(root_, v.level(), tight);
+    }
+  }
+
+  // Shrink the root while it is an internal node with a single child.
+  while (true) {
+    PageGuard g = PageGuard::Fetch(pool_, root_);
+    NodeView v = View(g);
+    if (v.is_leaf() || v.count() != 1) break;
+    const PageId child = v.internal_entry(0).child;
+    const PageId old_root = root_;
+    const Level old_level = root_level_;
+    g.Release();
+    observer_->OnChildUnlinked(old_root, child);
+    observer_->OnNodeFreed(old_root, old_level);
+    BURTREE_RETURN_IF_ERROR(pool_->DeletePage(old_root));
+    root_ = child;
+    root_level_ = old_level - 1;
+    SetParentPointer(child, kInvalidPageId);
+    ++stats_.root_shrinks;
+    observer_->OnRootChanged(root_, root_level_);
+  }
+
+  // Re-insert orphaned entries at their original levels.
+  for (const Orphan& o : orphans) {
+    for (const SplitEntry& e : o.entries) {
+      if (o.node_level == 0) {
+        std::vector<PageId> p{root_};
+        BURTREE_RETURN_IF_ERROR(DescendChooseSubtree(&p, e.rect, 0));
+        BURTREE_RETURN_IF_ERROR(InsertEntryAlongPath(p, e.rect, e.payload));
+        ++stats_.reinserted_entries;
+      } else if (root_level_ < o.node_level) {
+        // The tree shrank below the orphan's home level: dismantle the
+        // orphaned subtree into data entries.
+        BURTREE_RETURN_IF_ERROR(DismantleAndReinsert(
+            static_cast<PageId>(e.payload), o.node_level - 1));
+      } else {
+        std::vector<PageId> p{root_};
+        BURTREE_RETURN_IF_ERROR(
+            DescendChooseSubtree(&p, e.rect, o.node_level));
+        BURTREE_RETURN_IF_ERROR(InsertEntryAlongPath(p, e.rect, e.payload));
+        ++stats_.reinserted_entries;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status RTree::DismantleAndReinsert(PageId subtree, Level subtree_level) {
+  std::vector<LeafEntry> data;
+  std::vector<std::pair<PageId, Level>> stack{{subtree, subtree_level}};
+  while (!stack.empty()) {
+    auto [page, level] = stack.back();
+    stack.pop_back();
+    PageGuard g = PageGuard::Fetch(pool_, page);
+    NodeView v = View(g);
+    BURTREE_CHECK(v.level() == level);
+    if (v.is_leaf()) {
+      for (uint32_t i = 0; i < v.count(); ++i) {
+        const LeafEntry e = v.leaf_entry(i);
+        data.push_back(e);
+        observer_->OnLeafEntryRemoved(e.oid, page);
+      }
+    } else {
+      for (uint32_t i = 0; i < v.count(); ++i) {
+        const InternalEntry e = v.internal_entry(i);
+        observer_->OnChildUnlinked(page, e.child);
+        stack.push_back({e.child, level - 1});
+      }
+    }
+    observer_->OnNodeFreed(page, level);
+    g.Release();
+    BURTREE_RETURN_IF_ERROR(pool_->DeletePage(page));
+  }
+  for (const LeafEntry& e : data) {
+    std::vector<PageId> p{root_};
+    BURTREE_RETURN_IF_ERROR(DescendChooseSubtree(&p, e.rect, 0));
+    BURTREE_RETURN_IF_ERROR(InsertEntryAlongPath(p, e.rect, e.oid));
+    ++stats_.reinserted_entries;
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Query
+// ---------------------------------------------------------------------------
+
+StatusOr<std::vector<RTree::Neighbor>> RTree::NearestNeighbors(
+    const Point& query, size_t k) {
+  if (k == 0) return std::vector<Neighbor>{};
+
+  struct NodeRef {
+    double dist;
+    PageId page;
+    bool operator>(const NodeRef& o) const { return dist > o.dist; }
+  };
+  std::priority_queue<NodeRef, std::vector<NodeRef>, std::greater<>>
+      frontier;
+  frontier.push(NodeRef{0.0, root_});
+
+  // Max-heap of the current best k, keyed by distance.
+  auto worse = [](const Neighbor& a, const Neighbor& b) {
+    return a.distance < b.distance;
+  };
+  std::priority_queue<Neighbor, std::vector<Neighbor>, decltype(worse)>
+      best(worse);
+
+  while (!frontier.empty()) {
+    const NodeRef top = frontier.top();
+    frontier.pop();
+    if (best.size() == k && top.dist > best.top().distance) break;
+    PageGuard g = PageGuard::Fetch(pool_, top.page);
+    NodeView v = View(g);
+    if (v.is_leaf()) {
+      for (uint32_t i = 0; i < v.count(); ++i) {
+        const LeafEntry e = v.leaf_entry(i);
+        const double d = e.rect.MinDistanceTo(query);
+        if (best.size() < k) {
+          best.push(Neighbor{e.oid, e.rect, d});
+        } else if (d < best.top().distance) {
+          best.pop();
+          best.push(Neighbor{e.oid, e.rect, d});
+        }
+      }
+    } else {
+      for (uint32_t i = 0; i < v.count(); ++i) {
+        const InternalEntry e = v.internal_entry(i);
+        const double d = e.rect.MinDistanceTo(query);
+        if (best.size() < k || d <= best.top().distance) {
+          frontier.push(NodeRef{d, e.child});
+        }
+      }
+    }
+  }
+
+  std::vector<Neighbor> out(best.size());
+  for (size_t i = out.size(); i-- > 0;) {
+    out[i] = best.top();
+    best.pop();
+  }
+  return out;
+}
+
+Status RTree::Query(const Rect& window, const QueryCallback& cb) {
+  std::vector<PageId> stack{root_};
+  while (!stack.empty()) {
+    const PageId page = stack.back();
+    stack.pop_back();
+    PageGuard g = PageGuard::Fetch(pool_, page);
+    NodeView v = View(g);
+    if (v.is_leaf()) {
+      for (uint32_t i = 0; i < v.count(); ++i) {
+        const LeafEntry e = v.leaf_entry(i);
+        if (e.rect.Intersects(window)) cb(e.oid, e.rect);
+      }
+    } else {
+      for (uint32_t i = 0; i < v.count(); ++i) {
+        const InternalEntry e = v.internal_entry(i);
+        if (e.rect.Intersects(window)) stack.push_back(e.child);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace burtree

@@ -1,0 +1,248 @@
+// Disk-page R-tree (Guttman) with condense-tree re-insertion — "the
+// original R-tree with re-insertions" the paper implements — plus the
+// hooks the bottom-up update strategies need: observer notifications,
+// path-parameterized insertion (for GBU's ascend-and-insert), and direct
+// leaf manipulation helpers.
+//
+// MBR discipline (see DESIGN.md §4): every node header carries the node's
+// own *covering* rect, which must contain the union of its entry rects but
+// may be deliberately looser (leaf extension). A parent's routing entry
+// must contain the child's covering rect. Inserts only ever expand
+// covering rects; deletes and splits re-tighten them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "buffer/page_guard.h"
+#include "common/options.h"
+#include "common/status.h"
+#include "rtree/node.h"
+#include "rtree/observer.h"
+
+namespace burtree {
+
+/// Operation counters for experiments and tests.
+struct RTreeStats {
+  uint64_t inserts = 0;
+  uint64_t deletes = 0;
+  uint64_t leaf_splits = 0;
+  uint64_t internal_splits = 0;
+  uint64_t underflow_condenses = 0;
+  uint64_t reinserted_entries = 0;
+  uint64_t forced_reinserts = 0;
+  uint64_t root_grows = 0;
+  uint64_t root_shrinks = 0;
+};
+
+/// Per-level aggregate shape used by the Section-4 cost model.
+struct LevelShape {
+  Level level = 0;
+  uint64_t node_count = 0;
+  double avg_width = 0.0;   ///< mean MBR extent along x
+  double avg_height = 0.0;  ///< mean MBR extent along y
+  double avg_fill = 0.0;    ///< mean entry count / capacity
+  /// Mean per-node total pairwise intersection area among entries — the
+  /// overlap that drives multi-path query descents (§2: "the more the
+  /// overlap, the worse the branching behavior of a query").
+  double avg_overlap = 0.0;
+};
+
+struct TreeShape {
+  std::vector<LevelShape> levels;  ///< index 0 = leaf level
+  uint64_t total_nodes = 0;
+  uint64_t total_entries = 0;  ///< data entries
+};
+
+class RTree {
+ public:
+  RTree(BufferPool* pool, const TreeOptions& options);
+
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+
+  // ---- Metadata ----
+
+  PageId root() const { return root_; }
+  Level root_level() const { return root_level_; }
+  /// Number of levels (a single-leaf tree has height 1).
+  uint32_t height() const { return root_level_ + 1; }
+  const TreeOptions& options() const { return options_; }
+  BufferPool* pool() const { return pool_; }
+  const RTreeStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = RTreeStats{}; }
+
+  /// Subscribes structural-change observers (oid index, summary).
+  /// Passing nullptr resets to a no-op observer.
+  void set_observer(TreeObserver* obs);
+
+  /// Replays the tree's current structure as observer events (creation,
+  /// links, MBRs, occupancy, leaf entries, root) — bootstraps a summary
+  /// structure or oid index attached after the tree was built. Reads
+  /// every node.
+  void ReplayStructureTo(TreeObserver* obs);
+  TreeObserver* observer() const { return observer_; }
+
+  /// Minimum entries per node (m) for the given node kind.
+  uint32_t MinFill(bool leaf) const;
+  uint32_t Capacity(bool leaf) const;
+
+  /// Reads the root page and returns its covering MBR (costs I/O; GBU
+  /// obtains the same rect from the summary structure at zero cost).
+  Rect ReadRootMbr();
+
+  // ---- Top-down operations ----
+
+  /// Inserts a data entry, descending from the root (Guttman ChooseLeaf +
+  /// quadratic split + AdjustTree).
+  Status Insert(ObjectId oid, const Rect& rect);
+
+  /// Top-down delete: FindLeaf from the root, remove, CondenseTree with
+  /// re-insertion of orphaned entries.
+  Status Delete(ObjectId oid, const Rect& rect);
+
+  /// Window query; `cb` is invoked for every data entry intersecting
+  /// `window`.
+  using QueryCallback = std::function<void(ObjectId, const Rect&)>;
+  Status Query(const Rect& window, const QueryCallback& cb);
+
+  /// k-nearest-neighbor result entry.
+  struct Neighbor {
+    ObjectId oid = kInvalidObjectId;
+    Rect rect;
+    double distance = 0.0;
+  };
+
+  /// Branch-and-bound best-first k-NN (Hjaltason/Samet style): returns up
+  /// to `k` data entries closest to `query`, ordered by distance. Reads
+  /// only the nodes whose MBR distance beats the current k-th best.
+  StatusOr<std::vector<Neighbor>> NearestNeighbors(const Point& query,
+                                                   size_t k);
+
+  // ---- Strategy-facing operations (engine-internal API) ----
+  // These power LBU/GBU; they are public because the update strategies
+  // live in a separate module, not because applications should call them.
+
+  /// Standard insert whose ChooseSubtree descent starts at
+  /// `path_from_root.back()` instead of the root (GBU's
+  /// "Insert(ancestor, oid, newLocation)"). The caller supplies the page
+  /// ids of the root→ancestor path (GBU derives them from the summary at
+  /// zero I/O); they are fetched only if a split or MBR change propagates
+  /// that far.
+  Status InsertDescendingFrom(std::vector<PageId> path_from_root,
+                              ObjectId oid, const Rect& rect);
+
+  /// Removes `oid` from `leaf` WITHOUT condensing — callers must have
+  /// verified the leaf will not underflow. Fires observer events and
+  /// leaves parent routing entries untouched (covering rects may go
+  /// loose, which the MBR discipline allows).
+  Status RemoveFromLeafNoCondense(PageId leaf, ObjectId oid);
+
+  /// Top-down path from the root to the leaf holding `oid` (the leaf is
+  /// path.back()). Uses `hint_rect` to prune the descent. NotFound if the
+  /// object is absent.
+  StatusOr<std::vector<PageId>> FindLeafPath(ObjectId oid,
+                                             const Rect& hint_rect);
+
+  /// Delete driven by a known leaf (bottom-up strategies with an oid
+  /// index): removes the entry, then condenses upward along
+  /// `path_from_root` exactly like a top-down delete would.
+  Status DeleteAtLeaf(const std::vector<PageId>& path_from_root,
+                      ObjectId oid);
+
+  // ---- Introspection ----
+
+  /// Full structural validation: entry containment, level consistency,
+  /// fill invariants, parent pointers (when enabled). Reads every node.
+  /// `check_min_fill` is off for STR bulk-loaded trees, whose remainder
+  /// nodes may legitimately be under-full.
+  Status Validate(bool check_min_fill = true);
+
+  /// Walks the tree collecting the per-level shape statistics consumed by
+  /// the Section-4 cost model.
+  TreeShape CollectShape();
+
+  /// Total pages currently used by this tree (nodes only).
+  uint64_t CountNodes();
+
+ private:
+  friend class BulkLoader;
+
+  struct PendingSplit {
+    Rect original_mbr;      // tightened covering rect of the split node
+    InternalEntry promoted; // entry for the newly created sibling
+  };
+
+  NodeView View(PageGuard& g) const {
+    return NodeView(g.data(), options_.page_size, options_.parent_pointers);
+  }
+
+  /// Appends ChooseSubtree descent from path->back() down to target_level.
+  Status DescendChooseSubtree(std::vector<PageId>* path, const Rect& rect,
+                              Level target_level);
+
+  /// Inserts (rect, payload) into path.back() (whose level matches the
+  /// entry kind), splitting and propagating along `path` as needed.
+  Status InsertEntryAlongPath(const std::vector<PageId>& path,
+                              const Rect& rect, uint64_t payload);
+
+  /// Splits `node` (full) absorbing the pending entry; returns the entry
+  /// to promote and the node's tightened MBR.
+  PendingSplit SplitNode(PageGuard& node_guard, const Rect& pending_rect,
+                         uint64_t pending_payload);
+
+  /// R*-style overflow treatment: evicts the entries farthest from the
+  /// node's center (plus possibly the pending one) and re-inserts them
+  /// from the root at the node's level. Called at most once per level
+  /// per top-level operation.
+  Status ForcedReinsertOverflow(const std::vector<PageId>& path, int i,
+                                PageGuard& node_guard,
+                                const Rect& pending_rect,
+                                uint64_t pending_payload);
+
+  /// Creates a new root over (old root, promoted).
+  void GrowRoot(const Rect& old_root_mbr, const InternalEntry& promoted);
+
+  /// Propagates a child MBR change upward: path[0..upto] are ancestors,
+  /// child = path[upto + 1]. Expand-only when `expand_only`.
+  void AdjustAncestors(const std::vector<PageId>& path, int upto,
+                       PageId child, Rect child_mbr, bool expand_only);
+
+  /// CondenseTree (Guttman D3): walk `path` bottom-up removing under-full
+  /// nodes, collecting orphans, tightening MBRs; then shrink the root and
+  /// re-insert orphans.
+  Status CondenseTree(const std::vector<PageId>& path);
+
+  /// Re-inserts an orphaned routing entry whose required node level
+  /// exceeds what the (possibly shrunken) tree offers by dismantling the
+  /// subtree into data entries.
+  Status DismantleAndReinsert(PageId subtree, Level subtree_level);
+
+  /// Sets child's parent pointer (when the option is on). Costs child
+  /// page I/O — the LBU maintenance overhead the paper describes.
+  void SetParentPointer(PageId child, PageId parent);
+
+  void NotifyLeafOccupancy(PageId leaf, const NodeView& v);
+
+  Status ValidateNode(PageId page, Level expected_level,
+                      std::optional<Rect> parent_cover, PageId parent,
+                      bool check_min_fill, uint64_t* data_entries);
+
+  BufferPool* pool_;
+  TreeOptions options_;
+  TreeObserver* observer_ = nullptr;
+  PageId root_ = kInvalidPageId;
+  Level root_level_ = 0;
+  RTreeStats stats_;
+
+  // Forced-reinsertion bookkeeping for the current top-level operation
+  // (guarded by the caller's exclusive latch in concurrent settings, like
+  // every other structure modification).
+  bool in_insert_op_ = false;
+  std::vector<bool> levels_reinserted_;
+};
+
+}  // namespace burtree

@@ -1,0 +1,245 @@
+#include "rtree/split.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace burtree {
+
+SplitResult QuadraticSplit(const std::vector<SplitEntry>& entries,
+                           uint32_t min_fill) {
+  const uint32_t n = static_cast<uint32_t>(entries.size());
+  BURTREE_CHECK(n >= 2);
+
+  // PickSeeds: the pair wasting the most area if grouped together.
+  uint32_t seed_a = 0, seed_b = 1;
+  double worst = -std::numeric_limits<double>::infinity();
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = i + 1; j < n; ++j) {
+      const double waste = entries[i].rect.UnionWith(entries[j].rect).Area() -
+                           entries[i].rect.Area() - entries[j].rect.Area();
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  SplitResult res;
+  res.group_a.push_back(seed_a);
+  res.group_b.push_back(seed_b);
+  Rect mbr_a = entries[seed_a].rect;
+  Rect mbr_b = entries[seed_b].rect;
+
+  std::vector<uint32_t> remaining;
+  remaining.reserve(n - 2);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (i != seed_a && i != seed_b) remaining.push_back(i);
+  }
+
+  while (!remaining.empty()) {
+    // If one group must absorb all remaining entries to reach min_fill,
+    // assign them without further consideration (Guttman QS2).
+    if (res.group_a.size() + remaining.size() == min_fill) {
+      for (uint32_t i : remaining) res.group_a.push_back(i);
+      break;
+    }
+    if (res.group_b.size() + remaining.size() == min_fill) {
+      for (uint32_t i : remaining) res.group_b.push_back(i);
+      break;
+    }
+
+    // PickNext: entry with maximal |d_a - d_b|.
+    size_t best_pos = 0;
+    double best_diff = -1.0;
+    double best_da = 0.0, best_db = 0.0;
+    for (size_t pos = 0; pos < remaining.size(); ++pos) {
+      const Rect& r = entries[remaining[pos]].rect;
+      const double da = mbr_a.Enlargement(r);
+      const double db = mbr_b.Enlargement(r);
+      const double diff = std::abs(da - db);
+      if (diff > best_diff) {
+        best_diff = diff;
+        best_pos = pos;
+        best_da = da;
+        best_db = db;
+      }
+    }
+
+    const uint32_t chosen = remaining[best_pos];
+    remaining.erase(remaining.begin() + static_cast<long>(best_pos));
+
+    // Assign to the group needing less enlargement; ties: smaller area,
+    // then fewer entries.
+    bool to_a;
+    if (best_da != best_db) {
+      to_a = best_da < best_db;
+    } else if (mbr_a.Area() != mbr_b.Area()) {
+      to_a = mbr_a.Area() < mbr_b.Area();
+    } else {
+      to_a = res.group_a.size() <= res.group_b.size();
+    }
+    if (to_a) {
+      res.group_a.push_back(chosen);
+      mbr_a.ExpandToInclude(entries[chosen].rect);
+    } else {
+      res.group_b.push_back(chosen);
+      mbr_b.ExpandToInclude(entries[chosen].rect);
+    }
+  }
+  return res;
+}
+
+SplitResult LinearSplit(const std::vector<SplitEntry>& entries,
+                        uint32_t min_fill) {
+  const uint32_t n = static_cast<uint32_t>(entries.size());
+  BURTREE_CHECK(n >= 2);
+
+  // LPS1-2: for each dimension find the entry with the highest low side and
+  // the one with the lowest high side; normalize the separation by the
+  // total width of the set along that dimension.
+  uint32_t seed_a = 0, seed_b = 1;
+  double best_sep = -std::numeric_limits<double>::infinity();
+  for (int dim = 0; dim < 2; ++dim) {
+    auto lo = [&](uint32_t i) {
+      return dim == 0 ? entries[i].rect.min_x : entries[i].rect.min_y;
+    };
+    auto hi = [&](uint32_t i) {
+      return dim == 0 ? entries[i].rect.max_x : entries[i].rect.max_y;
+    };
+    uint32_t highest_low = 0, lowest_high = 0;
+    double min_lo = lo(0), max_hi = hi(0);
+    for (uint32_t i = 1; i < n; ++i) {
+      if (lo(i) > lo(highest_low)) highest_low = i;
+      if (hi(i) < hi(lowest_high)) lowest_high = i;
+      min_lo = std::min(min_lo, lo(i));
+      max_hi = std::max(max_hi, hi(i));
+    }
+    const double width = max_hi - min_lo;
+    if (highest_low == lowest_high) continue;  // degenerate along this dim
+    const double sep =
+        width > 0 ? (lo(highest_low) - hi(lowest_high)) / width
+                  : -std::numeric_limits<double>::infinity();
+    if (sep > best_sep) {
+      best_sep = sep;
+      seed_a = lowest_high;
+      seed_b = highest_low;
+    }
+  }
+  if (seed_a == seed_b) seed_b = (seed_a + 1) % n;
+
+  SplitResult res;
+  res.group_a.push_back(seed_a);
+  res.group_b.push_back(seed_b);
+  Rect mbr_a = entries[seed_a].rect;
+  Rect mbr_b = entries[seed_b].rect;
+
+  for (uint32_t i = 0; i < n; ++i) {
+    if (i == seed_a || i == seed_b) continue;
+    const uint32_t left = n - i;  // not exact remaining count; recompute:
+    (void)left;
+    // Force-assign to honor min_fill.
+    const size_t assigned = res.group_a.size() + res.group_b.size();
+    const size_t remaining = n - assigned;
+    if (res.group_a.size() + remaining == min_fill) {
+      res.group_a.push_back(i);
+      mbr_a.ExpandToInclude(entries[i].rect);
+      continue;
+    }
+    if (res.group_b.size() + remaining == min_fill) {
+      res.group_b.push_back(i);
+      mbr_b.ExpandToInclude(entries[i].rect);
+      continue;
+    }
+    const double da = mbr_a.Enlargement(entries[i].rect);
+    const double db = mbr_b.Enlargement(entries[i].rect);
+    const bool to_a = da < db || (da == db && mbr_a.Area() <= mbr_b.Area());
+    if (to_a) {
+      res.group_a.push_back(i);
+      mbr_a.ExpandToInclude(entries[i].rect);
+    } else {
+      res.group_b.push_back(i);
+      mbr_b.ExpandToInclude(entries[i].rect);
+    }
+  }
+  return res;
+}
+
+SplitResult RStarSplit(const std::vector<SplitEntry>& entries,
+                       uint32_t min_fill) {
+  const uint32_t n = static_cast<uint32_t>(entries.size());
+  BURTREE_CHECK(n >= 2);
+  const uint32_t m = std::max<uint32_t>(1, min_fill);
+
+  // Candidate orderings: by min and by max along each axis.
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+
+  double best_margin_sum = std::numeric_limits<double>::infinity();
+  std::vector<uint32_t> best_axis_order;
+
+  for (int dim = 0; dim < 2; ++dim) {
+    for (int side = 0; side < 2; ++side) {
+      auto key = [&](uint32_t i) {
+        const Rect& r = entries[i].rect;
+        if (dim == 0) return side == 0 ? r.min_x : r.max_x;
+        return side == 0 ? r.min_y : r.max_y;
+      };
+      std::sort(order.begin(), order.end(),
+                [&](uint32_t a, uint32_t b) { return key(a) < key(b); });
+      double margin_sum = 0.0;
+      for (uint32_t k = m; k + m <= n; ++k) {
+        Rect a = Rect::Empty(), b = Rect::Empty();
+        for (uint32_t i = 0; i < k; ++i) a.ExpandToInclude(entries[order[i]].rect);
+        for (uint32_t i = k; i < n; ++i) b.ExpandToInclude(entries[order[i]].rect);
+        margin_sum += a.Margin() + b.Margin();
+      }
+      if (margin_sum < best_margin_sum) {
+        best_margin_sum = margin_sum;
+        best_axis_order = order;
+      }
+    }
+  }
+
+  // Along the chosen ordering, pick the distribution with minimal overlap
+  // (ties: minimal total area).
+  const auto& ord = best_axis_order;
+  double best_overlap = std::numeric_limits<double>::infinity();
+  double best_area = std::numeric_limits<double>::infinity();
+  uint32_t best_k = m;
+  for (uint32_t k = m; k + m <= n; ++k) {
+    Rect a = Rect::Empty(), b = Rect::Empty();
+    for (uint32_t i = 0; i < k; ++i) a.ExpandToInclude(entries[ord[i]].rect);
+    for (uint32_t i = k; i < n; ++i) b.ExpandToInclude(entries[ord[i]].rect);
+    const double ov = a.IntersectionWith(b).Area();
+    const double area = a.Area() + b.Area();
+    if (ov < best_overlap || (ov == best_overlap && area < best_area)) {
+      best_overlap = ov;
+      best_area = area;
+      best_k = k;
+    }
+  }
+
+  SplitResult res;
+  res.group_a.assign(ord.begin(), ord.begin() + best_k);
+  res.group_b.assign(ord.begin() + best_k, ord.end());
+  return res;
+}
+
+SplitResult SplitEntries(const std::vector<SplitEntry>& entries,
+                         uint32_t min_fill, SplitAlgorithm algorithm) {
+  switch (algorithm) {
+    case SplitAlgorithm::kQuadratic:
+      return QuadraticSplit(entries, min_fill);
+    case SplitAlgorithm::kLinear:
+      return LinearSplit(entries, min_fill);
+    case SplitAlgorithm::kRStar:
+      return RStarSplit(entries, min_fill);
+  }
+  return QuadraticSplit(entries, min_fill);
+}
+
+}  // namespace burtree

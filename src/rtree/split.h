@@ -1,0 +1,47 @@
+// Node-split strategies. The paper's implementation uses Guttman's R-tree;
+// quadratic split is the default. Linear and an R*-style split are provided
+// for ablation benches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/options.h"
+
+namespace burtree {
+
+/// A node entry abstracted for splitting: rect plus an opaque payload
+/// (ObjectId for leaves, PageId for internal nodes).
+struct SplitEntry {
+  Rect rect;
+  uint64_t payload = 0;
+};
+
+/// Indices of the entries assigned to each post-split group. Both groups
+/// have at least `min_fill` members (given enough input entries).
+struct SplitResult {
+  std::vector<uint32_t> group_a;
+  std::vector<uint32_t> group_b;
+};
+
+/// Partitions `entries` (size >= 2) into two groups. `min_fill` is the
+/// minimum group size m.
+SplitResult SplitEntries(const std::vector<SplitEntry>& entries,
+                         uint32_t min_fill, SplitAlgorithm algorithm);
+
+/// Guttman's quadratic split: PickSeeds by maximal dead area, PickNext by
+/// maximal preference difference.
+SplitResult QuadraticSplit(const std::vector<SplitEntry>& entries,
+                           uint32_t min_fill);
+
+/// Guttman's linear split: seeds by greatest normalized separation.
+SplitResult LinearSplit(const std::vector<SplitEntry>& entries,
+                        uint32_t min_fill);
+
+/// R*-tree split: choose axis by minimum margin sum, distribution by
+/// minimum overlap (ties: minimum area).
+SplitResult RStarSplit(const std::vector<SplitEntry>& entries,
+                       uint32_t min_fill);
+
+}  // namespace burtree

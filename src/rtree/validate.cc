@@ -1,0 +1,185 @@
+// Structural validation and shape statistics for the R-tree. These read
+// every node; experiment harnesses snapshot I/O counters around calls.
+#include "rtree/rtree.h"
+
+namespace burtree {
+
+Status RTree::ValidateNode(PageId page, Level expected_level,
+                           std::optional<Rect> parent_cover, PageId parent,
+                           bool check_min_fill, uint64_t* data_entries) {
+  PageGuard g = PageGuard::Fetch(pool_, page);
+  NodeView v = View(g);
+
+  if (v.level() != expected_level) {
+    return Status::Corruption("node level mismatch");
+  }
+  if (v.count() > v.capacity()) {
+    return Status::Corruption("node over capacity");
+  }
+  if (check_min_fill && page != root_ && v.count() < MinFill(v.is_leaf())) {
+    return Status::Corruption("node under min fill");
+  }
+  if (options_.parent_pointers && v.parent() != parent) {
+    return Status::Corruption("stale parent pointer");
+  }
+
+  const Rect cover = v.mbr();
+  const Rect tight = v.ComputeMbr();
+  if (v.count() > 0 && !cover.Contains(tight)) {
+    return Status::Corruption(
+        "covering rect does not contain entries: page " +
+        std::to_string(page) + " level " + std::to_string(v.level()) +
+        " cover " + cover.ToString() + " tight " + tight.ToString());
+  }
+  if (parent_cover.has_value() && v.count() > 0 &&
+      !parent_cover->Contains(cover)) {
+    return Status::Corruption(
+        "parent routing entry does not contain child: page " +
+        std::to_string(page) + " level " + std::to_string(v.level()) +
+        " cover " + cover.ToString() + " parent entry " +
+        parent_cover->ToString());
+  }
+
+  if (v.is_leaf()) {
+    for (uint32_t i = 0; i < v.count(); ++i) {
+      if (v.leaf_entry(i).oid == kInvalidObjectId) {
+        return Status::Corruption("invalid oid in leaf");
+      }
+    }
+    *data_entries += v.count();
+    return Status::OK();
+  }
+
+  // Recurse with the routing entry as the child's allowed cover.
+  struct ChildRef {
+    PageId child;
+    Rect rect;
+  };
+  std::vector<ChildRef> children;
+  children.reserve(v.count());
+  for (uint32_t i = 0; i < v.count(); ++i) {
+    const InternalEntry e = v.internal_entry(i);
+    children.push_back(ChildRef{e.child, e.rect});
+  }
+  g.Release();  // avoid deep pin chains on tall trees
+  for (const ChildRef& c : children) {
+    BURTREE_RETURN_IF_ERROR(ValidateNode(c.child, expected_level - 1, c.rect,
+                                         page, check_min_fill,
+                                         data_entries));
+  }
+  return Status::OK();
+}
+
+Status RTree::Validate(bool check_min_fill) {
+  uint64_t data_entries = 0;
+  return ValidateNode(root_, root_level_, std::nullopt, kInvalidPageId,
+                      check_min_fill, &data_entries);
+}
+
+TreeShape RTree::CollectShape() {
+  TreeShape shape;
+  shape.levels.resize(root_level_ + 1);
+  for (Level l = 0; l <= root_level_; ++l) shape.levels[l].level = l;
+
+  std::vector<std::pair<PageId, Level>> stack{{root_, root_level_}};
+  while (!stack.empty()) {
+    auto [page, level] = stack.back();
+    stack.pop_back();
+    PageGuard g = PageGuard::Fetch(pool_, page);
+    NodeView v = View(g);
+    LevelShape& ls = shape.levels[level];
+    ++ls.node_count;
+    ++shape.total_nodes;
+    const Rect m = v.mbr();
+    if (!m.IsEmpty()) {
+      ls.avg_width += m.Width();
+      ls.avg_height += m.Height();
+    }
+    ls.avg_fill += static_cast<double>(v.count()) / v.capacity();
+    if (level >= 1) {
+      double overlap = 0.0;
+      for (uint32_t i = 0; i < v.count(); ++i) {
+        const Rect ri = v.entry_rect(i);
+        for (uint32_t j = i + 1; j < v.count(); ++j) {
+          overlap += ri.IntersectionWith(v.entry_rect(j)).Area();
+        }
+      }
+      ls.avg_overlap += overlap;
+    }
+    if (v.is_leaf()) {
+      shape.total_entries += v.count();
+    } else {
+      for (uint32_t i = 0; i < v.count(); ++i) {
+        stack.push_back({v.internal_entry(i).child, level - 1});
+      }
+    }
+  }
+  for (LevelShape& ls : shape.levels) {
+    if (ls.node_count > 0) {
+      ls.avg_width /= static_cast<double>(ls.node_count);
+      ls.avg_height /= static_cast<double>(ls.node_count);
+      ls.avg_fill /= static_cast<double>(ls.node_count);
+      ls.avg_overlap /= static_cast<double>(ls.node_count);
+    }
+  }
+  return shape;
+}
+
+void RTree::ReplayStructureTo(TreeObserver* obs) {
+  std::vector<std::pair<PageId, Level>> stack{{root_, root_level_}};
+  while (!stack.empty()) {
+    auto [page, level] = stack.back();
+    stack.pop_back();
+    PageGuard g = PageGuard::Fetch(pool_, page);
+    NodeView v = View(g);
+    obs->OnNodeCreated(page, level);
+    obs->OnNodeMbrChanged(page, level, v.mbr());
+    if (v.is_leaf()) {
+      for (uint32_t i = 0; i < v.count(); ++i) {
+        obs->OnLeafEntryAdded(v.leaf_entry(i).oid, page);
+      }
+      obs->OnLeafOccupancyChanged(page, v.count(), v.capacity());
+    } else {
+      for (uint32_t i = 0; i < v.count(); ++i) {
+        stack.push_back({v.internal_entry(i).child, level - 1});
+      }
+    }
+  }
+  // Links are emitted parent-first in a second pass so every child node
+  // already exists in the observer's tables.
+  std::vector<PageId> stack2{root_};
+  while (!stack2.empty()) {
+    const PageId page = stack2.back();
+    stack2.pop_back();
+    PageGuard g = PageGuard::Fetch(pool_, page);
+    NodeView v = View(g);
+    if (!v.is_leaf()) {
+      for (uint32_t i = 0; i < v.count(); ++i) {
+        const PageId child = v.internal_entry(i).child;
+        obs->OnChildLinked(page, child);
+        stack2.push_back(child);
+      }
+    }
+  }
+  obs->OnRootChanged(root_, root_level_);
+}
+
+uint64_t RTree::CountNodes() {
+  uint64_t n = 0;
+  std::vector<PageId> stack{root_};
+  while (!stack.empty()) {
+    const PageId page = stack.back();
+    stack.pop_back();
+    ++n;
+    PageGuard g = PageGuard::Fetch(pool_, page);
+    NodeView v = View(g);
+    if (!v.is_leaf()) {
+      for (uint32_t i = 0; i < v.count(); ++i) {
+        stack.push_back(v.internal_entry(i).child);
+      }
+    }
+  }
+  return n;
+}
+
+}  // namespace burtree

@@ -1,0 +1,46 @@
+// A fixed-size page: the unit of disk I/O accounting throughout burtree.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+
+#include "common/types.h"
+
+namespace burtree {
+
+/// In-memory image of one disk page. Owned by the buffer pool (when one is
+/// attached) or by callers doing raw PageFile I/O.
+class Page {
+ public:
+  explicit Page(size_t size) : size_(size), data_(new uint8_t[size]) {
+    std::memset(data_.get(), 0, size_);
+  }
+
+  Page(const Page&) = delete;
+  Page& operator=(const Page&) = delete;
+
+  uint8_t* data() { return data_.get(); }
+  const uint8_t* data() const { return data_.get(); }
+  size_t size() const { return size_; }
+
+  PageId page_id() const { return page_id_; }
+  void set_page_id(PageId id) { page_id_ = id; }
+
+  bool is_dirty() const { return dirty_; }
+  void set_dirty(bool d) { dirty_ = d; }
+
+  int pin_count() const { return pin_count_; }
+  void Pin() { ++pin_count_; }
+  void Unpin() { --pin_count_; }
+
+ private:
+  size_t size_;
+  std::unique_ptr<uint8_t[]> data_;
+  PageId page_id_ = kInvalidPageId;
+  bool dirty_ = false;
+  int pin_count_ = 0;
+};
+
+}  // namespace burtree

@@ -1,0 +1,81 @@
+// PageFile: the "disk". Pages live in RAM, but every Read/Write call is
+// counted in IoStats — the paper's metric is the number of disk accesses,
+// not their latency (see DESIGN.md §1). Thread-safe: the concurrent
+// throughput experiment drives one PageFile from 50 threads.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace burtree {
+
+class PageFile {
+ public:
+  /// Creates an empty file of `page_size`-byte pages.
+  explicit PageFile(size_t page_size);
+
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+
+  size_t page_size() const { return page_size_; }
+
+  /// Allocates a fresh zeroed page (reusing freed slots first) and returns
+  /// its id. Does not count as an I/O; the subsequent write does.
+  PageId Allocate();
+
+  /// Returns a page to the free list. Reading a freed page is an error.
+  Status Free(PageId id);
+
+  /// Copies the page's current content into `out` (must be page_size
+  /// bytes). Counts one disk read.
+  Status Read(PageId id, uint8_t* out);
+
+  /// Overwrites the page content from `in` (page_size bytes). Counts one
+  /// disk write.
+  Status Write(PageId id, const uint8_t* in);
+
+  /// Number of pages ever allocated and still live (excludes freed).
+  size_t live_pages() const;
+
+  /// Total slots including freed ones (the "file size").
+  size_t allocated_slots() const;
+
+  IoStats& io_stats() { return stats_; }
+  const IoStats& io_stats() const { return stats_; }
+
+  /// Disk accesses performed by the *calling thread* across all PageFiles
+  /// since the last ResetThreadIo(). The concurrent throughput driver uses
+  /// this to charge simulated latency outside of latches.
+  static uint64_t thread_io();
+  static void ResetThreadIo();
+  /// Adds synthetic accesses to the calling thread's counter (used by
+  /// cost-model charges that bypass the physical page path).
+  static void AddThreadIo(uint64_t n);
+
+  /// Optional synthetic latency charged per read/write, in nanoseconds.
+  /// Used by the throughput experiment to make tps I/O-bound like the
+  /// paper's disk-resident setting. 0 disables it.
+  void set_io_latency_ns(uint64_t ns) { io_latency_ns_ = ns; }
+  uint64_t io_latency_ns() const { return io_latency_ns_; }
+
+ private:
+  bool IsLiveLocked(PageId id) const;
+  void ChargeLatency() const;
+
+  const size_t page_size_;
+  mutable std::shared_mutex mu_;
+  std::vector<std::unique_ptr<uint8_t[]>> slots_;
+  std::vector<bool> live_;
+  std::vector<PageId> free_list_;
+  IoStats stats_;
+  uint64_t io_latency_ns_ = 0;
+};
+
+}  // namespace burtree

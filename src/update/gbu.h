@@ -1,0 +1,47 @@
+// GBU: Generalized Bottom-Up Update (paper Algorithm 2), with the
+// optimizations of §3.2.1:
+//
+//   * epsilon-capped *directional* MBR extension (iExtendMBR, Alg. 4),
+//     bounded by the parent MBR read at zero cost from the summary;
+//   * distance threshold delta — fast movers try sibling shift before
+//     MBR extension, slow movers the reverse;
+//   * level threshold lambda — bounded ascent via FindParent (Alg. 3)
+//     over the direct access table, then a standard insert rooted at the
+//     found ancestor;
+//   * sibling choice using the leaf-fullness bit vector (no probe I/O)
+//     with piggybacking of other entries to reduce overlap.
+#pragma once
+
+#include "update/index_system.h"
+#include "update/strategy.h"
+
+namespace burtree {
+
+class GeneralizedBottomUpStrategy final : public UpdateStrategy {
+ public:
+  GeneralizedBottomUpStrategy(IndexSystem* system, const GbuOptions& options);
+
+  StatusOr<UpdateResult> Update(ObjectId oid, const Point& old_pos,
+                                const Point& new_pos) override;
+
+  const char* name() const override { return "GBU"; }
+
+  const GbuOptions& options() const { return options_; }
+
+ private:
+  /// Attempts the epsilon-capped extension of the leaf MBR towards
+  /// new_pos. On success updates leaf + parent routing entry.
+  bool TryExtend(PageGuard& leaf_guard, NodeView& leaf, int slot,
+                 ObjectId oid, const Point& new_pos);
+
+  /// Attempts to shift the entry (plus piggybacked cohabitants) into a
+  /// sibling leaf containing new_pos. Uses the bit vector to skip full
+  /// siblings without reading them.
+  bool TrySiblingShift(PageGuard& leaf_guard, NodeView& leaf, ObjectId oid,
+                       const Point& new_pos);
+
+  IndexSystem* system_;
+  GbuOptions options_;
+};
+
+}  // namespace burtree

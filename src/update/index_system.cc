@@ -1,0 +1,65 @@
+#include "update/index_system.h"
+
+namespace burtree {
+
+IndexSystem::IndexSystem(const IndexSystemOptions& options)
+    : options_(options) {
+  file_ = std::make_unique<PageFile>(options_.tree.page_size);
+  pool_ = std::make_unique<BufferPool>(file_.get(), options_.buffer_pages);
+  tree_ = std::make_unique<RTree>(pool_.get(), options_.tree);
+
+  bool any = false;
+  if (options_.enable_oid_index) {
+    oid_index_ = std::make_unique<HashIndex>(options_.hash);
+    observer_.Add(oid_index_.get());
+    any = true;
+  }
+  if (options_.enable_summary) {
+    summary_ = std::make_unique<SummaryStructure>();
+    observer_.Add(summary_.get());
+    any = true;
+  }
+  if (any) {
+    tree_->set_observer(&observer_);
+    // The tree constructor ran before the observers attached; replay the
+    // (empty-root) structure so the summary knows the root.
+    tree_->ReplayStructureTo(&observer_);
+  }
+}
+
+Status IndexSystem::BulkLoad(std::vector<LeafEntry> entries, double fill) {
+  return BulkLoader::Load(tree_.get(), std::move(entries), fill);
+}
+
+Status IndexSystem::FlushAll() {
+  BURTREE_RETURN_IF_ERROR(pool_->FlushAll());
+  if (oid_index_ != nullptr && !options_.hash.charge_unit_read) {
+    // In the memory-resident configuration the hash table never reaches
+    // disk; lookups carry the cost-model charge instead.
+    BURTREE_RETURN_IF_ERROR(oid_index_->buffer().FlushAll());
+  }
+  return Status::OK();
+}
+
+uint64_t IndexSystem::TotalIo() const {
+  uint64_t io = file_->io_stats().total_io();
+  if (oid_index_ != nullptr) io += oid_index_->io_stats().total_io();
+  return io;
+}
+
+IndexSystem::IoBreakdown IndexSystem::SnapshotIo() const {
+  IoBreakdown b;
+  b.tree = IoSnapshot::Take(file_->io_stats());
+  if (oid_index_ != nullptr) {
+    b.hash = IoSnapshot::Take(oid_index_->io_stats());
+  }
+  return b;
+}
+
+void IndexSystem::SetBufferFraction(double fraction) {
+  const size_t pages = static_cast<size_t>(
+      static_cast<double>(file_->live_pages()) * fraction);
+  pool_->Resize(pages);
+}
+
+}  // namespace burtree

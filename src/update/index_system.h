@@ -1,0 +1,84 @@
+// IndexSystem: the assembled engine — page file, buffer pool, R-tree,
+// secondary oid hash index, and summary structure, wired together through
+// the tree-observer bus. Experiments construct one IndexSystem per
+// strategy configuration.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "buffer/buffer_pool.h"
+#include "common/options.h"
+#include "oid_index/hash_index.h"
+#include "oid_index/memory_index.h"
+#include "rtree/bulk_load.h"
+#include "rtree/rtree.h"
+#include "summary/summary.h"
+
+namespace burtree {
+
+struct IndexSystemOptions {
+  TreeOptions tree;
+  /// Tree buffer pool capacity in pages (0 = pass-through, the paper's
+  /// "no buffer" setting). Experiments size this as a % of the DB.
+  size_t buffer_pages = 0;
+  /// Attach the disk-resident oid hash index (needed by LBU/GBU; TD runs
+  /// without one, exactly as in the paper).
+  bool enable_oid_index = false;
+  /// Attach the main-memory summary structure (needed by GBU).
+  bool enable_summary = false;
+  /// Secondary-index configuration. Default mirrors the paper: the table
+  /// is memory-resident; each lookup is charged the cost model's one
+  /// disk read; maintenance is free (see DESIGN.md).
+  HashIndexOptions hash = HashIndexOptions::MemoryResident();
+};
+
+class IndexSystem {
+ public:
+  explicit IndexSystem(const IndexSystemOptions& options);
+
+  RTree& tree() { return *tree_; }
+  BufferPool& buffer() { return *pool_; }
+  PageFile& file() { return *file_; }
+  HashIndex* oid_index() { return oid_index_.get(); }
+  SummaryStructure* summary() { return summary_.get(); }
+  const IndexSystemOptions& options() const { return options_; }
+
+  /// Convenience: objects are points in the unit square.
+  static Rect PointRect(const Point& p) { return Rect::FromPoint(p); }
+
+  Status Insert(ObjectId oid, const Point& pos) {
+    return tree_->Insert(oid, PointRect(pos));
+  }
+
+  /// STR bulk load (extension; experiments default to insertion builds).
+  Status BulkLoad(std::vector<LeafEntry> entries, double fill = 0.66);
+
+  /// Flushes both buffer pools so deferred writes reach the I/O counters.
+  Status FlushAll();
+
+  /// Combined disk accesses of the tree file and the hash-index file —
+  /// the paper's headline metric.
+  uint64_t TotalIo() const;
+  struct IoBreakdown {
+    IoSnapshot tree;
+    IoSnapshot hash;
+    uint64_t total() const { return tree.total_io() + hash.total_io(); }
+  };
+  IoBreakdown SnapshotIo() const;
+
+  /// Resizes the tree buffer pool to `fraction` of the current tree file
+  /// size (the paper's "buffer = x% of database size" knob).
+  void SetBufferFraction(double fraction);
+
+ private:
+  IndexSystemOptions options_;
+  std::unique_ptr<PageFile> file_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<RTree> tree_;
+  std::unique_ptr<HashIndex> oid_index_;
+  std::unique_ptr<SummaryStructure> summary_;
+  CompositeObserver observer_;
+};
+
+}  // namespace burtree

@@ -1,0 +1,31 @@
+// LBU: Localized Bottom-Up Update (paper Algorithm 1).
+//
+// Requires TreeOptions::parent_pointers (the leaf stores its parent's page
+// id — the fanout / split-maintenance overhead the paper attributes to
+// LBU) and the secondary oid index for direct leaf access. The leaf MBR
+// may be inflated uniformly by epsilon, bounded by the parent MBR; failing
+// that the entry is shifted to a sibling whose MBR contains the new
+// location (probing siblings costs reads — LBU has no fullness bit
+// vector); failing that a standard insert from the root is issued.
+#pragma once
+
+#include "update/index_system.h"
+#include "update/strategy.h"
+
+namespace burtree {
+
+class LocalizedBottomUpStrategy final : public UpdateStrategy {
+ public:
+  LocalizedBottomUpStrategy(IndexSystem* system, const LbuOptions& options);
+
+  StatusOr<UpdateResult> Update(ObjectId oid, const Point& old_pos,
+                                const Point& new_pos) override;
+
+  const char* name() const override { return "LBU"; }
+
+ private:
+  IndexSystem* system_;
+  LbuOptions options_;
+};
+
+}  // namespace burtree

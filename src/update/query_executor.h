@@ -1,0 +1,30 @@
+// Window-query execution, optionally assisted by the summary structure:
+// internal levels >= 2 are filtered in the main-memory direct access
+// table, so only the overlapping parents-of-leaves and leaves are read
+// from disk (§3.2: "equipped with knowledge of which index nodes above
+// the leaf level to read from disk, we carry on with the query as
+// usual").
+#pragma once
+
+#include "update/index_system.h"
+
+namespace burtree {
+
+class QueryExecutor {
+ public:
+  /// `use_summary` requires the system to have a summary attached.
+  QueryExecutor(IndexSystem* system, bool use_summary);
+
+  /// Runs the window query; returns the number of matches. `cb` may be
+  /// null when only the count matters.
+  StatusOr<size_t> Query(const Rect& window,
+                         const RTree::QueryCallback& cb = nullptr);
+
+  bool use_summary() const { return use_summary_; }
+
+ private:
+  IndexSystem* system_;
+  bool use_summary_;
+};
+
+}  // namespace burtree

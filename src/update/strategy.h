@@ -1,0 +1,72 @@
+// Update-strategy interface: TD (top-down delete+insert), LBU
+// (Algorithm 1) and GBU (Algorithm 2) implement it. An update moves a
+// point object from `old_pos` to `new_pos`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/geometry.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace burtree {
+
+/// Which arm of the update decision ladder served the request — the
+/// experiment harness aggregates these to explain I/O differences.
+enum class UpdatePath {
+  kInPlace,     ///< new position inside the leaf MBR
+  kExtend,      ///< leaf MBR enlarged (iExtendMBR / epsilon inflation)
+  kSibling,     ///< entry shifted to a sibling leaf
+  kAscend,      ///< re-inserted below a bounding ancestor (GBU only)
+  kRootInsert,  ///< deleted bottom-up, re-inserted from the root (LBU)
+  kTopDown,     ///< full top-down delete + insert
+};
+
+struct UpdateResult {
+  UpdatePath path = UpdatePath::kTopDown;
+};
+
+/// Per-strategy counters of decision-ladder outcomes.
+struct UpdatePathCounts {
+  uint64_t in_place = 0;
+  uint64_t extend = 0;
+  uint64_t sibling = 0;
+  uint64_t ascend = 0;
+  uint64_t root_insert = 0;
+  uint64_t top_down = 0;
+
+  void Record(UpdatePath p) {
+    switch (p) {
+      case UpdatePath::kInPlace: ++in_place; break;
+      case UpdatePath::kExtend: ++extend; break;
+      case UpdatePath::kSibling: ++sibling; break;
+      case UpdatePath::kAscend: ++ascend; break;
+      case UpdatePath::kRootInsert: ++root_insert; break;
+      case UpdatePath::kTopDown: ++top_down; break;
+    }
+  }
+  uint64_t total() const {
+    return in_place + extend + sibling + ascend + root_insert + top_down;
+  }
+};
+
+class UpdateStrategy {
+ public:
+  virtual ~UpdateStrategy() = default;
+
+  /// Moves `oid` from `old_pos` to `new_pos`, choosing the cheapest
+  /// reorganization level the strategy supports.
+  virtual StatusOr<UpdateResult> Update(ObjectId oid, const Point& old_pos,
+                                        const Point& new_pos) = 0;
+
+  virtual const char* name() const = 0;
+
+  const UpdatePathCounts& path_counts() const { return path_counts_; }
+  void ResetPathCounts() { path_counts_ = UpdatePathCounts{}; }
+
+ protected:
+  UpdatePathCounts path_counts_;
+};
+
+}  // namespace burtree

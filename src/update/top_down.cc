@@ -1,0 +1,17 @@
+#include "update/top_down.h"
+
+namespace burtree {
+
+StatusOr<UpdateResult> TopDownStrategy::Update(ObjectId oid,
+                                               const Point& old_pos,
+                                               const Point& new_pos) {
+  RTree& tree = system_->tree();
+  BURTREE_RETURN_IF_ERROR(
+      tree.Delete(oid, IndexSystem::PointRect(old_pos)));
+  BURTREE_RETURN_IF_ERROR(
+      tree.Insert(oid, IndexSystem::PointRect(new_pos)));
+  path_counts_.Record(UpdatePath::kTopDown);
+  return UpdateResult{UpdatePath::kTopDown};
+}
+
+}  // namespace burtree

@@ -1,0 +1,23 @@
+// TD: the traditional top-down update — a root-to-leaf search-and-delete
+// followed by a separate root-to-leaf insert (§3, the paper's baseline).
+#pragma once
+
+#include "update/index_system.h"
+#include "update/strategy.h"
+
+namespace burtree {
+
+class TopDownStrategy final : public UpdateStrategy {
+ public:
+  explicit TopDownStrategy(IndexSystem* system) : system_(system) {}
+
+  StatusOr<UpdateResult> Update(ObjectId oid, const Point& old_pos,
+                                const Point& new_pos) override;
+
+  const char* name() const override { return "TD"; }
+
+ private:
+  IndexSystem* system_;
+};
+
+}  // namespace burtree

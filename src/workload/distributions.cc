@@ -1,0 +1,53 @@
+#include "workload/distributions.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace burtree {
+
+namespace {
+double Clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+}  // namespace
+
+Point SamplePoint(Rng& rng, Distribution dist) {
+  switch (dist) {
+    case Distribution::kUniform:
+      return Point{rng.NextDouble(), rng.NextDouble()};
+    case Distribution::kGaussian:
+      return Point{Clamp01(0.5 + 0.12 * rng.NextGaussian()),
+                   Clamp01(0.5 + 0.12 * rng.NextGaussian())};
+    case Distribution::kSkewed: {
+      const double u = rng.NextDouble();
+      const double v = rng.NextDouble();
+      return Point{u * u * u, v * v * v};
+    }
+  }
+  return Point{rng.NextDouble(), rng.NextDouble()};
+}
+
+const char* DistributionName(Distribution dist) {
+  switch (dist) {
+    case Distribution::kUniform: return "Uniform";
+    case Distribution::kGaussian: return "Gaussian";
+    case Distribution::kSkewed: return "Skewed";
+  }
+  return "?";
+}
+
+bool ParseDistribution(const std::string& s, Distribution* out) {
+  std::string t;
+  t.reserve(s.size());
+  for (char c : s) t.push_back(static_cast<char>(std::tolower(c)));
+  if (t == "uniform") {
+    *out = Distribution::kUniform;
+  } else if (t == "gaussian" || t == "gauss") {
+    *out = Distribution::kGaussian;
+  } else if (t == "skewed" || t == "skew") {
+    *out = Distribution::kSkewed;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace burtree

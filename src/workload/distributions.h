@@ -1,0 +1,26 @@
+// Initial-placement distributions for the GSTD-like generator (§5: data
+// distributions Uniform, Gaussian, Skewed over the unit square).
+#pragma once
+
+#include <string>
+
+#include "common/geometry.h"
+#include "common/random.h"
+
+namespace burtree {
+
+enum class Distribution {
+  kUniform,   ///< i.i.d. uniform over the unit square
+  kGaussian,  ///< isotropic Gaussian at (0.5, 0.5), sigma = 0.12, clamped
+  kSkewed,    ///< power-law pull towards the origin (u^3 per coordinate)
+};
+
+/// Draws an initial object position from `dist`.
+Point SamplePoint(Rng& rng, Distribution dist);
+
+const char* DistributionName(Distribution dist);
+
+/// Parses "uniform" / "gaussian" / "skewed" (case-insensitive).
+bool ParseDistribution(const std::string& s, Distribution* out);
+
+}  // namespace burtree

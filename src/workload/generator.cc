@@ -1,0 +1,63 @@
+#include "workload/generator.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace burtree {
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadOptions& options)
+    : options_(options), rng_(options.seed), query_rng_(options.seed ^ 0xBEEF) {
+  positions_.reserve(options_.num_objects);
+  for (uint64_t i = 0; i < options_.num_objects; ++i) {
+    positions_.push_back(SamplePoint(rng_, options_.distribution));
+  }
+}
+
+Point WorkloadGenerator::Move(const Point& from, Rng& rng) const {
+  const double dist = rng.NextDouble() * options_.max_move_distance;
+  const double angle = rng.NextDouble() * 2.0 * M_PI;
+  double x = from.x + dist * std::cos(angle);
+  double y = from.y + dist * std::sin(angle);
+  // Reflect off the unit-square walls (GSTD "adjust" semantics).
+  if (x < 0.0) x = -x;
+  if (x > 1.0) x = 2.0 - x;
+  if (y < 0.0) y = -y;
+  if (y > 1.0) y = 2.0 - y;
+  // A displacement > 1 could still escape after one reflection; clamp.
+  x = std::clamp(x, 0.0, 1.0);
+  y = std::clamp(y, 0.0, 1.0);
+  return Point{x, y};
+}
+
+WorkloadGenerator::UpdateOp WorkloadGenerator::NextUpdate() {
+  const ObjectId oid = next_object_;
+  next_object_ = (next_object_ + 1) % options_.num_objects;
+  const Point from = positions_[oid];
+  const Point to = Move(from, rng_);
+  positions_[oid] = to;
+  return UpdateOp{oid, from, to};
+}
+
+WorkloadGenerator::UpdateOp WorkloadGenerator::NextUpdateFor(ObjectId oid,
+                                                             Rng& rng) {
+  BURTREE_CHECK(oid < positions_.size());
+  const Point from = positions_[oid];
+  const Point to = Move(from, rng);
+  positions_[oid] = to;
+  return UpdateOp{oid, from, to};
+}
+
+Rect WorkloadGenerator::QueryWindowFrom(Rng& rng, double max_dim) {
+  const double w = rng.NextDouble() * max_dim;
+  const double h = rng.NextDouble() * max_dim;
+  const double x = rng.NextDouble() * (1.0 - w);
+  const double y = rng.NextDouble() * (1.0 - h);
+  return Rect(x, y, x + w, y + h);
+}
+
+Rect WorkloadGenerator::NextQueryWindow() {
+  return QueryWindowFrom(query_rng_, options_.query_max_dim);
+}
+
+}  // namespace burtree

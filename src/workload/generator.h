@@ -1,0 +1,72 @@
+// GSTD-like moving-object workload (§5, [18]): N point objects placed by
+// an initial distribution, then moved in rounds; each update displaces an
+// object by a uniform distance in [0, max_move_distance] in a uniform
+// random direction, reflecting off the unit-square walls. Window queries
+// are uniformly placed with dimensions in [0, query_max_dim].
+//
+// Deterministic given the seed, so every strategy replays the identical
+// update/query stream.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/random.h"
+#include "common/types.h"
+#include "workload/distributions.h"
+
+namespace burtree {
+
+struct WorkloadOptions {
+  uint64_t num_objects = 100000;
+  Distribution distribution = Distribution::kUniform;
+  /// Maximum distance an object moves between consecutive updates
+  /// (paper Table 1: 0.003 .. 0.15, default 0.03).
+  double max_move_distance = 0.03;
+  /// Query windows have width/height uniform in [0, query_max_dim]
+  /// (paper: dimensions in the range [0, 0.1]).
+  double query_max_dim = 0.1;
+  uint64_t seed = 42;
+};
+
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(const WorkloadOptions& options);
+
+  const WorkloadOptions& options() const { return options_; }
+
+  /// Initial object positions; index = ObjectId.
+  const std::vector<Point>& initial_positions() const { return positions_; }
+  /// Current position of an object.
+  const Point& position(ObjectId oid) const { return positions_[oid]; }
+
+  struct UpdateOp {
+    ObjectId oid;
+    Point from;
+    Point to;
+  };
+
+  /// Produces the next update (round-robin over objects, so every object
+  /// has a well-defined inter-update speed) and advances the state.
+  UpdateOp NextUpdate();
+
+  /// Produces an update for a specific object (used by the concurrent
+  /// throughput driver where threads own object ranges).
+  UpdateOp NextUpdateFor(ObjectId oid, Rng& rng);
+
+  /// Uniformly placed query window.
+  Rect NextQueryWindow();
+  static Rect QueryWindowFrom(Rng& rng, double max_dim);
+
+ private:
+  Point Move(const Point& from, Rng& rng) const;
+
+  WorkloadOptions options_;
+  Rng rng_;
+  Rng query_rng_;
+  std::vector<Point> positions_;
+  uint64_t next_object_ = 0;
+};
+
+}  // namespace burtree

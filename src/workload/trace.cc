@@ -1,0 +1,122 @@
+#include "workload/trace.h"
+
+#include <cstring>
+#include <memory>
+
+namespace burtree {
+
+namespace {
+
+constexpr char kMagic[4] = {'B', 'U', 'R', 'T'};
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool WriteRaw(std::FILE* f, const void* p, size_t n) {
+  return std::fwrite(p, 1, n, f) == n;
+}
+bool ReadRaw(std::FILE* f, void* p, size_t n) {
+  return std::fread(p, 1, n, f) == n;
+}
+
+}  // namespace
+
+Status TraceWriter::WriteTo(const std::string& path) const {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::InvalidArgument("cannot open trace for writing");
+  const uint64_t count = ops_.size();
+  if (!WriteRaw(f.get(), kMagic, 4) ||
+      !WriteRaw(f.get(), &kVersion, sizeof(kVersion)) ||
+      !WriteRaw(f.get(), &count, sizeof(count))) {
+    return Status::Corruption("trace header write failed");
+  }
+  for (const TraceOp& op : ops_) {
+    if (const auto* u = std::get_if<TraceUpdate>(&op)) {
+      const uint8_t kind = 0;
+      double coords[4] = {u->from.x, u->from.y, u->to.x, u->to.y};
+      if (!WriteRaw(f.get(), &kind, 1) ||
+          !WriteRaw(f.get(), &u->oid, sizeof(u->oid)) ||
+          !WriteRaw(f.get(), coords, sizeof(coords))) {
+        return Status::Corruption("trace op write failed");
+      }
+    } else {
+      const auto& q = std::get<TraceQuery>(op);
+      const uint8_t kind = 1;
+      double coords[4] = {q.window.min_x, q.window.min_y, q.window.max_x,
+                          q.window.max_y};
+      if (!WriteRaw(f.get(), &kind, 1) ||
+          !WriteRaw(f.get(), coords, sizeof(coords))) {
+        return Status::Corruption("trace op write failed");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<TraceOp>> TraceReader::ReadFrom(
+    const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::NotFound("trace file not found");
+  char magic[4];
+  uint32_t version = 0;
+  uint64_t count = 0;
+  if (!ReadRaw(f.get(), magic, 4) || std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::Corruption("bad trace magic");
+  }
+  if (!ReadRaw(f.get(), &version, sizeof(version)) || version != kVersion) {
+    return Status::Corruption("unsupported trace version");
+  }
+  if (!ReadRaw(f.get(), &count, sizeof(count))) {
+    return Status::Corruption("bad trace header");
+  }
+  std::vector<TraceOp> ops;
+  ops.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint8_t kind = 0;
+    if (!ReadRaw(f.get(), &kind, 1)) {
+      return Status::Corruption("truncated trace");
+    }
+    if (kind == 0) {
+      TraceUpdate u;
+      double coords[4];
+      if (!ReadRaw(f.get(), &u.oid, sizeof(u.oid)) ||
+          !ReadRaw(f.get(), coords, sizeof(coords))) {
+        return Status::Corruption("truncated update op");
+      }
+      u.from = Point{coords[0], coords[1]};
+      u.to = Point{coords[2], coords[3]};
+      ops.emplace_back(u);
+    } else if (kind == 1) {
+      double coords[4];
+      if (!ReadRaw(f.get(), coords, sizeof(coords))) {
+        return Status::Corruption("truncated query op");
+      }
+      ops.emplace_back(
+          TraceQuery{Rect(coords[0], coords[1], coords[2], coords[3])});
+    } else {
+      return Status::Corruption("unknown trace op kind");
+    }
+  }
+  return ops;
+}
+
+std::vector<TraceOp> RecordWorkload(WorkloadGenerator* gen,
+                                    uint64_t updates, uint64_t queries) {
+  std::vector<TraceOp> ops;
+  ops.reserve(updates + queries);
+  for (uint64_t i = 0; i < updates; ++i) {
+    const auto u = gen->NextUpdate();
+    ops.emplace_back(TraceUpdate{u.oid, u.from, u.to});
+  }
+  for (uint64_t i = 0; i < queries; ++i) {
+    ops.emplace_back(TraceQuery{gen->NextQueryWindow()});
+  }
+  return ops;
+}
+
+}  // namespace burtree

@@ -1,0 +1,60 @@
+// Workload trace recording and replay: serializes an update/query stream
+// to a compact binary file so experiments can be replayed bit-identically
+// across machines and strategy implementations (the moving-object
+// equivalent of shipping the GSTD-generated datasets with the paper).
+//
+// File layout (little-endian):
+//   magic "BURT" | u32 version | u64 op count
+//   per op: u8 kind (0 = update, 1 = query)
+//     update: u64 oid | f64 from_x | f64 from_y | f64 to_x | f64 to_y
+//     query:  f64 min_x | f64 min_y | f64 max_x | f64 max_y
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "workload/generator.h"
+
+namespace burtree {
+
+struct TraceUpdate {
+  ObjectId oid;
+  Point from;
+  Point to;
+};
+struct TraceQuery {
+  Rect window;
+};
+using TraceOp = std::variant<TraceUpdate, TraceQuery>;
+
+class TraceWriter {
+ public:
+  void Add(const TraceUpdate& u) { ops_.emplace_back(u); }
+  void Add(const TraceQuery& q) { ops_.emplace_back(q); }
+  size_t size() const { return ops_.size(); }
+
+  /// Writes the accumulated ops to `path`.
+  Status WriteTo(const std::string& path) const;
+
+ private:
+  std::vector<TraceOp> ops_;
+};
+
+class TraceReader {
+ public:
+  /// Loads a trace produced by TraceWriter.
+  static StatusOr<std::vector<TraceOp>> ReadFrom(const std::string& path);
+};
+
+/// Records `updates` update ops followed by `queries` query windows from
+/// the generator into a trace (convenience for building shareable
+/// experiment inputs).
+std::vector<TraceOp> RecordWorkload(WorkloadGenerator* gen,
+                                    uint64_t updates, uint64_t queries);
+
+}  // namespace burtree

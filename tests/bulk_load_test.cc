@@ -1,0 +1,130 @@
+#include "rtree/bulk_load.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+
+namespace burtree {
+namespace {
+
+std::vector<LeafEntry> RandomEntries(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<LeafEntry> entries;
+  for (ObjectId i = 0; i < n; ++i) {
+    entries.push_back(LeafEntry{
+        Rect::FromPoint(Point{rng.NextDouble(), rng.NextDouble()}), i});
+  }
+  return entries;
+}
+
+TEST(BulkLoadTest, LoadsAndQueries) {
+  TreeOptions opts;
+  PageFile file(opts.page_size);
+  BufferPool pool(&file, 1024);
+  RTree tree(&pool, opts);
+  ASSERT_TRUE(BulkLoader::Load(&tree, RandomEntries(5000, 21)).ok());
+  ASSERT_TRUE(tree.Validate(/*check_min_fill=*/false).ok());
+  std::set<ObjectId> all;
+  ASSERT_TRUE(tree.Query(Rect(0, 0, 1, 1), [&](ObjectId oid, const Rect&) {
+    all.insert(oid);
+  }).ok());
+  EXPECT_EQ(all.size(), 5000u);
+}
+
+TEST(BulkLoadTest, SmallInputsStayFlat) {
+  TreeOptions opts;
+  PageFile file(opts.page_size);
+  BufferPool pool(&file, 64);
+  RTree tree(&pool, opts);
+  ASSERT_TRUE(BulkLoader::Load(&tree, RandomEntries(5, 22)).ok());
+  EXPECT_EQ(tree.height(), 1u);
+  ASSERT_TRUE(tree.Validate(false).ok());
+}
+
+TEST(BulkLoadTest, EmptyInputIsNoop) {
+  TreeOptions opts;
+  PageFile file(opts.page_size);
+  BufferPool pool(&file, 64);
+  RTree tree(&pool, opts);
+  ASSERT_TRUE(BulkLoader::Load(&tree, {}).ok());
+  EXPECT_EQ(tree.height(), 1u);
+}
+
+TEST(BulkLoadTest, RejectsNonEmptyTree) {
+  TreeOptions opts;
+  PageFile file(opts.page_size);
+  BufferPool pool(&file, 64);
+  RTree tree(&pool, opts);
+  ASSERT_TRUE(tree.Insert(1, Rect::FromPoint(Point{0.5, 0.5})).ok());
+  EXPECT_FALSE(BulkLoader::Load(&tree, RandomEntries(10, 23)).ok());
+}
+
+TEST(BulkLoadTest, UtilizationNearTarget) {
+  TreeOptions opts;
+  PageFile file(opts.page_size);
+  BufferPool pool(&file, 4096);
+  RTree tree(&pool, opts);
+  ASSERT_TRUE(BulkLoader::Load(&tree, RandomEntries(20000, 24), 0.66).ok());
+  TreeShape shape = tree.CollectShape();
+  EXPECT_NEAR(shape.levels[0].avg_fill, 0.66, 0.08);
+  EXPECT_EQ(shape.total_entries, 20000u);
+}
+
+TEST(BulkLoadTest, PackedTreeIsShallowerOrEqual) {
+  TreeOptions opts;
+  // Insertion-built tree for comparison.
+  PageFile f1(opts.page_size);
+  BufferPool p1(&f1, 4096);
+  RTree inserted(&p1, opts);
+  auto entries = RandomEntries(8000, 25);
+  for (const auto& e : entries) {
+    ASSERT_TRUE(inserted.Insert(e.oid, e.rect).ok());
+  }
+  PageFile f2(opts.page_size);
+  BufferPool p2(&f2, 4096);
+  RTree packed(&p2, opts);
+  // Pack tightly (90%): the packed tree must beat the ~70%-utilized
+  // insertion-built tree on both height and node count.
+  ASSERT_TRUE(BulkLoader::Load(&packed, entries, 0.9).ok());
+  EXPECT_LE(packed.height(), inserted.height());
+  EXPECT_LT(packed.CountNodes(), inserted.CountNodes());
+}
+
+TEST(BulkLoadTest, SupportsSubsequentUpdates) {
+  TreeOptions opts;
+  PageFile file(opts.page_size);
+  BufferPool pool(&file, 1024);
+  RTree tree(&pool, opts);
+  auto entries = RandomEntries(3000, 26);
+  ASSERT_TRUE(BulkLoader::Load(&tree, entries).ok());
+  // Delete + insert still work on the packed structure.
+  Rng rng(27);
+  for (int i = 0; i < 500; ++i) {
+    const ObjectId oid = rng.NextBelow(3000);
+    ASSERT_TRUE(tree.Delete(oid, entries[oid].rect).ok());
+    entries[oid].rect =
+        Rect::FromPoint(Point{rng.NextDouble(), rng.NextDouble()});
+    ASSERT_TRUE(tree.Insert(oid, entries[oid].rect).ok());
+  }
+  ASSERT_TRUE(tree.Validate(false).ok());
+  std::set<ObjectId> all;
+  ASSERT_TRUE(tree.Query(Rect(0, 0, 1, 1), [&](ObjectId oid, const Rect&) {
+    all.insert(oid);
+  }).ok());
+  EXPECT_EQ(all.size(), 3000u);
+}
+
+TEST(BulkLoadTest, ParentPointerVariant) {
+  TreeOptions opts;
+  opts.parent_pointers = true;
+  PageFile file(opts.page_size);
+  BufferPool pool(&file, 1024);
+  RTree tree(&pool, opts);
+  ASSERT_TRUE(BulkLoader::Load(&tree, RandomEntries(4000, 28)).ok());
+  ASSERT_TRUE(tree.Validate(false).ok());  // checks parent pointers too
+}
+
+}  // namespace
+}  // namespace burtree

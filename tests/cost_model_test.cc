@@ -1,0 +1,119 @@
+#include "analysis/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "harness/experiment.h"
+
+namespace burtree {
+namespace {
+
+TreeShape BuildShape(uint64_t objects, uint64_t seed) {
+  TreeOptions opts;
+  PageFile file(opts.page_size);
+  BufferPool pool(&file, 1 << 16);
+  RTree tree(&pool, opts);
+  Rng rng(seed);
+  for (ObjectId i = 0; i < objects; ++i) {
+    BURTREE_CHECK(tree.Insert(i, Rect::FromPoint(Point{rng.NextDouble(),
+                                                       rng.NextDouble()}))
+                      .ok());
+  }
+  return tree.CollectShape();
+}
+
+TEST(ProbStayWithinMbrTest, Boundaries) {
+  EXPECT_DOUBLE_EQ(ProbStayWithinMbr(0.0, 0.1, 0.1), 1.0);
+  // Displacement far beyond the MBR: certain escape.
+  EXPECT_DOUBLE_EQ(ProbStayWithinMbr(10.0, 0.1, 0.1), 0.0);
+  // Monotone decreasing in d.
+  double prev = 1.0;
+  for (double d = 0.0; d < 0.3; d += 0.01) {
+    const double p = ProbStayWithinMbr(d, 0.05, 0.05);
+    EXPECT_LE(p, prev + 1e-12);
+    prev = p;
+  }
+  // Larger MBRs retain better.
+  EXPECT_GT(ProbStayWithinMbr(0.02, 0.2, 0.2),
+            ProbStayWithinMbr(0.02, 0.05, 0.05));
+}
+
+TEST(ExpectedQueryAccessesTest, GrowsWithWindow) {
+  const TreeShape shape = BuildShape(20000, 1);
+  const double small = ExpectedQueryAccesses(shape, 0.01, 0.01);
+  const double big = ExpectedQueryAccesses(shape, 0.2, 0.2);
+  EXPECT_GT(small, 0.0);
+  EXPECT_GT(big, small);
+  // Query covering everything touches every node.
+  const double all = ExpectedQueryAccesses(shape, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(all, static_cast<double>(shape.total_nodes));
+}
+
+TEST(ExpectedQueryAccessesTest, PointQueryAtLeastHeight) {
+  const TreeShape shape = BuildShape(20000, 2);
+  // A point query descends at least one full path.
+  EXPECT_GE(ExpectedQueryAccesses(shape, 0.0, 0.0),
+            static_cast<double>(shape.levels.size()) - 0.5);
+}
+
+TEST(ExpectedTopDownUpdateIoTest, ExceedsBottomUpWorstCase) {
+  const TreeShape shape = BuildShape(30000, 3);
+  // The paper's headline inequality: for trees of height >= 4, expected
+  // TD update cost exceeds the bottom-up worst case of 7.
+  ASSERT_GE(shape.levels.size(), 4u);
+  EXPECT_GT(ExpectedTopDownUpdateIo(shape), kBottomUpWorstCaseIo);
+}
+
+TEST(ExpectedBottomUpUpdateIoTest, WithinAnalyticBounds) {
+  const TreeShape shape = BuildShape(30000, 4);
+  BottomUpCostParams params;
+  params.max_move_distance = 0.03;
+  const double b = ExpectedBottomUpUpdateIo(shape, params);
+  EXPECT_GE(b, 3.0);                     // can't beat the Case-1 floor
+  EXPECT_LE(b, kBottomUpWorstCaseIo);    // capped by the constant-7 bound
+  // Faster movement -> higher expected cost.
+  BottomUpCostParams fast = params;
+  fast.max_move_distance = 0.15;
+  EXPECT_GT(ExpectedBottomUpUpdateIo(shape, fast), b);
+}
+
+TEST(ExpectedBottomUpUpdateIoTest, SummaryCapsTheAscent) {
+  const TreeShape shape = BuildShape(30000, 5);
+  BottomUpCostParams with;
+  with.max_move_distance = 0.15;
+  with.use_summary = true;
+  BottomUpCostParams without = with;
+  without.use_summary = false;
+  without.sibling_success = 0.0;  // worst case: full recursive ascent
+  EXPECT_LT(ExpectedBottomUpUpdateIo(shape, with),
+            ExpectedBottomUpUpdateIo(shape, without));
+}
+
+TEST(CostModelIntegrationTest, PredictsMeasuredGbuCostWithinFactor) {
+  // Run a real GBU experiment and check the analytic expectation is in
+  // the right ballpark (same order of magnitude; the model is worst-case
+  // corner-positioned, so measured <= predicted typically).
+  ExperimentConfig cfg;
+  cfg.strategy = StrategyKind::kGeneralizedBottomUp;
+  cfg.workload.num_objects = 20000;
+  cfg.num_updates = 20000;
+  cfg.num_queries = 0;
+  cfg.buffer_fraction = 0.0;
+  auto res = RunExperiment(cfg);
+  ASSERT_TRUE(res.ok());
+
+  const TreeShape shape = BuildShape(20000, cfg.workload.seed);
+  BottomUpCostParams params;
+  params.max_move_distance = cfg.workload.max_move_distance;
+  const double predicted = ExpectedBottomUpUpdateIo(shape, params);
+  EXPECT_GT(res.value().avg_update_io, 0.5 * 3.0);
+  EXPECT_LT(res.value().avg_update_io, 4.0 * predicted);
+}
+
+TEST(TopDownBestCaseTest, Formula) {
+  EXPECT_DOUBLE_EQ(TopDownBestCaseIo(4), 5.0);
+  EXPECT_DOUBLE_EQ(TopDownBestCaseIo(6), 7.0);  // == bottom-up worst case
+}
+
+}  // namespace
+}  // namespace burtree

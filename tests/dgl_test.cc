@@ -1,0 +1,106 @@
+#include "cc/dgl.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace burtree {
+namespace {
+
+TEST(SpatialGranulesTest, CellOfMapsIntoGrid) {
+  SpatialGranules g(3);  // 8x8
+  EXPECT_EQ(g.grid_size(), 8u);
+  EXPECT_EQ(g.CellOf(Point{0.0, 0.0}), 0u);
+  EXPECT_EQ(g.CellOf(Point{0.99, 0.0}), 7u);
+  EXPECT_EQ(g.CellOf(Point{0.0, 0.99}), 56u);
+  EXPECT_EQ(g.CellOf(Point{0.99, 0.99}), 63u);
+  // Out-of-range coordinates clamp to border cells.
+  EXPECT_EQ(g.CellOf(Point{-1.0, 0.0}), 0u);
+  EXPECT_EQ(g.CellOf(Point{2.0, 2.0}), 63u);
+}
+
+TEST(SpatialGranulesTest, CellsOfWindowCoversAndIsSorted) {
+  SpatialGranules g(3);
+  const Rect w(0.1, 0.1, 0.4, 0.3);  // cells x 0..3, y 0..2
+  auto cells = g.CellsOf(w);
+  EXPECT_EQ(cells.size(), 4u * 3u);
+  EXPECT_TRUE(std::is_sorted(cells.begin(), cells.end()));
+  // The cell of every corner is included.
+  for (const Point& p : {Point{0.1, 0.1}, Point{0.4, 0.1}, Point{0.1, 0.3},
+                         Point{0.4, 0.3}}) {
+    EXPECT_TRUE(std::binary_search(cells.begin(), cells.end(), g.CellOf(p)));
+  }
+}
+
+TEST(SpatialGranulesTest, EmptyWindowHasNoCells) {
+  SpatialGranules g(3);
+  EXPECT_TRUE(g.CellsOf(Rect::Empty()).empty());
+}
+
+TEST(DglProtocolTest, UpdateLocksBothCellsExclusive) {
+  LockManager lm;
+  SpatialGranules g(4);
+  ASSERT_TRUE(AcquireUpdateLocks(&lm, g, 1, Point{0.1, 0.1},
+                                 Point{0.9, 0.9})
+                  .ok());
+  // root intent + two cells
+  EXPECT_EQ(lm.HeldCount(1), 3u);
+  // A query over the destination cell must block (timeout-abort here).
+  LockManagerOptions fast;
+  fast.timeout_ms = 30;
+  LockManager lm2(fast);
+  ASSERT_TRUE(AcquireUpdateLocks(&lm2, g, 1, Point{0.1, 0.1},
+                                 Point{0.9, 0.9})
+                  .ok());
+  EXPECT_FALSE(
+      AcquireQueryLocks(&lm2, g, 2, Rect(0.85, 0.85, 0.95, 0.95)).ok());
+}
+
+TEST(DglProtocolTest, SameCellUpdateLocksOnce) {
+  LockManager lm;
+  SpatialGranules g(4);
+  ASSERT_TRUE(AcquireUpdateLocks(&lm, g, 1, Point{0.51, 0.51},
+                                 Point{0.52, 0.52})
+                  .ok());
+  EXPECT_EQ(lm.HeldCount(1), 2u);  // root + one cell
+}
+
+TEST(DglProtocolTest, DisjointRegionsDoNotConflict) {
+  LockManager lm;
+  SpatialGranules g(4);
+  ASSERT_TRUE(AcquireUpdateLocks(&lm, g, 1, Point{0.1, 0.1},
+                                 Point{0.15, 0.15})
+                  .ok());
+  ASSERT_TRUE(
+      AcquireQueryLocks(&lm, g, 2, Rect(0.7, 0.7, 0.9, 0.9)).ok());
+  ASSERT_TRUE(AcquireUpdateLocks(&lm, g, 3, Point{0.4, 0.4},
+                                 Point{0.45, 0.45})
+                  .ok());
+}
+
+TEST(DglProtocolTest, QueriesShareCells) {
+  LockManager lm;
+  SpatialGranules g(4);
+  ASSERT_TRUE(AcquireQueryLocks(&lm, g, 1, Rect(0.2, 0.2, 0.6, 0.6)).ok());
+  ASSERT_TRUE(AcquireQueryLocks(&lm, g, 2, Rect(0.2, 0.2, 0.6, 0.6)).ok());
+}
+
+TEST(DglProtocolTest, PhantomProtection) {
+  // A query holding its window's cells blocks any update that would move
+  // an object INTO the window — DGL's phantom-protection property.
+  LockManagerOptions fast;
+  fast.timeout_ms = 30;
+  LockManager lm(fast);
+  SpatialGranules g(4);
+  ASSERT_TRUE(AcquireQueryLocks(&lm, g, 1, Rect(0.4, 0.4, 0.6, 0.6)).ok());
+  EXPECT_FALSE(AcquireUpdateLocks(&lm, g, 2, Point{0.9, 0.9},
+                                  Point{0.5, 0.5})
+                   .ok());
+  // ... but an update wholly outside proceeds.
+  EXPECT_TRUE(AcquireUpdateLocks(&lm, g, 3, Point{0.9, 0.9},
+                                 Point{0.95, 0.95})
+                  .ok());
+}
+
+}  // namespace
+}  // namespace burtree

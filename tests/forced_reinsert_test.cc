@@ -1,0 +1,162 @@
+// Tests for R*-style forced re-insertion on overflow (TreeOptions::
+// forced_reinsert) — the alternative reading of the paper's "R-tree with
+// re-insertions" baseline.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "rtree/rtree.h"
+
+namespace burtree {
+namespace {
+
+struct Fixture {
+  explicit Fixture(TreeOptions opts)
+      : file(opts.page_size), pool(&file, 4096), tree(&pool, opts) {}
+  PageFile file;
+  BufferPool pool;
+  RTree tree;
+};
+
+TreeOptions WithReinsert() {
+  TreeOptions opts;
+  opts.forced_reinsert = true;
+  return opts;
+}
+
+TEST(ForcedReinsertTest, FiresOnOverflow) {
+  Fixture fx(WithReinsert());
+  Rng rng(1);
+  for (ObjectId i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(fx.tree
+                    .Insert(i, Rect::FromPoint(
+                                   Point{rng.NextDouble(), rng.NextDouble()}))
+                    .ok());
+  }
+  EXPECT_GT(fx.tree.stats().forced_reinserts, 0u);
+  EXPECT_TRUE(fx.tree.Validate().ok());
+}
+
+TEST(ForcedReinsertTest, AllObjectsRemainFindable) {
+  Fixture fx(WithReinsert());
+  Rng rng(2);
+  std::vector<Point> pts;
+  for (ObjectId i = 0; i < 3000; ++i) {
+    const Point p{rng.NextDouble(), rng.NextDouble()};
+    pts.push_back(p);
+    ASSERT_TRUE(fx.tree.Insert(i, Rect::FromPoint(p)).ok());
+  }
+  std::set<ObjectId> all;
+  ASSERT_TRUE(fx.tree.Query(Rect(0, 0, 1, 1), [&](ObjectId oid, const Rect&) {
+    all.insert(oid);
+  }).ok());
+  EXPECT_EQ(all.size(), 3000u);
+  // Point probes for a sample.
+  for (ObjectId i = 0; i < 3000; i += 97) {
+    bool found = false;
+    ASSERT_TRUE(fx.tree.Query(Rect::FromPoint(pts[i]),
+                              [&](ObjectId oid, const Rect&) {
+                                found |= (oid == i);
+                              })
+                    .ok());
+    EXPECT_TRUE(found) << "oid " << i;
+  }
+}
+
+TEST(ForcedReinsertTest, DeletesStillWork) {
+  Fixture fx(WithReinsert());
+  Rng rng(3);
+  std::vector<Point> pts;
+  for (ObjectId i = 0; i < 2000; ++i) {
+    const Point p{rng.NextDouble(), rng.NextDouble()};
+    pts.push_back(p);
+    ASSERT_TRUE(fx.tree.Insert(i, Rect::FromPoint(p)).ok());
+  }
+  for (ObjectId i = 0; i < 2000; i += 2) {
+    ASSERT_TRUE(fx.tree.Delete(i, Rect::FromPoint(pts[i])).ok());
+  }
+  ASSERT_TRUE(fx.tree.Validate().ok());
+  std::set<ObjectId> all;
+  ASSERT_TRUE(fx.tree.Query(Rect(0, 0, 1, 1), [&](ObjectId oid, const Rect&) {
+    all.insert(oid);
+  }).ok());
+  EXPECT_EQ(all.size(), 1000u);
+}
+
+TEST(ForcedReinsertTest, ImprovesStorageUtilization) {
+  // The robust R* effect: re-inserting before splitting defers splits and
+  // packs leaves fuller on a skewed insertion order.
+  TreeOptions plain;
+  TreeOptions rstar = WithReinsert();
+  Fixture a(plain), b(rstar);
+  Rng r1(4);
+  // Insert in sorted-x order (adversarial for plain Guttman trees).
+  std::vector<Point> pts;
+  for (int i = 0; i < 4000; ++i) {
+    pts.push_back(Point{static_cast<double>(i) / 4000.0, r1.NextDouble()});
+  }
+  for (ObjectId i = 0; i < pts.size(); ++i) {
+    ASSERT_TRUE(a.tree.Insert(i, Rect::FromPoint(pts[i])).ok());
+    ASSERT_TRUE(b.tree.Insert(i, Rect::FromPoint(pts[i])).ok());
+  }
+  const TreeShape sa = a.tree.CollectShape();
+  const TreeShape sb = b.tree.CollectShape();
+  EXPECT_GE(sb.levels[0].avg_fill, sa.levels[0].avg_fill);
+  EXPECT_LE(sb.levels[0].node_count, sa.levels[0].node_count);
+  EXPECT_TRUE(b.tree.Validate().ok());
+}
+
+TEST(ForcedReinsertTest, ObserverStaysConsistent) {
+  // Forced re-insertion moves entries between leaves: the oid index must
+  // track every hop.
+  TreeOptions opts = WithReinsert();
+  Fixture fx(opts);
+  class Recorder : public TreeObserver {
+   public:
+    std::unordered_map<ObjectId, PageId> map;
+    void OnLeafEntryAdded(ObjectId oid, PageId leaf) override {
+      map[oid] = leaf;
+    }
+    void OnLeafEntryRemoved(ObjectId oid, PageId leaf) override {
+      auto it = map.find(oid);
+      if (it != map.end() && it->second == leaf) map.erase(it);
+    }
+  } recorder;
+  fx.tree.set_observer(&recorder);
+
+  Rng rng(5);
+  for (ObjectId i = 0; i < 2500; ++i) {
+    ASSERT_TRUE(fx.tree
+                    .Insert(i, Rect::FromPoint(
+                                   Point{rng.NextDouble(), rng.NextDouble()}))
+                    .ok());
+  }
+  ASSERT_EQ(recorder.map.size(), 2500u);
+  // Every mapping points at a leaf that really holds the oid.
+  for (ObjectId i = 0; i < 2500; i += 83) {
+    auto it = recorder.map.find(i);
+    ASSERT_NE(it, recorder.map.end());
+    PageGuard g = PageGuard::Fetch(&fx.pool, it->second);
+    NodeView v(g.data(), 1024, false);
+    EXPECT_GE(v.FindOidSlot(i), 0) << "oid " << i;
+  }
+}
+
+TEST(ForcedReinsertTest, RespectsReinsertFraction) {
+  TreeOptions opts = WithReinsert();
+  opts.reinsert_fraction = 0.5;
+  Fixture fx(opts);
+  Rng rng(6);
+  for (ObjectId i = 0; i < 1500; ++i) {
+    ASSERT_TRUE(fx.tree
+                    .Insert(i, Rect::FromPoint(
+                                   Point{rng.NextDouble(), rng.NextDouble()}))
+                    .ok());
+  }
+  EXPECT_GT(fx.tree.stats().forced_reinserts, 0u);
+  EXPECT_TRUE(fx.tree.Validate().ok());
+}
+
+}  // namespace
+}  // namespace burtree

@@ -1,0 +1,153 @@
+// Randomized algebraic properties of the Rect operations: the R-tree's
+// correctness arguments lean on these identities.
+#include <gtest/gtest.h>
+
+#include "common/geometry.h"
+#include "common/random.h"
+
+namespace burtree {
+namespace {
+
+Rect RandomRect(Rng& rng) {
+  const double x0 = rng.NextDouble(-0.5, 1.0);
+  const double y0 = rng.NextDouble(-0.5, 1.0);
+  return Rect(x0, y0, x0 + rng.NextDouble(0.0, 0.5),
+              y0 + rng.NextDouble(0.0, 0.5));
+}
+
+class RectPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RectPropertyTest, UnionIsCommutativeAndIdempotent) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 5000; ++i) {
+    const Rect a = RandomRect(rng), b = RandomRect(rng);
+    EXPECT_EQ(a.UnionWith(b), b.UnionWith(a));
+    EXPECT_EQ(a.UnionWith(a), a);
+  }
+}
+
+TEST_P(RectPropertyTest, UnionContainsBothOperands) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 5000; ++i) {
+    const Rect a = RandomRect(rng), b = RandomRect(rng);
+    const Rect u = a.UnionWith(b);
+    EXPECT_TRUE(u.Contains(a));
+    EXPECT_TRUE(u.Contains(b));
+    EXPECT_GE(u.Area(), std::max(a.Area(), b.Area()) - 1e-15);
+  }
+}
+
+TEST_P(RectPropertyTest, UnionIsAssociative) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 5000; ++i) {
+    const Rect a = RandomRect(rng), b = RandomRect(rng),
+               c = RandomRect(rng);
+    EXPECT_EQ(a.UnionWith(b).UnionWith(c), a.UnionWith(b.UnionWith(c)));
+  }
+}
+
+TEST_P(RectPropertyTest, IntersectionSymmetricAndContained) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 5000; ++i) {
+    const Rect a = RandomRect(rng), b = RandomRect(rng);
+    const Rect i1 = a.IntersectionWith(b);
+    const Rect i2 = b.IntersectionWith(a);
+    EXPECT_EQ(i1, i2);
+    if (!i1.IsEmpty()) {
+      EXPECT_TRUE(a.Contains(i1));
+      EXPECT_TRUE(b.Contains(i1));
+      EXPECT_TRUE(a.Intersects(b));
+    } else {
+      EXPECT_FALSE(a.Intersects(b));
+    }
+  }
+}
+
+TEST_P(RectPropertyTest, ContainmentImpliesIntersection) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 5000; ++i) {
+    const Rect a = RandomRect(rng), b = RandomRect(rng);
+    if (a.Contains(b)) {
+      EXPECT_TRUE(a.Intersects(b));
+      EXPECT_EQ(a.UnionWith(b), a);
+      EXPECT_DOUBLE_EQ(a.Enlargement(b), 0.0);
+    }
+  }
+}
+
+TEST_P(RectPropertyTest, EnlargementNonNegativeAndExact) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 5000; ++i) {
+    const Rect a = RandomRect(rng), b = RandomRect(rng);
+    const double e = a.Enlargement(b);
+    EXPECT_GE(e, -1e-12);
+    EXPECT_NEAR(a.UnionWith(b).Area(), a.Area() + e, 1e-12);
+  }
+}
+
+TEST_P(RectPropertyTest, ContainsIsTransitive) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 5000; ++i) {
+    const Rect c = RandomRect(rng);
+    // Derive b inside c, a inside b.
+    const Rect b(c.min_x + c.Width() * 0.1, c.min_y + c.Height() * 0.1,
+                 c.max_x - c.Width() * 0.1, c.max_y - c.Height() * 0.1);
+    const Rect a(b.min_x + b.Width() * 0.2, b.min_y + b.Height() * 0.2,
+                 b.max_x - b.Width() * 0.2, b.max_y - b.Height() * 0.2);
+    EXPECT_TRUE(c.Contains(b));
+    EXPECT_TRUE(b.Contains(a));
+    EXPECT_TRUE(c.Contains(a));
+  }
+}
+
+TEST_P(RectPropertyTest, MinDistanceZeroIffContains) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 5000; ++i) {
+    const Rect a = RandomRect(rng);
+    const Point p{rng.NextDouble(-0.5, 1.5), rng.NextDouble(-0.5, 1.5)};
+    const double d = a.MinDistanceTo(p);
+    EXPECT_EQ(d == 0.0, a.Contains(p));
+    EXPECT_GE(d, 0.0);
+  }
+}
+
+TEST_P(RectPropertyTest, DirectionalExtensionIsMinimal) {
+  // Among all rects covering the target, iExtendMBR's output is never
+  // larger than needed along any axis it touched.
+  Rng rng(GetParam());
+  for (int i = 0; i < 5000; ++i) {
+    Rect leaf = RandomRect(rng);
+    const Rect parent = InflateRect(leaf, rng.NextDouble(0.0, 0.3));
+    const Point target{rng.NextDouble(), rng.NextDouble()};
+    const double eps = rng.NextDouble(0.0, 0.2);
+    const Rect e = ExtendMbrDirectional(leaf, target, eps, parent);
+    if (e.Contains(target)) {
+      // Shrinking any extended side by epsilon' > 0 must lose the target
+      // or return to the original side.
+      if (e.max_x > leaf.max_x) {
+        EXPECT_GE(target.x, leaf.max_x);
+      }
+      if (e.min_x < leaf.min_x) {
+        EXPECT_LE(target.x, leaf.min_x);
+      }
+      if (e.max_y > leaf.max_y) {
+        EXPECT_GE(target.y, leaf.max_y);
+      }
+      if (e.min_y < leaf.min_y) {
+        EXPECT_LE(target.y, leaf.min_y);
+      }
+      // And the extension reaches exactly to the target where it grew
+      // less than epsilon and the parent allowed it.
+      if (e.max_x > leaf.max_x && e.max_x < leaf.max_x + eps &&
+          e.max_x < parent.max_x) {
+        EXPECT_DOUBLE_EQ(e.max_x, target.x);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RectPropertyTest,
+                         ::testing::Values(1001, 1002, 1003));
+
+}  // namespace
+}  // namespace burtree

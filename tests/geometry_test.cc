@@ -1,0 +1,193 @@
+#include "common/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace burtree {
+namespace {
+
+TEST(PointTest, Distance) {
+  Point a{0.0, 0.0};
+  Point b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.DistanceTo(b), 5.0);
+  EXPECT_DOUBLE_EQ(b.DistanceTo(a), 5.0);
+  EXPECT_DOUBLE_EQ(a.DistanceTo(a), 0.0);
+}
+
+TEST(RectTest, DefaultIsEmpty) {
+  Rect r;
+  EXPECT_TRUE(r.IsEmpty());
+  EXPECT_DOUBLE_EQ(r.Area(), 0.0);
+  EXPECT_FALSE(r.Contains(Point{0.5, 0.5}));
+}
+
+TEST(RectTest, FromPointIsDegenerate) {
+  Rect r = Rect::FromPoint(Point{0.3, 0.7});
+  EXPECT_FALSE(r.IsEmpty());
+  EXPECT_DOUBLE_EQ(r.Area(), 0.0);
+  EXPECT_TRUE(r.Contains(Point{0.3, 0.7}));
+  EXPECT_FALSE(r.Contains(Point{0.3, 0.70001}));
+}
+
+TEST(RectTest, AreaMarginCenter) {
+  Rect r(0.0, 0.0, 2.0, 3.0);
+  EXPECT_DOUBLE_EQ(r.Area(), 6.0);
+  EXPECT_DOUBLE_EQ(r.Margin(), 5.0);
+  EXPECT_DOUBLE_EQ(r.Center().x, 1.0);
+  EXPECT_DOUBLE_EQ(r.Center().y, 1.5);
+}
+
+TEST(RectTest, ContainsPointOnBoundary) {
+  Rect r(0.0, 0.0, 1.0, 1.0);
+  EXPECT_TRUE(r.Contains(Point{0.0, 0.0}));
+  EXPECT_TRUE(r.Contains(Point{1.0, 1.0}));
+  EXPECT_TRUE(r.Contains(Point{0.0, 1.0}));
+  EXPECT_FALSE(r.Contains(Point{1.0000001, 0.5}));
+}
+
+TEST(RectTest, ContainsRect) {
+  Rect outer(0.0, 0.0, 1.0, 1.0);
+  EXPECT_TRUE(outer.Contains(Rect(0.2, 0.2, 0.8, 0.8)));
+  EXPECT_TRUE(outer.Contains(outer));
+  EXPECT_FALSE(outer.Contains(Rect(0.2, 0.2, 1.2, 0.8)));
+  EXPECT_FALSE(outer.Contains(Rect::Empty()));
+  EXPECT_FALSE(Rect::Empty().Contains(outer));
+}
+
+TEST(RectTest, Intersects) {
+  Rect a(0.0, 0.0, 1.0, 1.0);
+  EXPECT_TRUE(a.Intersects(Rect(0.5, 0.5, 2.0, 2.0)));
+  EXPECT_TRUE(a.Intersects(Rect(1.0, 1.0, 2.0, 2.0)));  // touch corners
+  EXPECT_FALSE(a.Intersects(Rect(1.1, 1.1, 2.0, 2.0)));
+  EXPECT_FALSE(a.Intersects(Rect::Empty()));
+}
+
+TEST(RectTest, UnionWith) {
+  Rect a(0.0, 0.0, 1.0, 1.0);
+  Rect b(2.0, -1.0, 3.0, 0.5);
+  Rect u = a.UnionWith(b);
+  EXPECT_EQ(u, Rect(0.0, -1.0, 3.0, 1.0));
+  EXPECT_EQ(a.UnionWith(Rect::Empty()), a);
+  EXPECT_EQ(Rect::Empty().UnionWith(a), a);
+}
+
+TEST(RectTest, IntersectionWith) {
+  Rect a(0.0, 0.0, 1.0, 1.0);
+  Rect b(0.5, 0.5, 2.0, 2.0);
+  EXPECT_EQ(a.IntersectionWith(b), Rect(0.5, 0.5, 1.0, 1.0));
+  EXPECT_TRUE(a.IntersectionWith(Rect(2.0, 2.0, 3.0, 3.0)).IsEmpty());
+}
+
+TEST(RectTest, Enlargement) {
+  Rect a(0.0, 0.0, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(a.Enlargement(Rect(0.2, 0.2, 0.4, 0.4)), 0.0);
+  EXPECT_DOUBLE_EQ(a.Enlargement(Rect(0.0, 0.0, 2.0, 1.0)), 1.0);
+}
+
+TEST(RectTest, ExpandToInclude) {
+  Rect r = Rect::Empty();
+  r.ExpandToInclude(Point{0.5, 0.5});
+  EXPECT_EQ(r, Rect(0.5, 0.5, 0.5, 0.5));
+  r.ExpandToInclude(Point{0.2, 0.9});
+  EXPECT_EQ(r, Rect(0.2, 0.5, 0.5, 0.9));
+}
+
+TEST(RectTest, MinDistanceTo) {
+  Rect r(0.0, 0.0, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(r.MinDistanceTo(Point{0.5, 0.5}), 0.0);
+  EXPECT_DOUBLE_EQ(r.MinDistanceTo(Point{2.0, 0.5}), 1.0);
+  EXPECT_DOUBLE_EQ(r.MinDistanceTo(Point{2.0, 2.0}), std::sqrt(2.0));
+}
+
+TEST(InflateRectTest, GrowsAllSides) {
+  Rect r(0.4, 0.4, 0.6, 0.6);
+  Rect i = InflateRect(r, 0.1);
+  EXPECT_DOUBLE_EQ(i.min_x, 0.3);
+  EXPECT_DOUBLE_EQ(i.min_y, 0.3);
+  EXPECT_DOUBLE_EQ(i.max_x, 0.7);
+  EXPECT_DOUBLE_EQ(i.max_y, 0.7);
+}
+
+// ---- iExtendMBR (Algorithm 4) ----
+
+TEST(ExtendMbrDirectionalTest, ExtendsOnlyTowardsMovement) {
+  Rect leaf(0.4, 0.4, 0.6, 0.6);
+  Rect parent(0.0, 0.0, 1.0, 1.0);
+  // Move northeast by a small amount within epsilon.
+  Rect e = ExtendMbrDirectional(leaf, Point{0.65, 0.63}, 0.1, parent);
+  EXPECT_DOUBLE_EQ(e.min_x, 0.4);  // west side untouched
+  EXPECT_DOUBLE_EQ(e.min_y, 0.4);  // south side untouched
+  EXPECT_DOUBLE_EQ(e.max_x, 0.65);
+  EXPECT_DOUBLE_EQ(e.max_y, 0.63);
+  EXPECT_TRUE(e.Contains(Point{0.65, 0.63}));
+}
+
+TEST(ExtendMbrDirectionalTest, CappedByEpsilon) {
+  Rect leaf(0.4, 0.4, 0.6, 0.6);
+  Rect parent(0.0, 0.0, 1.0, 1.0);
+  Rect e = ExtendMbrDirectional(leaf, Point{0.9, 0.5}, 0.05, parent);
+  EXPECT_DOUBLE_EQ(e.max_x, 0.65);  // 0.6 + epsilon
+  EXPECT_FALSE(e.Contains(Point{0.9, 0.5}));
+}
+
+TEST(ExtendMbrDirectionalTest, ClippedByParent) {
+  Rect leaf(0.4, 0.4, 0.6, 0.6);
+  Rect parent(0.0, 0.0, 0.62, 1.0);
+  Rect e = ExtendMbrDirectional(leaf, Point{0.8, 0.5}, 0.5, parent);
+  EXPECT_DOUBLE_EQ(e.max_x, 0.62);  // parent boundary wins
+}
+
+TEST(ExtendMbrDirectionalTest, WestSouthMovement) {
+  Rect leaf(0.4, 0.4, 0.6, 0.6);
+  Rect parent(0.0, 0.0, 1.0, 1.0);
+  Rect e = ExtendMbrDirectional(leaf, Point{0.35, 0.33}, 0.1, parent);
+  EXPECT_DOUBLE_EQ(e.min_x, 0.35);
+  EXPECT_DOUBLE_EQ(e.min_y, 0.33);
+  EXPECT_DOUBLE_EQ(e.max_x, 0.6);
+  EXPECT_DOUBLE_EQ(e.max_y, 0.6);
+}
+
+TEST(ExtendMbrDirectionalTest, NoMovementNeededIsIdentity) {
+  Rect leaf(0.4, 0.4, 0.6, 0.6);
+  Rect parent(0.0, 0.0, 1.0, 1.0);
+  Rect e = ExtendMbrDirectional(leaf, Point{0.5, 0.5}, 0.1, parent);
+  EXPECT_EQ(e, leaf);
+}
+
+// Property sweep: the extended rect always stays inside the parent and
+// never shrinks, for random configurations.
+class ExtendMbrPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExtendMbrPropertyTest, InvariantsHold) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    const double lx = rng.NextDouble(0.1, 0.7);
+    const double ly = rng.NextDouble(0.1, 0.7);
+    Rect leaf(lx, ly, lx + rng.NextDouble(0.0, 0.2),
+              ly + rng.NextDouble(0.0, 0.2));
+    Rect parent(leaf.min_x - rng.NextDouble(0.0, 0.1),
+                leaf.min_y - rng.NextDouble(0.0, 0.1),
+                leaf.max_x + rng.NextDouble(0.0, 0.1),
+                leaf.max_y + rng.NextDouble(0.0, 0.1));
+    Point target{rng.NextDouble(), rng.NextDouble()};
+    const double eps = rng.NextDouble(0.0, 0.05);
+    Rect e = ExtendMbrDirectional(leaf, target, eps, parent);
+    EXPECT_TRUE(parent.Contains(e))
+        << "parent=" << parent.ToString() << " e=" << e.ToString();
+    EXPECT_TRUE(e.Contains(leaf))
+        << "leaf=" << leaf.ToString() << " e=" << e.ToString();
+    // Growth per side never exceeds epsilon (unless reaching the target
+    // exactly, which is below epsilon by construction of the min()).
+    EXPECT_LE(leaf.min_x - e.min_x, eps + 1e-12);
+    EXPECT_LE(e.max_x - leaf.max_x, eps + 1e-12);
+    EXPECT_LE(leaf.min_y - e.min_y, eps + 1e-12);
+    EXPECT_LE(e.max_y - leaf.max_y, eps + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtendMbrPropertyTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace burtree

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/cli.h"
+#include "harness/table_printer.h"
+
+namespace burtree {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "23456"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("23456"), std::string::npos);
+  // Header separator line exists.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"1", "2"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinterTest, Format) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fmt(2.0, 0), "2");
+  EXPECT_EQ(TablePrinter::FmtInt(12345), "12345");
+}
+
+TEST(CliArgsTest, ParsesEqualsForm) {
+  const char* argv[] = {"prog", "--objects=5000", "--epsilon=0.01",
+                        "--dist=gaussian", "--bulk"};
+  CliArgs args(5, const_cast<char**>(argv));
+  EXPECT_EQ(args.GetInt("objects", 0), 5000);
+  EXPECT_DOUBLE_EQ(args.GetDouble("epsilon", 0.0), 0.01);
+  EXPECT_EQ(args.GetString("dist", ""), "gaussian");
+  EXPECT_TRUE(args.GetBool("bulk", false));
+  EXPECT_FALSE(args.GetBool("missing", false));
+}
+
+TEST(CliArgsTest, ParsesSpaceForm) {
+  const char* argv[] = {"prog", "--objects", "700", "--name", "x"};
+  CliArgs args(5, const_cast<char**>(argv));
+  EXPECT_EQ(args.GetInt("objects", 0), 700);
+  EXPECT_EQ(args.GetString("name", ""), "x");
+}
+
+TEST(CliArgsTest, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  CliArgs args(1, const_cast<char**>(argv));
+  EXPECT_EQ(args.GetInt("objects", 42), 42);
+  EXPECT_DOUBLE_EQ(args.GetDouble("eps", 1.5), 1.5);
+  EXPECT_FALSE(args.Has("objects"));
+}
+
+TEST(CliArgsTest, ScaleFactorDefaultsToOne) {
+  // (BURTREE_SCALE is not set in the test environment.)
+  if (getenv("BURTREE_SCALE") == nullptr) {
+    EXPECT_DOUBLE_EQ(CliArgs::ScaleFactor(), 1.0);
+    EXPECT_EQ(CliArgs::Scaled(100), 100u);
+  }
+}
+
+}  // namespace
+}  // namespace burtree

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "rtree/rtree.h"
+
+namespace burtree {
+namespace {
+
+struct Fixture {
+  Fixture() : file(1024), pool(&file, 4096), tree(&pool, TreeOptions{}) {}
+  PageFile file;
+  BufferPool pool;
+  RTree tree;
+};
+
+std::vector<std::pair<double, ObjectId>> BruteForceKnn(
+    const std::vector<Point>& pts, const Point& q, size_t k) {
+  std::vector<std::pair<double, ObjectId>> all;
+  for (ObjectId i = 0; i < pts.size(); ++i) {
+    all.emplace_back(q.DistanceTo(pts[i]), i);
+  }
+  std::sort(all.begin(), all.end());
+  all.resize(std::min(k, all.size()));
+  return all;
+}
+
+TEST(KnnTest, EmptyTreeReturnsNothing) {
+  Fixture fx;
+  auto res = fx.tree.NearestNeighbors(Point{0.5, 0.5}, 5);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res.value().empty());
+}
+
+TEST(KnnTest, KZeroReturnsNothing) {
+  Fixture fx;
+  ASSERT_TRUE(fx.tree.Insert(1, Rect::FromPoint(Point{0.5, 0.5})).ok());
+  auto res = fx.tree.NearestNeighbors(Point{0.5, 0.5}, 0);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res.value().empty());
+}
+
+TEST(KnnTest, SingleObject) {
+  Fixture fx;
+  ASSERT_TRUE(fx.tree.Insert(42, Rect::FromPoint(Point{0.3, 0.4})).ok());
+  auto res = fx.tree.NearestNeighbors(Point{0.0, 0.0}, 3);
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res.value().size(), 1u);
+  EXPECT_EQ(res.value()[0].oid, 42u);
+  EXPECT_DOUBLE_EQ(res.value()[0].distance, 0.5);
+}
+
+TEST(KnnTest, ResultsOrderedByDistance) {
+  Fixture fx;
+  Rng rng(1);
+  for (ObjectId i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(fx.tree
+                    .Insert(i, Rect::FromPoint(
+                                   Point{rng.NextDouble(), rng.NextDouble()}))
+                    .ok());
+  }
+  auto res = fx.tree.NearestNeighbors(Point{0.5, 0.5}, 20);
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res.value().size(), 20u);
+  for (size_t i = 1; i < res.value().size(); ++i) {
+    EXPECT_LE(res.value()[i - 1].distance, res.value()[i].distance);
+  }
+}
+
+class KnnOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KnnOracleTest, MatchesBruteForce) {
+  Fixture fx;
+  Rng rng(GetParam());
+  std::vector<Point> pts;
+  for (ObjectId i = 0; i < 3000; ++i) {
+    const Point p{rng.NextDouble(), rng.NextDouble()};
+    pts.push_back(p);
+    ASSERT_TRUE(fx.tree.Insert(i, Rect::FromPoint(p)).ok());
+  }
+  for (int q = 0; q < 25; ++q) {
+    const Point query{rng.NextDouble(-0.2, 1.2), rng.NextDouble(-0.2, 1.2)};
+    const size_t k = 1 + rng.NextBelow(30);
+    auto res = fx.tree.NearestNeighbors(query, k);
+    ASSERT_TRUE(res.ok());
+    const auto expect = BruteForceKnn(pts, query, k);
+    ASSERT_EQ(res.value().size(), expect.size());
+    for (size_t i = 0; i < expect.size(); ++i) {
+      // Distances must match exactly; ids may differ under ties.
+      EXPECT_DOUBLE_EQ(res.value()[i].distance, expect[i].first)
+          << "query " << q << " rank " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KnnOracleTest, ::testing::Values(11, 12, 13));
+
+TEST(KnnTest, KLargerThanDataset) {
+  Fixture fx;
+  for (ObjectId i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        fx.tree.Insert(i, Rect::FromPoint(Point{0.1 * i, 0.5})).ok());
+  }
+  auto res = fx.tree.NearestNeighbors(Point{0.0, 0.5}, 50);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().size(), 10u);
+}
+
+TEST(KnnTest, PrunesNodeReads) {
+  Fixture fx;
+  Rng rng(2);
+  for (ObjectId i = 0; i < 20000; ++i) {
+    ASSERT_TRUE(fx.tree
+                    .Insert(i, Rect::FromPoint(
+                                   Point{rng.NextDouble(), rng.NextDouble()}))
+                    .ok());
+  }
+  fx.pool.Resize(0);  // count raw reads
+  const auto before = IoSnapshot::Take(fx.file.io_stats());
+  auto res = fx.tree.NearestNeighbors(Point{0.5, 0.5}, 5);
+  ASSERT_TRUE(res.ok());
+  const auto after = IoSnapshot::Take(fx.file.io_stats());
+  const uint64_t reads = (after - before).reads;
+  // Best-first search must touch a tiny fraction of the ~1300 nodes.
+  EXPECT_LT(reads, 60u);
+  EXPECT_GE(reads, fx.tree.height());
+}
+
+TEST(KnnTest, WorksAfterUpdates) {
+  Fixture fx;
+  Rng rng(3);
+  std::vector<Point> pts;
+  for (ObjectId i = 0; i < 1000; ++i) {
+    const Point p{rng.NextDouble(), rng.NextDouble()};
+    pts.push_back(p);
+    ASSERT_TRUE(fx.tree.Insert(i, Rect::FromPoint(p)).ok());
+  }
+  for (ObjectId i = 0; i < 1000; i += 3) {
+    const Point p{rng.NextDouble(), rng.NextDouble()};
+    ASSERT_TRUE(fx.tree.Delete(i, Rect::FromPoint(pts[i])).ok());
+    ASSERT_TRUE(fx.tree.Insert(i, Rect::FromPoint(p)).ok());
+    pts[i] = p;
+  }
+  const Point q{0.25, 0.75};
+  auto res = fx.tree.NearestNeighbors(q, 10);
+  ASSERT_TRUE(res.ok());
+  const auto expect = BruteForceKnn(pts, q, 10);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(res.value()[i].distance, expect[i].first);
+  }
+}
+
+}  // namespace
+}  // namespace burtree

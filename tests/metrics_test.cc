@@ -1,0 +1,67 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace burtree {
+namespace {
+
+TEST(IoStatsTest, CountsReadsAndWrites) {
+  IoStats s;
+  s.RecordRead();
+  s.RecordRead();
+  s.RecordWrite();
+  s.RecordBufferHit();
+  EXPECT_EQ(s.reads(), 2u);
+  EXPECT_EQ(s.writes(), 1u);
+  EXPECT_EQ(s.buffer_hits(), 1u);
+  EXPECT_EQ(s.total_io(), 3u);
+}
+
+TEST(IoStatsTest, Reset) {
+  IoStats s;
+  s.RecordRead();
+  s.Reset();
+  EXPECT_EQ(s.total_io(), 0u);
+  EXPECT_EQ(s.buffer_hits(), 0u);
+}
+
+TEST(IoStatsTest, ThreadSafeCounting) {
+  IoStats s;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&s]() {
+      for (int i = 0; i < 10000; ++i) s.RecordRead();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(s.reads(), 80000u);
+}
+
+TEST(IoSnapshotTest, DifferenceSemantics) {
+  IoStats s;
+  s.RecordRead();
+  auto a = IoSnapshot::Take(s);
+  s.RecordRead();
+  s.RecordWrite();
+  auto b = IoSnapshot::Take(s);
+  auto d = b - a;
+  EXPECT_EQ(d.reads, 1u);
+  EXPECT_EQ(d.writes, 1u);
+  EXPECT_EQ(d.total_io(), 2u);
+}
+
+TEST(StopwatchTest, MeasuresElapsed) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const double t = sw.ElapsedSeconds();
+  EXPECT_GE(t, 0.005);
+  EXPECT_LT(t, 5.0);
+  sw.Restart();
+  EXPECT_LT(sw.ElapsedSeconds(), 0.5);
+}
+
+}  // namespace
+}  // namespace burtree

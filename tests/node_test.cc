@@ -1,0 +1,164 @@
+#include "rtree/node.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace burtree {
+namespace {
+
+constexpr size_t kPageSize = 1024;
+
+class NodeViewTest : public ::testing::TestWithParam<bool> {
+ protected:
+  NodeViewTest() : buf_(kPageSize, 0) {}
+  bool parent_pointers() const { return GetParam(); }
+  NodeView MakeView() {
+    return NodeView(buf_.data(), kPageSize, parent_pointers());
+  }
+  std::vector<uint8_t> buf_;
+};
+
+TEST_P(NodeViewTest, FormatInitializesHeader) {
+  NodeView v = MakeView();
+  v.Format(0);
+  EXPECT_TRUE(v.is_leaf());
+  EXPECT_EQ(v.count(), 0u);
+  EXPECT_TRUE(v.mbr().IsEmpty());
+  if (parent_pointers()) {
+    EXPECT_EQ(v.parent(), kInvalidPageId);
+  }
+}
+
+TEST_P(NodeViewTest, LevelAndParentRoundTrip) {
+  NodeView v = MakeView();
+  v.Format(3);
+  EXPECT_EQ(v.level(), 3u);
+  EXPECT_FALSE(v.is_leaf());
+  if (parent_pointers()) {
+    v.set_parent(77);
+    EXPECT_EQ(v.parent(), 77u);
+  }
+}
+
+TEST_P(NodeViewTest, CapacityMatchesLayoutMath) {
+  NodeView v = MakeView();
+  v.Format(0);
+  const size_t hdr = 40 + (parent_pointers() ? 4 : 0);
+  EXPECT_EQ(v.capacity(), (kPageSize - hdr) / 40);
+  v.Format(1);
+  EXPECT_EQ(v.capacity(), (kPageSize - hdr) / 36);
+  EXPECT_EQ(NodeView::CapacityFor(kPageSize, parent_pointers(), true),
+            (kPageSize - hdr) / 40);
+}
+
+TEST_P(NodeViewTest, PaperScaleFanout) {
+  // With the paper's 1024-byte pages the tree must stay in the height
+  // regime of §5 (1M objects -> 5 levels needs fanout in the 20s).
+  const uint32_t leaf = NodeView::CapacityFor(1024, parent_pointers(), true);
+  const uint32_t internal =
+      NodeView::CapacityFor(1024, parent_pointers(), false);
+  EXPECT_GE(leaf, 20u);
+  EXPECT_LE(leaf, 30u);
+  EXPECT_GE(internal, 20u);
+  EXPECT_LE(internal, 30u);
+}
+
+TEST_P(NodeViewTest, LeafEntryRoundTrip) {
+  NodeView v = MakeView();
+  v.Format(0);
+  const LeafEntry e{Rect(0.1, 0.2, 0.3, 0.4), 12345u};
+  v.AppendLeafEntry(e);
+  EXPECT_EQ(v.count(), 1u);
+  const LeafEntry got = v.leaf_entry(0);
+  EXPECT_EQ(got.rect, e.rect);
+  EXPECT_EQ(got.oid, e.oid);
+}
+
+TEST_P(NodeViewTest, InternalEntryRoundTrip) {
+  NodeView v = MakeView();
+  v.Format(2);
+  const InternalEntry e{Rect(0.5, 0.5, 0.9, 0.9), 4242u};
+  v.AppendInternalEntry(e);
+  const InternalEntry got = v.internal_entry(0);
+  EXPECT_EQ(got.rect, e.rect);
+  EXPECT_EQ(got.child, e.child);
+}
+
+TEST_P(NodeViewTest, FillToCapacity) {
+  NodeView v = MakeView();
+  v.Format(0);
+  for (uint32_t i = 0; i < v.capacity(); ++i) {
+    v.AppendLeafEntry(LeafEntry{Rect(0, 0, 0.01 * i, 0.01 * i), i});
+  }
+  EXPECT_TRUE(v.full());
+  for (uint32_t i = 0; i < v.capacity(); ++i) {
+    EXPECT_EQ(v.leaf_entry(i).oid, i);
+  }
+}
+
+TEST_P(NodeViewTest, RemoveEntrySwapsLast) {
+  NodeView v = MakeView();
+  v.Format(0);
+  for (uint32_t i = 0; i < 5; ++i) {
+    v.AppendLeafEntry(LeafEntry{Rect::FromPoint(Point{0.1 * i, 0.1}), i});
+  }
+  v.RemoveEntry(1);
+  EXPECT_EQ(v.count(), 4u);
+  EXPECT_EQ(v.leaf_entry(1).oid, 4u);  // last swapped into slot 1
+  // Remove the (new) last.
+  v.RemoveEntry(3);
+  EXPECT_EQ(v.count(), 3u);
+  EXPECT_EQ(v.FindOidSlot(3), -1);
+}
+
+TEST_P(NodeViewTest, FindSlots) {
+  NodeView v = MakeView();
+  v.Format(0);
+  v.AppendLeafEntry(LeafEntry{Rect::FromPoint(Point{0.1, 0.1}), 100});
+  v.AppendLeafEntry(LeafEntry{Rect::FromPoint(Point{0.2, 0.2}), 200});
+  EXPECT_EQ(v.FindOidSlot(200), 1);
+  EXPECT_EQ(v.FindOidSlot(300), -1);
+
+  std::vector<uint8_t> buf2(kPageSize, 0);
+  NodeView iv(buf2.data(), kPageSize, parent_pointers());
+  iv.Format(1);
+  iv.AppendInternalEntry(InternalEntry{Rect(0, 0, 1, 1), 7});
+  iv.AppendInternalEntry(InternalEntry{Rect(0, 0, 1, 1), 9});
+  EXPECT_EQ(iv.FindChildSlot(9), 1);
+  EXPECT_EQ(iv.FindChildSlot(8), -1);
+}
+
+TEST_P(NodeViewTest, ComputeMbrIsUnionOfEntries) {
+  NodeView v = MakeView();
+  v.Format(0);
+  EXPECT_TRUE(v.ComputeMbr().IsEmpty());
+  v.AppendLeafEntry(LeafEntry{Rect(0.1, 0.1, 0.2, 0.2), 1});
+  v.AppendLeafEntry(LeafEntry{Rect(0.5, 0.0, 0.6, 0.9), 2});
+  EXPECT_EQ(v.ComputeMbr(), Rect(0.1, 0.0, 0.6, 0.9));
+}
+
+TEST_P(NodeViewTest, EntryRectMutation) {
+  NodeView v = MakeView();
+  v.Format(0);
+  v.AppendLeafEntry(LeafEntry{Rect::FromPoint(Point{0.1, 0.1}), 5});
+  v.set_entry_rect(0, Rect::FromPoint(Point{0.9, 0.9}));
+  EXPECT_EQ(v.leaf_entry(0).rect, Rect::FromPoint(Point{0.9, 0.9}));
+  EXPECT_EQ(v.leaf_entry(0).oid, 5u);  // payload untouched
+}
+
+TEST_P(NodeViewTest, MbrHeaderIndependentOfEntries) {
+  NodeView v = MakeView();
+  v.Format(0);
+  v.AppendLeafEntry(LeafEntry{Rect(0.4, 0.4, 0.5, 0.5), 1});
+  // Covering rect may be deliberately looser than the entry union.
+  v.set_mbr(Rect(0.3, 0.3, 0.7, 0.7));
+  EXPECT_EQ(v.mbr(), Rect(0.3, 0.3, 0.7, 0.7));
+  EXPECT_EQ(v.ComputeMbr(), Rect(0.4, 0.4, 0.5, 0.5));
+}
+
+INSTANTIATE_TEST_SUITE_P(ParentPtr, NodeViewTest,
+                         ::testing::Values(false, true));
+
+}  // namespace
+}  // namespace burtree

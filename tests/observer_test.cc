@@ -1,0 +1,166 @@
+// TreeObserver bus: composite fan-out and structure replay.
+#include "rtree/observer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "oid_index/memory_index.h"
+#include "rtree/rtree.h"
+#include "summary/summary.h"
+
+namespace burtree {
+namespace {
+
+class CountingObserver : public TreeObserver {
+ public:
+  int added = 0, removed = 0, created = 0, freed = 0, mbr = 0, linked = 0,
+      unlinked = 0, occupancy = 0, root_changed = 0;
+  void OnLeafEntryAdded(ObjectId, PageId) override { ++added; }
+  void OnLeafEntryRemoved(ObjectId, PageId) override { ++removed; }
+  void OnNodeCreated(PageId, Level) override { ++created; }
+  void OnNodeFreed(PageId, Level) override { ++freed; }
+  void OnNodeMbrChanged(PageId, Level, const Rect&) override { ++mbr; }
+  void OnChildLinked(PageId, PageId) override { ++linked; }
+  void OnChildUnlinked(PageId, PageId) override { ++unlinked; }
+  void OnLeafOccupancyChanged(PageId, uint32_t, uint32_t) override {
+    ++occupancy;
+  }
+  void OnRootChanged(PageId, Level) override { ++root_changed; }
+};
+
+TEST(CompositeObserverTest, FansOutToAllChildren) {
+  CountingObserver a, b;
+  CompositeObserver composite;
+  composite.Add(&a);
+  composite.Add(&b);
+  composite.OnLeafEntryAdded(1, 2);
+  composite.OnLeafEntryRemoved(1, 2);
+  composite.OnNodeCreated(3, 1);
+  composite.OnNodeFreed(3, 1);
+  composite.OnNodeMbrChanged(3, 1, Rect(0, 0, 1, 1));
+  composite.OnChildLinked(3, 4);
+  composite.OnChildUnlinked(3, 4);
+  composite.OnLeafOccupancyChanged(4, 5, 10);
+  composite.OnRootChanged(3, 1);
+  for (CountingObserver* o : {&a, &b}) {
+    EXPECT_EQ(o->added, 1);
+    EXPECT_EQ(o->removed, 1);
+    EXPECT_EQ(o->created, 1);
+    EXPECT_EQ(o->freed, 1);
+    EXPECT_EQ(o->mbr, 1);
+    EXPECT_EQ(o->linked, 1);
+    EXPECT_EQ(o->unlinked, 1);
+    EXPECT_EQ(o->occupancy, 1);
+    EXPECT_EQ(o->root_changed, 1);
+  }
+}
+
+TEST(ObserverTest, InsertEmitsBalancedEvents) {
+  TreeOptions opts;
+  PageFile file(opts.page_size);
+  BufferPool pool(&file, 1024);
+  RTree tree(&pool, opts);
+  CountingObserver counter;
+  tree.set_observer(&counter);
+  Rng rng(1);
+  for (ObjectId i = 0; i < 3000; ++i) {
+    ASSERT_TRUE(tree.Insert(i, Rect::FromPoint(
+                                   Point{rng.NextDouble(), rng.NextDouble()}))
+                    .ok());
+  }
+  // Every live object was Added at least once; Added - Removed must equal
+  // the live count (splits re-home entries with balanced pairs).
+  EXPECT_EQ(counter.added - counter.removed, 3000);
+  // Node lifetime balance: created - freed = live node count.
+  EXPECT_EQ(static_cast<uint64_t>(counter.created - counter.freed) + 1,
+            tree.CountNodes());  // +1: the constructor's root predates us
+}
+
+TEST(ObserverTest, DeleteEmitsBalancedEvents) {
+  TreeOptions opts;
+  PageFile file(opts.page_size);
+  BufferPool pool(&file, 1024);
+  RTree tree(&pool, opts);
+  Rng rng(2);
+  std::vector<Point> pts;
+  for (ObjectId i = 0; i < 1500; ++i) {
+    const Point p{rng.NextDouble(), rng.NextDouble()};
+    pts.push_back(p);
+    ASSERT_TRUE(tree.Insert(i, Rect::FromPoint(p)).ok());
+  }
+  CountingObserver counter;
+  tree.set_observer(&counter);
+  for (ObjectId i = 0; i < 1500; i += 2) {
+    ASSERT_TRUE(tree.Delete(i, Rect::FromPoint(pts[i])).ok());
+  }
+  EXPECT_EQ(counter.removed - counter.added, 750);
+}
+
+TEST(ObserverTest, ReplayReproducesDerivedState) {
+  // Build a tree with live observers, then replay the finished structure
+  // into fresh ones: both sets must agree exactly.
+  TreeOptions opts;
+  PageFile file(opts.page_size);
+  BufferPool pool(&file, 1024);
+  RTree tree(&pool, opts);
+
+  MemoryOidIndex live_index;
+  SummaryStructure live_summary;
+  CompositeObserver composite;
+  composite.Add(&live_index);
+  composite.Add(&live_summary);
+  tree.set_observer(&composite);
+  tree.ReplayStructureTo(&composite);
+
+  Rng rng(3);
+  std::vector<Point> pts;
+  for (ObjectId i = 0; i < 4000; ++i) {
+    const Point p{rng.NextDouble(), rng.NextDouble()};
+    pts.push_back(p);
+    ASSERT_TRUE(tree.Insert(i, Rect::FromPoint(p)).ok());
+  }
+  for (ObjectId i = 0; i < 4000; i += 3) {
+    ASSERT_TRUE(tree.Delete(i, Rect::FromPoint(pts[i])).ok());
+  }
+
+  MemoryOidIndex replayed_index;
+  SummaryStructure replayed_summary;
+  CompositeObserver replay;
+  replay.Add(&replayed_index);
+  replay.Add(&replayed_summary);
+  tree.ReplayStructureTo(&replay);
+
+  EXPECT_EQ(replayed_index.size(), live_index.size());
+  for (ObjectId i = 0; i < 4000; ++i) {
+    const auto a = live_index.Lookup(i);
+    const auto b = replayed_index.Lookup(i);
+    ASSERT_EQ(a.ok(), b.ok()) << "oid " << i;
+    if (a.ok()) {
+      EXPECT_EQ(a.value(), b.value());
+    }
+  }
+  EXPECT_EQ(replayed_summary.root(), live_summary.root());
+  EXPECT_EQ(replayed_summary.root_level(), live_summary.root_level());
+  EXPECT_EQ(replayed_summary.root_mbr(), live_summary.root_mbr());
+  EXPECT_EQ(replayed_summary.internal_node_count(),
+            live_summary.internal_node_count());
+  EXPECT_EQ(replayed_summary.leaf_count(), live_summary.leaf_count());
+  EXPECT_TRUE(replayed_summary.SelfCheck());
+}
+
+TEST(ObserverTest, NullObserverResetsToNoop) {
+  TreeOptions opts;
+  PageFile file(opts.page_size);
+  BufferPool pool(&file, 64);
+  RTree tree(&pool, opts);
+  CountingObserver counter;
+  tree.set_observer(&counter);
+  ASSERT_TRUE(tree.Insert(1, Rect::FromPoint(Point{0.5, 0.5})).ok());
+  EXPECT_EQ(counter.added, 1);
+  tree.set_observer(nullptr);  // must not crash subsequent operations
+  ASSERT_TRUE(tree.Insert(2, Rect::FromPoint(Point{0.6, 0.6})).ok());
+  EXPECT_EQ(counter.added, 1);
+}
+
+}  // namespace
+}  // namespace burtree

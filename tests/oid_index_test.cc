@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "common/random.h"
+#include "oid_index/hash_index.h"
+#include "oid_index/memory_index.h"
+#include "rtree/rtree.h"
+
+namespace burtree {
+namespace {
+
+// ---- MemoryOidIndex ----
+
+TEST(MemoryOidIndexTest, BasicMapping) {
+  MemoryOidIndex idx;
+  idx.OnLeafEntryAdded(1, 100);
+  idx.OnLeafEntryAdded(2, 200);
+  EXPECT_EQ(idx.Lookup(1).value(), 100u);
+  EXPECT_EQ(idx.Lookup(2).value(), 200u);
+  EXPECT_FALSE(idx.Lookup(3).ok());
+  EXPECT_EQ(idx.size(), 2u);
+}
+
+TEST(MemoryOidIndexTest, RemoveIsLeafGuarded) {
+  MemoryOidIndex idx;
+  idx.OnLeafEntryAdded(1, 100);
+  idx.OnLeafEntryRemoved(1, 999);  // wrong leaf: mapping survives
+  EXPECT_EQ(idx.Lookup(1).value(), 100u);
+  idx.OnLeafEntryRemoved(1, 100);
+  EXPECT_FALSE(idx.Lookup(1).ok());
+}
+
+TEST(MemoryOidIndexTest, SplitEventOrderIsSafe) {
+  MemoryOidIndex idx;
+  idx.OnLeafEntryAdded(1, 100);
+  // Split rewiring can emit Add(new) before Remove(old) or vice versa.
+  idx.OnLeafEntryRemoved(1, 100);
+  idx.OnLeafEntryAdded(1, 101);
+  EXPECT_EQ(idx.Lookup(1).value(), 101u);
+  idx.OnLeafEntryAdded(1, 102);
+  idx.OnLeafEntryRemoved(1, 101);  // stale removal after re-add
+  EXPECT_EQ(idx.Lookup(1).value(), 102u);
+}
+
+// ---- HashIndex (paged linear hashing) ----
+
+TEST(HashIndexTest, InsertLookupRemove) {
+  HashIndex idx;
+  idx.OnLeafEntryAdded(42, 7);
+  EXPECT_EQ(idx.Lookup(42).value(), 7u);
+  idx.OnLeafEntryAdded(42, 9);  // upsert
+  EXPECT_EQ(idx.Lookup(42).value(), 9u);
+  EXPECT_EQ(idx.size(), 1u);
+  idx.OnLeafEntryRemoved(42, 9);
+  EXPECT_FALSE(idx.Lookup(42).ok());
+  EXPECT_EQ(idx.size(), 0u);
+}
+
+TEST(HashIndexTest, LookupChargesIo) {
+  HashIndex idx;  // pass-through buffer by default
+  idx.OnLeafEntryAdded(1, 10);
+  const uint64_t reads = idx.io_stats().reads();
+  EXPECT_EQ(idx.Lookup(1).value(), 10u);
+  EXPECT_GE(idx.io_stats().reads(), reads + 1);  // the "1 I/O" term
+}
+
+TEST(HashIndexTest, GrowsThroughSplits) {
+  HashIndexOptions opts;
+  opts.initial_buckets = 4;
+  HashIndex idx(opts);
+  const uint32_t before = idx.bucket_count();
+  for (ObjectId i = 0; i < 20000; ++i) {
+    idx.OnLeafEntryAdded(i, static_cast<PageId>(i % 997));
+  }
+  EXPECT_GT(idx.bucket_count(), before);
+  EXPECT_EQ(idx.size(), 20000u);
+  // Every mapping must survive all the bucket splits.
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const ObjectId oid = rng.NextBelow(20000);
+    ASSERT_TRUE(idx.Lookup(oid).ok());
+    EXPECT_EQ(idx.Lookup(oid).value(), static_cast<PageId>(oid % 997));
+  }
+}
+
+TEST(HashIndexTest, RandomizedAgainstStdMap) {
+  HashIndexOptions opts;
+  opts.initial_buckets = 2;
+  HashIndex idx(opts);
+  std::unordered_map<ObjectId, PageId> oracle;
+  Rng rng(77);
+  for (int step = 0; step < 30000; ++step) {
+    const ObjectId oid = rng.NextBelow(3000);
+    const double dice = rng.NextDouble();
+    if (dice < 0.6) {
+      const PageId leaf = static_cast<PageId>(rng.NextBelow(100000));
+      idx.OnLeafEntryAdded(oid, leaf);
+      oracle[oid] = leaf;
+    } else if (dice < 0.85) {
+      auto it = oracle.find(oid);
+      if (it != oracle.end()) {
+        idx.OnLeafEntryRemoved(oid, it->second);
+        oracle.erase(it);
+      } else {
+        idx.OnLeafEntryRemoved(oid, 1);  // no-op removal
+      }
+    } else {
+      auto it = oracle.find(oid);
+      auto got = idx.Lookup(oid);
+      if (it == oracle.end()) {
+        EXPECT_FALSE(got.ok());
+      } else {
+        ASSERT_TRUE(got.ok());
+        EXPECT_EQ(got.value(), it->second);
+      }
+    }
+  }
+  EXPECT_EQ(idx.size(), oracle.size());
+}
+
+TEST(HashIndexTest, RemoveGuardedByLeaf) {
+  HashIndex idx;
+  idx.OnLeafEntryAdded(5, 50);
+  idx.OnLeafEntryRemoved(5, 51);  // different leaf: keep
+  EXPECT_EQ(idx.Lookup(5).value(), 50u);
+}
+
+TEST(HashIndexTest, OverflowChains) {
+  // Tiny pages force overflow pages quickly.
+  HashIndexOptions opts;
+  opts.page_size = 64;  // capacity (64-8)/12 = 4 entries per bucket page
+  opts.initial_buckets = 2;
+  opts.max_load_factor = 100.0;  // never split: stress the chains
+  HashIndex idx(opts);
+  for (ObjectId i = 0; i < 300; ++i) {
+    idx.OnLeafEntryAdded(i, static_cast<PageId>(i * 3));
+  }
+  EXPECT_EQ(idx.bucket_count(), 2u);
+  EXPECT_GT(idx.page_count(), 2u);  // overflow pages exist
+  for (ObjectId i = 0; i < 300; ++i) {
+    ASSERT_TRUE(idx.Lookup(i).ok());
+    EXPECT_EQ(idx.Lookup(i).value(), static_cast<PageId>(i * 3));
+  }
+  for (ObjectId i = 0; i < 300; i += 2) {
+    idx.OnLeafEntryRemoved(i, static_cast<PageId>(i * 3));
+  }
+  for (ObjectId i = 0; i < 300; ++i) {
+    EXPECT_EQ(idx.Lookup(i).ok(), i % 2 == 1);
+  }
+}
+
+// ---- Integration: HashIndex wired to a live tree via the observer ----
+
+class OidIndexTreeIntegrationTest
+    : public ::testing::TestWithParam<bool /* use hash index */> {};
+
+TEST_P(OidIndexTreeIntegrationTest, TracksEntriesThroughSplits) {
+  TreeOptions opts;
+  PageFile file(opts.page_size);
+  BufferPool pool(&file, 1024);
+  RTree tree(&pool, opts);
+
+  std::unique_ptr<OidIndex> idx;
+  if (GetParam()) {
+    idx = std::make_unique<HashIndex>();
+  } else {
+    idx = std::make_unique<MemoryOidIndex>();
+  }
+  tree.set_observer(idx.get());
+
+  Rng rng(5);
+  std::vector<Point> pts;
+  for (ObjectId i = 0; i < 3000; ++i) {
+    const Point p{rng.NextDouble(), rng.NextDouble()};
+    pts.push_back(p);
+    ASSERT_TRUE(tree.Insert(i, Rect::FromPoint(p)).ok());
+  }
+  EXPECT_EQ(idx->size(), 3000u);
+
+  // Every mapped leaf must actually contain the oid.
+  for (ObjectId i = 0; i < 3000; i += 37) {
+    auto leaf = idx->Lookup(i);
+    ASSERT_TRUE(leaf.ok());
+    PageGuard g = PageGuard::Fetch(&pool, leaf.value());
+    NodeView v(g.data(), opts.page_size, opts.parent_pointers);
+    EXPECT_GE(v.FindOidSlot(i), 0) << "oid " << i;
+  }
+
+  // Deletions (with condense + reinsertion) keep the mapping exact.
+  for (ObjectId i = 0; i < 3000; i += 2) {
+    ASSERT_TRUE(tree.Delete(i, Rect::FromPoint(pts[i])).ok());
+  }
+  EXPECT_EQ(idx->size(), 1500u);
+  for (ObjectId i = 1; i < 3000; i += 152) {  // odd oids survived
+    auto leaf = idx->Lookup(i);
+    ASSERT_TRUE(leaf.ok()) << "oid " << i;
+    PageGuard g = PageGuard::Fetch(&pool, leaf.value());
+    NodeView v(g.data(), opts.page_size, opts.parent_pointers);
+    EXPECT_GE(v.FindOidSlot(i), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Impl, OidIndexTreeIntegrationTest,
+                         ::testing::Values(false, true),
+                         [](const auto& info) {
+                           return info.param ? "HashIndex" : "MemoryIndex";
+                         });
+
+}  // namespace
+}  // namespace burtree

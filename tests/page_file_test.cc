@@ -1,0 +1,149 @@
+#include "storage/page_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+namespace burtree {
+namespace {
+
+constexpr size_t kPageSize = 256;
+
+TEST(PageFileTest, AllocateGrowsFile) {
+  PageFile f(kPageSize);
+  EXPECT_EQ(f.live_pages(), 0u);
+  const PageId a = f.Allocate();
+  const PageId b = f.Allocate();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(f.live_pages(), 2u);
+}
+
+TEST(PageFileTest, WriteThenReadRoundTrips) {
+  PageFile f(kPageSize);
+  const PageId id = f.Allocate();
+  uint8_t in[kPageSize], out[kPageSize];
+  for (size_t i = 0; i < kPageSize; ++i) in[i] = static_cast<uint8_t>(i);
+  ASSERT_TRUE(f.Write(id, in).ok());
+  ASSERT_TRUE(f.Read(id, out).ok());
+  EXPECT_EQ(std::memcmp(in, out, kPageSize), 0);
+}
+
+TEST(PageFileTest, FreshPageIsZeroed) {
+  PageFile f(kPageSize);
+  const PageId id = f.Allocate();
+  uint8_t out[kPageSize];
+  ASSERT_TRUE(f.Read(id, out).ok());
+  for (size_t i = 0; i < kPageSize; ++i) EXPECT_EQ(out[i], 0);
+}
+
+TEST(PageFileTest, FreeAndReuse) {
+  PageFile f(kPageSize);
+  const PageId a = f.Allocate();
+  uint8_t buf[kPageSize];
+  std::memset(buf, 0xAB, sizeof(buf));
+  ASSERT_TRUE(f.Write(a, buf).ok());
+  ASSERT_TRUE(f.Free(a).ok());
+  EXPECT_EQ(f.live_pages(), 0u);
+  // Reuse returns the same slot, zeroed.
+  const PageId b = f.Allocate();
+  EXPECT_EQ(a, b);
+  ASSERT_TRUE(f.Read(b, buf).ok());
+  for (size_t i = 0; i < kPageSize; ++i) EXPECT_EQ(buf[i], 0);
+}
+
+TEST(PageFileTest, AccessAfterFreeFails) {
+  PageFile f(kPageSize);
+  const PageId id = f.Allocate();
+  ASSERT_TRUE(f.Free(id).ok());
+  uint8_t buf[kPageSize] = {};
+  EXPECT_FALSE(f.Read(id, buf).ok());
+  EXPECT_FALSE(f.Write(id, buf).ok());
+  EXPECT_FALSE(f.Free(id).ok());  // double free rejected
+}
+
+TEST(PageFileTest, OutOfRangeAccessFails) {
+  PageFile f(kPageSize);
+  uint8_t buf[kPageSize] = {};
+  EXPECT_FALSE(f.Read(99, buf).ok());
+  EXPECT_FALSE(f.Write(99, buf).ok());
+}
+
+TEST(PageFileTest, IoStatsCountAccesses) {
+  PageFile f(kPageSize);
+  const PageId id = f.Allocate();
+  uint8_t buf[kPageSize] = {};
+  EXPECT_EQ(f.io_stats().total_io(), 0u);  // allocation is not I/O
+  ASSERT_TRUE(f.Write(id, buf).ok());
+  ASSERT_TRUE(f.Read(id, buf).ok());
+  ASSERT_TRUE(f.Read(id, buf).ok());
+  EXPECT_EQ(f.io_stats().writes(), 1u);
+  EXPECT_EQ(f.io_stats().reads(), 2u);
+}
+
+TEST(PageFileTest, ThreadIoCounterIsPerThread) {
+  PageFile f(kPageSize);
+  const PageId id = f.Allocate();
+  uint8_t buf[kPageSize] = {};
+  PageFile::ResetThreadIo();
+  ASSERT_TRUE(f.Write(id, buf).ok());
+  ASSERT_TRUE(f.Read(id, buf).ok());
+  EXPECT_EQ(PageFile::thread_io(), 2u);
+
+  std::thread other([&]() {
+    PageFile::ResetThreadIo();
+    EXPECT_EQ(PageFile::thread_io(), 0u);
+    uint8_t b2[kPageSize] = {};
+    ASSERT_TRUE(f.Read(id, b2).ok());
+    EXPECT_EQ(PageFile::thread_io(), 1u);
+  });
+  other.join();
+  EXPECT_EQ(PageFile::thread_io(), 2u);  // unaffected by the other thread
+}
+
+TEST(PageFileTest, ConcurrentDisjointWrites) {
+  PageFile f(kPageSize);
+  constexpr int kThreads = 8;
+  std::vector<PageId> ids;
+  for (int i = 0; i < kThreads; ++i) ids.push_back(f.Allocate());
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      uint8_t buf[kPageSize];
+      std::memset(buf, t + 1, sizeof(buf));
+      for (int i = 0; i < 500; ++i) {
+        ASSERT_TRUE(f.Write(ids[t], buf).ok());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    uint8_t buf[kPageSize];
+    ASSERT_TRUE(f.Read(ids[t], buf).ok());
+    EXPECT_EQ(buf[0], t + 1);
+    EXPECT_EQ(buf[kPageSize - 1], t + 1);
+  }
+}
+
+TEST(PageFileTest, ConcurrentAllocateIsRaceFree) {
+  PageFile f(kPageSize);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::vector<PageId>> got(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < kPerThread; ++i) got[t].push_back(f.Allocate());
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::vector<PageId> all;
+  for (auto& v : got) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::unique(all.begin(), all.end()), all.end());
+  EXPECT_EQ(all.size(), static_cast<size_t>(kThreads * kPerThread));
+}
+
+}  // namespace
+}  // namespace burtree

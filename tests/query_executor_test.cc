@@ -1,0 +1,97 @@
+#include "update/query_executor.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "harness/experiment.h"
+
+namespace burtree {
+namespace {
+
+TEST(QueryExecutorTest, SummaryAndPlainAgree) {
+  ExperimentConfig cfg;
+  cfg.strategy = StrategyKind::kGeneralizedBottomUp;
+  cfg.workload.num_objects = 5000;
+  WorkloadGenerator workload(cfg.workload);
+  auto fx = MakeFixture(cfg);
+  ASSERT_TRUE(BuildIndex(cfg, workload, &fx).ok());
+
+  QueryExecutor plain(fx.system.get(), /*use_summary=*/false);
+  QueryExecutor with_summary(fx.system.get(), /*use_summary=*/true);
+
+  for (int q = 0; q < 40; ++q) {
+    const Rect window = workload.NextQueryWindow();
+    std::set<ObjectId> a, b;
+    ASSERT_TRUE(plain
+                    .Query(window,
+                           [&](ObjectId oid, const Rect&) { a.insert(oid); })
+                    .ok());
+    ASSERT_TRUE(with_summary
+                    .Query(window,
+                           [&](ObjectId oid, const Rect&) { b.insert(oid); })
+                    .ok());
+    EXPECT_EQ(a, b) << "window " << window.ToString();
+  }
+}
+
+TEST(QueryExecutorTest, SummarySavesInternalReads) {
+  ExperimentConfig cfg;
+  cfg.strategy = StrategyKind::kGeneralizedBottomUp;
+  cfg.workload.num_objects = 20000;  // height >= 4 at 1 KB pages
+  WorkloadGenerator workload(cfg.workload);
+  auto fx = MakeFixture(cfg);
+  ASSERT_TRUE(BuildIndex(cfg, workload, &fx).ok());
+  ASSERT_GE(fx.system->tree().height(), 3u);
+  fx.system->buffer().Resize(0);  // raw I/O comparison
+
+  QueryExecutor plain(fx.system.get(), false);
+  QueryExecutor with_summary(fx.system.get(), true);
+
+  uint64_t plain_io = 0, summary_io = 0;
+  for (int q = 0; q < 25; ++q) {
+    const Rect window = workload.NextQueryWindow();
+    auto s0 = IoSnapshot::Take(fx.system->file().io_stats());
+    ASSERT_TRUE(plain.Query(window).ok());
+    auto s1 = IoSnapshot::Take(fx.system->file().io_stats());
+    ASSERT_TRUE(with_summary.Query(window).ok());
+    auto s2 = IoSnapshot::Take(fx.system->file().io_stats());
+    plain_io += (s1 - s0).total_io();
+    summary_io += (s2 - s1).total_io();
+  }
+  // §3.2: the summary-assisted query must strictly save node reads above
+  // the leaf-parent level.
+  EXPECT_LT(summary_io, plain_io);
+}
+
+TEST(QueryExecutorTest, MatchCountReturned) {
+  ExperimentConfig cfg;
+  cfg.strategy = StrategyKind::kGeneralizedBottomUp;
+  cfg.workload.num_objects = 1000;
+  WorkloadGenerator workload(cfg.workload);
+  auto fx = MakeFixture(cfg);
+  ASSERT_TRUE(BuildIndex(cfg, workload, &fx).ok());
+  QueryExecutor exec(fx.system.get(), true);
+  auto m = exec.Query(Rect(0, 0, 1, 1));
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m.value(), 1000u);
+  auto none = exec.Query(Rect::Empty());
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none.value(), 0u);
+}
+
+TEST(QueryExecutorTest, WorksOnTinyTrees) {
+  ExperimentConfig cfg;
+  cfg.strategy = StrategyKind::kGeneralizedBottomUp;
+  cfg.workload.num_objects = 3;  // single-leaf tree
+  WorkloadGenerator workload(cfg.workload);
+  auto fx = MakeFixture(cfg);
+  ASSERT_TRUE(BuildIndex(cfg, workload, &fx).ok());
+  QueryExecutor exec(fx.system.get(), true);
+  auto m = exec.Query(Rect(0, 0, 1, 1));
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m.value(), 3u);
+}
+
+}  // namespace
+}  // namespace burtree

@@ -1,0 +1,146 @@
+// Property tests: the R-tree is compared against a brute-force oracle
+// under long random operation sequences, across option combinations.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/random.h"
+#include "rtree/rtree.h"
+
+namespace burtree {
+namespace {
+
+struct Oracle {
+  std::map<ObjectId, Point> objects;
+
+  std::set<ObjectId> Query(const Rect& w) const {
+    std::set<ObjectId> out;
+    for (const auto& [oid, p] : objects) {
+      if (w.Contains(p)) out.insert(oid);
+    }
+    return out;
+  }
+};
+
+struct PropertyParam {
+  SplitAlgorithm split;
+  bool parent_pointers;
+  size_t page_size;
+  uint64_t seed;
+};
+
+class RTreeOracleTest : public ::testing::TestWithParam<PropertyParam> {};
+
+TEST_P(RTreeOracleTest, RandomOpsMatchOracle) {
+  const PropertyParam param = GetParam();
+  TreeOptions opts;
+  opts.split = param.split;
+  opts.parent_pointers = param.parent_pointers;
+  opts.page_size = param.page_size;
+
+  PageFile file(opts.page_size);
+  BufferPool pool(&file, 64);
+  RTree tree(&pool, opts);
+  Oracle oracle;
+  Rng rng(param.seed);
+
+  ObjectId next_oid = 0;
+  for (int step = 0; step < 4000; ++step) {
+    const double dice = rng.NextDouble();
+    if (dice < 0.55 || oracle.objects.empty()) {
+      // Insert a fresh object.
+      const Point p{rng.NextDouble(), rng.NextDouble()};
+      const ObjectId oid = next_oid++;
+      ASSERT_TRUE(tree.Insert(oid, Rect::FromPoint(p)).ok());
+      oracle.objects[oid] = p;
+    } else if (dice < 0.85) {
+      // Delete a random existing object.
+      auto it = oracle.objects.begin();
+      std::advance(it, rng.NextBelow(oracle.objects.size()));
+      ASSERT_TRUE(
+          tree.Delete(it->first, Rect::FromPoint(it->second)).ok());
+      oracle.objects.erase(it);
+    } else {
+      // Update = delete + insert (the TD primitive).
+      auto it = oracle.objects.begin();
+      std::advance(it, rng.NextBelow(oracle.objects.size()));
+      const Point p{rng.NextDouble(), rng.NextDouble()};
+      ASSERT_TRUE(
+          tree.Delete(it->first, Rect::FromPoint(it->second)).ok());
+      ASSERT_TRUE(tree.Insert(it->first, Rect::FromPoint(p)).ok());
+      it->second = p;
+    }
+
+    if (step % 500 == 499) {
+      const Status vs = tree.Validate();
+      ASSERT_TRUE(vs.ok()) << "step " << step << ": " << vs.ToString();
+      // Compare several random window queries against the oracle.
+      for (int q = 0; q < 10; ++q) {
+        const double w = rng.NextDouble() * 0.3;
+        const double h = rng.NextDouble() * 0.3;
+        const double x = rng.NextDouble() * (1.0 - w);
+        const double y = rng.NextDouble() * (1.0 - h);
+        const Rect window(x, y, x + w, y + h);
+        std::set<ObjectId> got;
+        ASSERT_TRUE(tree.Query(window, [&](ObjectId oid, const Rect&) {
+          got.insert(oid);
+        }).ok());
+        EXPECT_EQ(got, oracle.Query(window)) << "step " << step;
+      }
+    }
+  }
+  // Final full-space check.
+  std::set<ObjectId> all;
+  ASSERT_TRUE(tree.Query(Rect(0, 0, 1, 1), [&](ObjectId oid, const Rect&) {
+    all.insert(oid);
+  }).ok());
+  EXPECT_EQ(all.size(), oracle.objects.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, RTreeOracleTest,
+    ::testing::Values(
+        PropertyParam{SplitAlgorithm::kQuadratic, false, 1024, 101},
+        PropertyParam{SplitAlgorithm::kQuadratic, true, 1024, 102},
+        PropertyParam{SplitAlgorithm::kLinear, false, 1024, 103},
+        PropertyParam{SplitAlgorithm::kRStar, false, 1024, 104},
+        PropertyParam{SplitAlgorithm::kQuadratic, false, 256, 105},
+        PropertyParam{SplitAlgorithm::kQuadratic, true, 512, 106}));
+
+// Tiny-buffer sweep: correctness must be independent of buffer capacity
+// (only I/O counts change).
+class RTreeBufferSweepTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RTreeBufferSweepTest, ResultsIndependentOfBufferSize) {
+  TreeOptions opts;
+  PageFile file(opts.page_size);
+  BufferPool pool(&file, GetParam());
+  RTree tree(&pool, opts);
+  Rng rng(55);
+  Oracle oracle;
+  for (ObjectId i = 0; i < 800; ++i) {
+    const Point p{rng.NextDouble(), rng.NextDouble()};
+    ASSERT_TRUE(tree.Insert(i, Rect::FromPoint(p)).ok());
+    oracle.objects[i] = p;
+  }
+  for (int q = 0; q < 30; ++q) {
+    const double w = rng.NextDouble() * 0.2;
+    const double h = rng.NextDouble() * 0.2;
+    const double x = rng.NextDouble() * (1.0 - w);
+    const double y = rng.NextDouble() * (1.0 - h);
+    const Rect window(x, y, x + w, y + h);
+    std::set<ObjectId> got;
+    ASSERT_TRUE(tree.Query(window, [&](ObjectId oid, const Rect&) {
+      got.insert(oid);
+    }).ok());
+    EXPECT_EQ(got, oracle.Query(window));
+  }
+  ASSERT_TRUE(tree.Validate().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Buffers, RTreeBufferSweepTest,
+                         ::testing::Values(0, 1, 2, 16, 4096));
+
+}  // namespace
+}  // namespace burtree

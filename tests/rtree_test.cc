@@ -1,0 +1,324 @@
+#include "rtree/rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+
+namespace burtree {
+namespace {
+
+struct Fixture {
+  explicit Fixture(TreeOptions opts = {}, size_t buffer_pages = 1024)
+      : file(opts.page_size), pool(&file, buffer_pages), tree(&pool, opts) {}
+  PageFile file;
+  BufferPool pool;
+  RTree tree;
+};
+
+Rect PR(double x, double y) { return Rect::FromPoint(Point{x, y}); }
+
+std::set<ObjectId> QueryIds(RTree& tree, const Rect& w) {
+  std::set<ObjectId> ids;
+  EXPECT_TRUE(tree.Query(w, [&](ObjectId oid, const Rect&) {
+    ids.insert(oid);
+  }).ok());
+  return ids;
+}
+
+TEST(RTreeTest, EmptyTree) {
+  Fixture fx;
+  EXPECT_EQ(fx.tree.height(), 1u);
+  EXPECT_TRUE(QueryIds(fx.tree, Rect(0, 0, 1, 1)).empty());
+  EXPECT_TRUE(fx.tree.Validate().ok());
+}
+
+TEST(RTreeTest, SingleInsertAndQuery) {
+  Fixture fx;
+  ASSERT_TRUE(fx.tree.Insert(7, PR(0.5, 0.5)).ok());
+  EXPECT_EQ(QueryIds(fx.tree, Rect(0.4, 0.4, 0.6, 0.6)),
+            std::set<ObjectId>{7});
+  EXPECT_TRUE(QueryIds(fx.tree, Rect(0.6, 0.6, 0.9, 0.9)).empty());
+  EXPECT_TRUE(fx.tree.Validate().ok());
+}
+
+TEST(RTreeTest, InsertsForceLeafSplitAndRootGrowth) {
+  Fixture fx;
+  Rng rng(1);
+  const uint32_t cap = fx.tree.Capacity(true);
+  for (uint32_t i = 0; i <= cap; ++i) {
+    ASSERT_TRUE(
+        fx.tree.Insert(i, PR(rng.NextDouble(), rng.NextDouble())).ok());
+  }
+  EXPECT_EQ(fx.tree.height(), 2u);
+  EXPECT_EQ(fx.tree.stats().leaf_splits, 1u);
+  EXPECT_EQ(fx.tree.stats().root_grows, 1u);
+  EXPECT_TRUE(fx.tree.Validate().ok());
+  EXPECT_EQ(QueryIds(fx.tree, Rect(0, 0, 1, 1)).size(), cap + 1);
+}
+
+TEST(RTreeTest, ThousandInsertsAllFindable) {
+  Fixture fx;
+  Rng rng(2);
+  std::vector<Point> pts;
+  for (ObjectId i = 0; i < 1000; ++i) {
+    Point p{rng.NextDouble(), rng.NextDouble()};
+    pts.push_back(p);
+    ASSERT_TRUE(fx.tree.Insert(i, Rect::FromPoint(p)).ok());
+  }
+  EXPECT_GE(fx.tree.height(), 3u);
+  ASSERT_TRUE(fx.tree.Validate().ok());
+  // Point query for each object must find it.
+  for (ObjectId i = 0; i < 1000; ++i) {
+    auto ids = QueryIds(fx.tree, Rect::FromPoint(pts[i]));
+    EXPECT_TRUE(ids.count(i)) << "oid " << i;
+  }
+}
+
+TEST(RTreeTest, DeleteRemovesOnlyTarget) {
+  Fixture fx;
+  Rng rng(3);
+  std::vector<Point> pts;
+  for (ObjectId i = 0; i < 300; ++i) {
+    Point p{rng.NextDouble(), rng.NextDouble()};
+    pts.push_back(p);
+    ASSERT_TRUE(fx.tree.Insert(i, Rect::FromPoint(p)).ok());
+  }
+  for (ObjectId i = 0; i < 300; i += 3) {
+    ASSERT_TRUE(fx.tree.Delete(i, Rect::FromPoint(pts[i])).ok());
+  }
+  ASSERT_TRUE(fx.tree.Validate().ok());
+  auto ids = QueryIds(fx.tree, Rect(0, 0, 1, 1));
+  EXPECT_EQ(ids.size(), 200u);
+  for (ObjectId i = 0; i < 300; ++i) {
+    EXPECT_EQ(ids.count(i), i % 3 == 0 ? 0u : 1u);
+  }
+}
+
+TEST(RTreeTest, DeleteMissingObjectIsNotFound) {
+  Fixture fx;
+  ASSERT_TRUE(fx.tree.Insert(1, PR(0.5, 0.5)).ok());
+  EXPECT_EQ(fx.tree.Delete(2, PR(0.5, 0.5)).code(), StatusCode::kNotFound);
+  // The hint rect is advisory: in a single-leaf tree the oid is still
+  // found even with a wrong hint (no routing entries to prune against).
+  EXPECT_TRUE(fx.tree.Delete(1, PR(0.9, 0.9)).ok());
+}
+
+TEST(RTreeTest, DeleteEverythingLeavesEmptyValidTree) {
+  Fixture fx;
+  Rng rng(4);
+  std::vector<Point> pts;
+  for (ObjectId i = 0; i < 500; ++i) {
+    Point p{rng.NextDouble(), rng.NextDouble()};
+    pts.push_back(p);
+    ASSERT_TRUE(fx.tree.Insert(i, Rect::FromPoint(p)).ok());
+  }
+  for (ObjectId i = 0; i < 500; ++i) {
+    ASSERT_TRUE(fx.tree.Delete(i, Rect::FromPoint(pts[i])).ok())
+        << "delete " << i;
+  }
+  EXPECT_EQ(fx.tree.height(), 1u);
+  EXPECT_TRUE(QueryIds(fx.tree, Rect(0, 0, 1, 1)).empty());
+  EXPECT_TRUE(fx.tree.Validate().ok());
+  EXPECT_GT(fx.tree.stats().root_shrinks, 0u);
+}
+
+TEST(RTreeTest, CondenseReinsertsOrphans) {
+  Fixture fx;
+  Rng rng(5);
+  std::vector<Point> pts;
+  for (ObjectId i = 0; i < 400; ++i) {
+    Point p{rng.NextDouble(), rng.NextDouble()};
+    pts.push_back(p);
+    ASSERT_TRUE(fx.tree.Insert(i, Rect::FromPoint(p)).ok());
+  }
+  // Deleting clustered objects triggers underflow + re-insertion.
+  uint64_t deleted = 0;
+  for (ObjectId i = 0; i < 400; ++i) {
+    if (pts[i].x < 0.4) {
+      ASSERT_TRUE(fx.tree.Delete(i, Rect::FromPoint(pts[i])).ok());
+      ++deleted;
+    }
+  }
+  EXPECT_GT(fx.tree.stats().underflow_condenses, 0u);
+  EXPECT_GT(fx.tree.stats().reinserted_entries, 0u);
+  ASSERT_TRUE(fx.tree.Validate().ok());
+  EXPECT_EQ(QueryIds(fx.tree, Rect(0, 0, 1, 1)).size(), 400 - deleted);
+}
+
+TEST(RTreeTest, DuplicatePositionsSupported) {
+  Fixture fx;
+  for (ObjectId i = 0; i < 100; ++i) {
+    ASSERT_TRUE(fx.tree.Insert(i, PR(0.5, 0.5)).ok());
+  }
+  EXPECT_EQ(QueryIds(fx.tree, PR(0.5, 0.5)).size(), 100u);
+  for (ObjectId i = 0; i < 100; ++i) {
+    ASSERT_TRUE(fx.tree.Delete(i, PR(0.5, 0.5)).ok());
+  }
+  EXPECT_TRUE(QueryIds(fx.tree, Rect(0, 0, 1, 1)).empty());
+}
+
+TEST(RTreeTest, WindowQuerySemanticsExactOnGrid) {
+  Fixture fx;
+  // 10x10 grid at coordinates 0.05 + 0.1*i.
+  for (int y = 0; y < 10; ++y) {
+    for (int x = 0; x < 10; ++x) {
+      ASSERT_TRUE(fx.tree
+                      .Insert(y * 10 + x,
+                              PR(0.05 + 0.1 * x, 0.05 + 0.1 * y))
+                      .ok());
+    }
+  }
+  // Window covering exactly the lower-left quadrant (2x2 grid points).
+  auto ids = QueryIds(fx.tree, Rect(0.0, 0.0, 0.16, 0.16));
+  EXPECT_EQ(ids, (std::set<ObjectId>{0, 1, 10, 11}));
+}
+
+TEST(RTreeTest, FindLeafPathLocatesObject) {
+  Fixture fx;
+  Rng rng(6);
+  std::vector<Point> pts;
+  for (ObjectId i = 0; i < 200; ++i) {
+    Point p{rng.NextDouble(), rng.NextDouble()};
+    pts.push_back(p);
+    ASSERT_TRUE(fx.tree.Insert(i, Rect::FromPoint(p)).ok());
+  }
+  for (ObjectId i = 0; i < 200; i += 17) {
+    auto path = fx.tree.FindLeafPath(i, Rect::FromPoint(pts[i]));
+    ASSERT_TRUE(path.ok());
+    EXPECT_EQ(path.value().front(), fx.tree.root());
+    EXPECT_EQ(path.value().size(), fx.tree.height());
+  }
+  EXPECT_FALSE(fx.tree.FindLeafPath(9999, PR(0.5, 0.5)).ok());
+}
+
+TEST(RTreeTest, InsertDescendingFromRootEqualsInsert) {
+  Fixture fx;
+  Rng rng(7);
+  for (ObjectId i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        fx.tree.Insert(i, PR(rng.NextDouble(), rng.NextDouble())).ok());
+  }
+  ASSERT_TRUE(
+      fx.tree.InsertDescendingFrom({fx.tree.root()}, 500, PR(0.3, 0.3))
+          .ok());
+  EXPECT_TRUE(QueryIds(fx.tree, PR(0.3, 0.3)).count(500));
+  EXPECT_TRUE(fx.tree.Validate().ok());
+}
+
+TEST(RTreeTest, RemoveFromLeafNoCondenseKeepsTreeQueryable) {
+  Fixture fx;
+  Rng rng(8);
+  std::vector<Point> pts;
+  for (ObjectId i = 0; i < 200; ++i) {
+    Point p{rng.NextDouble(), rng.NextDouble()};
+    pts.push_back(p);
+    ASSERT_TRUE(fx.tree.Insert(i, Rect::FromPoint(p)).ok());
+  }
+  auto path = fx.tree.FindLeafPath(42, Rect::FromPoint(pts[42]));
+  ASSERT_TRUE(path.ok());
+  ASSERT_TRUE(
+      fx.tree.RemoveFromLeafNoCondense(path.value().back(), 42).ok());
+  EXPECT_FALSE(QueryIds(fx.tree, Rect(0, 0, 1, 1)).count(42));
+  EXPECT_EQ(QueryIds(fx.tree, Rect(0, 0, 1, 1)).size(), 199u);
+}
+
+TEST(RTreeTest, ParentPointersMaintainedThroughSplits) {
+  TreeOptions opts;
+  opts.parent_pointers = true;
+  Fixture fx(opts);
+  Rng rng(9);
+  for (ObjectId i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(
+        fx.tree.Insert(i, PR(rng.NextDouble(), rng.NextDouble())).ok());
+  }
+  EXPECT_GE(fx.tree.height(), 3u);
+  // Validate() checks every node's parent pointer.
+  EXPECT_TRUE(fx.tree.Validate().ok());
+}
+
+TEST(RTreeTest, CollectShapeCountsEverything) {
+  Fixture fx;
+  Rng rng(10);
+  for (ObjectId i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(
+        fx.tree.Insert(i, PR(rng.NextDouble(), rng.NextDouble())).ok());
+  }
+  TreeShape shape = fx.tree.CollectShape();
+  EXPECT_EQ(shape.total_entries, 1000u);
+  EXPECT_EQ(shape.levels.size(), fx.tree.height());
+  EXPECT_EQ(shape.levels.back().node_count, 1u);  // root level
+  uint64_t sum = 0;
+  for (const auto& l : shape.levels) sum += l.node_count;
+  EXPECT_EQ(sum, shape.total_nodes);
+  EXPECT_EQ(sum, fx.tree.CountNodes());
+  EXPECT_GT(shape.levels[0].avg_fill, 0.3);
+}
+
+TEST(RTreeTest, ReadRootMbrTracksData) {
+  Fixture fx;
+  ASSERT_TRUE(fx.tree.Insert(1, PR(0.2, 0.3)).ok());
+  ASSERT_TRUE(fx.tree.Insert(2, PR(0.7, 0.6)).ok());
+  const Rect mbr = fx.tree.ReadRootMbr();
+  EXPECT_EQ(mbr, Rect(0.2, 0.3, 0.7, 0.6));
+}
+
+// Split-algorithm sweep: the tree must stay valid whichever splitter is
+// configured.
+class RTreeSplitSweepTest
+    : public ::testing::TestWithParam<SplitAlgorithm> {};
+
+TEST_P(RTreeSplitSweepTest, InsertDeleteCycleStaysValid) {
+  TreeOptions opts;
+  opts.split = GetParam();
+  Fixture fx(opts);
+  Rng rng(11);
+  std::vector<Point> pts;
+  for (ObjectId i = 0; i < 1500; ++i) {
+    Point p{rng.NextDouble(), rng.NextDouble()};
+    pts.push_back(p);
+    ASSERT_TRUE(fx.tree.Insert(i, Rect::FromPoint(p)).ok());
+  }
+  ASSERT_TRUE(fx.tree.Validate().ok());
+  for (ObjectId i = 0; i < 1500; i += 2) {
+    ASSERT_TRUE(fx.tree.Delete(i, Rect::FromPoint(pts[i])).ok());
+  }
+  ASSERT_TRUE(fx.tree.Validate().ok());
+  EXPECT_EQ(QueryIds(fx.tree, Rect(0, 0, 1, 1)).size(), 750u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Splits, RTreeSplitSweepTest,
+                         ::testing::Values(SplitAlgorithm::kQuadratic,
+                                           SplitAlgorithm::kLinear,
+                                           SplitAlgorithm::kRStar));
+
+// Page-size sweep: layout math and split logic must hold for any page
+// size down to a handful of entries per node.
+class RTreePageSizeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RTreePageSizeTest, WorksAcrossPageSizes) {
+  TreeOptions opts;
+  opts.page_size = GetParam();
+  Fixture fx(opts);
+  Rng rng(12);
+  std::vector<Point> pts;
+  for (ObjectId i = 0; i < 600; ++i) {
+    Point p{rng.NextDouble(), rng.NextDouble()};
+    pts.push_back(p);
+    ASSERT_TRUE(fx.tree.Insert(i, Rect::FromPoint(p)).ok());
+  }
+  ASSERT_TRUE(fx.tree.Validate().ok());
+  EXPECT_EQ(QueryIds(fx.tree, Rect(0, 0, 1, 1)).size(), 600u);
+  for (ObjectId i = 0; i < 600; i += 5) {
+    ASSERT_TRUE(fx.tree.Delete(i, Rect::FromPoint(pts[i])).ok());
+  }
+  ASSERT_TRUE(fx.tree.Validate().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(PageSizes, RTreePageSizeTest,
+                         ::testing::Values(256, 512, 1024, 4096));
+
+}  // namespace
+}  // namespace burtree

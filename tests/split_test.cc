@@ -1,0 +1,156 @@
+#include "rtree/split.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace burtree {
+namespace {
+
+std::vector<SplitEntry> MakeCluster(Rng& rng, const Point& center,
+                                    int count, uint64_t base) {
+  std::vector<SplitEntry> out;
+  for (int i = 0; i < count; ++i) {
+    const double x = center.x + rng.NextDouble(-0.05, 0.05);
+    const double y = center.y + rng.NextDouble(-0.05, 0.05);
+    out.push_back(SplitEntry{Rect::FromPoint(Point{x, y}),
+                             base + static_cast<uint64_t>(i)});
+  }
+  return out;
+}
+
+void CheckPartition(const SplitResult& r, size_t n, uint32_t min_fill) {
+  EXPECT_EQ(r.group_a.size() + r.group_b.size(), n);
+  EXPECT_GE(r.group_a.size(), min_fill);
+  EXPECT_GE(r.group_b.size(), min_fill);
+  std::vector<uint32_t> all;
+  all.insert(all.end(), r.group_a.begin(), r.group_a.end());
+  all.insert(all.end(), r.group_b.begin(), r.group_b.end());
+  std::sort(all.begin(), all.end());
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i], i) << "partition must be a permutation of inputs";
+  }
+}
+
+class SplitAlgorithmTest
+    : public ::testing::TestWithParam<SplitAlgorithm> {};
+
+TEST_P(SplitAlgorithmTest, PartitionIsValidOnRandomInput) {
+  Rng rng(99);
+  for (int round = 0; round < 50; ++round) {
+    const int n = 4 + static_cast<int>(rng.NextBelow(40));
+    std::vector<SplitEntry> entries;
+    for (int i = 0; i < n; ++i) {
+      entries.push_back(
+          SplitEntry{Rect::FromPoint(
+                         Point{rng.NextDouble(), rng.NextDouble()}),
+                     static_cast<uint64_t>(i)});
+    }
+    const uint32_t min_fill = std::max(1, n * 2 / 5);
+    SplitResult r = SplitEntries(entries, min_fill, GetParam());
+    CheckPartition(r, entries.size(), min_fill);
+  }
+}
+
+TEST_P(SplitAlgorithmTest, SeparatesTwoObviousClusters) {
+  Rng rng(7);
+  auto entries = MakeCluster(rng, Point{0.1, 0.1}, 10, 0);
+  auto right = MakeCluster(rng, Point{0.9, 0.9}, 10, 100);
+  entries.insert(entries.end(), right.begin(), right.end());
+
+  SplitResult r = SplitEntries(entries, 4, GetParam());
+  CheckPartition(r, entries.size(), 4);
+
+  // Each group should be (almost) pure: all low oids or all high oids.
+  auto purity = [&](const std::vector<uint32_t>& g) {
+    int low = 0;
+    for (uint32_t i : g) low += entries[i].payload < 100;
+    const double frac = static_cast<double>(low) / g.size();
+    return std::max(frac, 1.0 - frac);
+  };
+  EXPECT_GE(purity(r.group_a), 0.9);
+  EXPECT_GE(purity(r.group_b), 0.9);
+}
+
+TEST_P(SplitAlgorithmTest, MinimalInputOfTwo) {
+  std::vector<SplitEntry> entries{
+      SplitEntry{Rect::FromPoint(Point{0.1, 0.1}), 0},
+      SplitEntry{Rect::FromPoint(Point{0.9, 0.9}), 1},
+  };
+  SplitResult r = SplitEntries(entries, 1, GetParam());
+  CheckPartition(r, 2, 1);
+}
+
+TEST_P(SplitAlgorithmTest, IdenticalRectsStillPartition) {
+  std::vector<SplitEntry> entries(
+      10, SplitEntry{Rect::FromPoint(Point{0.5, 0.5}), 0});
+  for (size_t i = 0; i < entries.size(); ++i) entries[i].payload = i;
+  SplitResult r = SplitEntries(entries, 4, GetParam());
+  CheckPartition(r, 10, 4);
+}
+
+TEST_P(SplitAlgorithmTest, CollinearPoints) {
+  std::vector<SplitEntry> entries;
+  for (int i = 0; i < 12; ++i) {
+    entries.push_back(SplitEntry{
+        Rect::FromPoint(Point{0.05 * i, 0.5}), static_cast<uint64_t>(i)});
+  }
+  SplitResult r = SplitEntries(entries, 4, GetParam());
+  CheckPartition(r, 12, 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, SplitAlgorithmTest,
+                         ::testing::Values(SplitAlgorithm::kQuadratic,
+                                           SplitAlgorithm::kLinear,
+                                           SplitAlgorithm::kRStar),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case SplitAlgorithm::kQuadratic:
+                               return "Quadratic";
+                             case SplitAlgorithm::kLinear: return "Linear";
+                             case SplitAlgorithm::kRStar: return "RStar";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(QuadraticSplitTest, PickSeedsSeparatesExtremes) {
+  // Two far-apart points plus noise near each: seeds should be in
+  // opposite groups, pulling their neighbours along.
+  std::vector<SplitEntry> entries{
+      SplitEntry{Rect::FromPoint(Point{0.0, 0.0}), 0},
+      SplitEntry{Rect::FromPoint(Point{1.0, 1.0}), 1},
+      SplitEntry{Rect::FromPoint(Point{0.05, 0.05}), 2},
+      SplitEntry{Rect::FromPoint(Point{0.95, 0.95}), 3},
+  };
+  SplitResult r = QuadraticSplit(entries, 1);
+  auto in = [](const std::vector<uint32_t>& g, uint32_t x) {
+    return std::find(g.begin(), g.end(), x) != g.end();
+  };
+  const bool zero_in_a = in(r.group_a, 0);
+  EXPECT_NE(zero_in_a, in(r.group_b, 0));
+  // 0 and 2 together, 1 and 3 together.
+  EXPECT_EQ(in(r.group_a, 0), in(r.group_a, 2));
+  EXPECT_EQ(in(r.group_a, 1), in(r.group_a, 3));
+}
+
+TEST(RStarSplitTest, MinimizesOverlapOnGrid) {
+  // 4x4 grid of points: the R* split should produce two disjoint halves.
+  std::vector<SplitEntry> entries;
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      entries.push_back(
+          SplitEntry{Rect::FromPoint(Point{0.25 * x, 0.25 * y}),
+                     static_cast<uint64_t>(y * 4 + x)});
+    }
+  }
+  SplitResult r = RStarSplit(entries, 4);
+  Rect a = Rect::Empty(), b = Rect::Empty();
+  for (uint32_t i : r.group_a) a.ExpandToInclude(entries[i].rect);
+  for (uint32_t i : r.group_b) b.ExpandToInclude(entries[i].rect);
+  EXPECT_DOUBLE_EQ(a.IntersectionWith(b).Area(), 0.0);
+}
+
+}  // namespace
+}  // namespace burtree

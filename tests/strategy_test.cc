@@ -1,0 +1,278 @@
+// Behavioral tests for the TD / LBU / GBU update strategies.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "harness/experiment.h"
+
+namespace burtree {
+namespace {
+
+struct World {
+  explicit World(StrategyKind kind, uint64_t objects = 2000,
+                 GbuOptions gbu = {}, LbuOptions lbu = {}) {
+    config.strategy = kind;
+    config.workload.num_objects = objects;
+    config.workload.seed = 4711;
+    config.gbu = gbu;
+    config.lbu = lbu;
+    config.buffer_fraction = 0.0;  // raw I/O for assertions
+    workload = std::make_unique<WorkloadGenerator>(config.workload);
+    fx = MakeFixture(config);
+    BURTREE_CHECK(BuildIndex(config, *workload, &fx).ok());
+  }
+
+  std::set<ObjectId> QueryAll() {
+    std::set<ObjectId> ids;
+    BURTREE_CHECK(fx.system->tree()
+                      .Query(Rect(0, 0, 1, 1),
+                             [&](ObjectId oid, const Rect&) {
+                               ids.insert(oid);
+                             })
+                      .ok());
+    return ids;
+  }
+
+  /// The tree's stored position of `oid` (kInvalid rect when absent).
+  std::optional<Point> StoredPosition(ObjectId oid) {
+    std::optional<Point> out;
+    BURTREE_CHECK(fx.system->tree()
+                      .Query(Rect(0, 0, 1, 1),
+                             [&](ObjectId o, const Rect& r) {
+                               if (o == oid) out = Point{r.min_x, r.min_y};
+                             })
+                      .ok());
+    return out;
+  }
+
+  ExperimentConfig config;
+  std::unique_ptr<WorkloadGenerator> workload;
+  StrategyFixture fx;
+};
+
+class StrategySweepTest : public ::testing::TestWithParam<StrategyKind> {};
+
+TEST_P(StrategySweepTest, UpdatesPreserveObjectSet) {
+  World w(GetParam());
+  for (int i = 0; i < 6000; ++i) {
+    const auto op = w.workload->NextUpdate();
+    auto r = w.fx.strategy->Update(op.oid, op.from, op.to);
+    ASSERT_TRUE(r.ok()) << "update " << i;
+  }
+  EXPECT_EQ(w.QueryAll().size(), w.config.workload.num_objects);
+  EXPECT_TRUE(w.fx.system->tree().Validate().ok());
+  EXPECT_EQ(w.fx.strategy->path_counts().total(), 6000u);
+}
+
+TEST_P(StrategySweepTest, UpdatedPositionIsStored) {
+  World w(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    const auto op = w.workload->NextUpdate();
+    ASSERT_TRUE(w.fx.strategy->Update(op.oid, op.from, op.to).ok());
+    if (i % 100 == 0) {
+      auto stored = w.StoredPosition(op.oid);
+      ASSERT_TRUE(stored.has_value());
+      EXPECT_DOUBLE_EQ(stored->x, op.to.x);
+      EXPECT_DOUBLE_EQ(stored->y, op.to.y);
+    }
+  }
+}
+
+TEST_P(StrategySweepTest, QueriesStayExactAfterManyUpdates) {
+  World w(GetParam());
+  for (int i = 0; i < 8000; ++i) {
+    const auto op = w.workload->NextUpdate();
+    ASSERT_TRUE(w.fx.strategy->Update(op.oid, op.from, op.to).ok());
+  }
+  // The workload's positions array is the ground truth.
+  Rng rng(99);
+  for (int q = 0; q < 30; ++q) {
+    const Rect window = w.workload->NextQueryWindow();
+    std::set<ObjectId> expect;
+    for (ObjectId oid = 0; oid < w.config.workload.num_objects; ++oid) {
+      if (window.Contains(w.workload->position(oid))) expect.insert(oid);
+    }
+    std::set<ObjectId> got;
+    auto matches = w.fx.executor->Query(
+        window, [&](ObjectId oid, const Rect&) { got.insert(oid); });
+    ASSERT_TRUE(matches.ok());
+    EXPECT_EQ(got, expect) << "query " << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, StrategySweepTest,
+                         ::testing::Values(
+                             StrategyKind::kTopDown,
+                             StrategyKind::kLocalizedBottomUp,
+                             StrategyKind::kGeneralizedBottomUp),
+                         [](const auto& info) {
+                           return StrategyName(info.param);
+                         });
+
+// ---- GBU-specific behavior ----
+
+TEST(GbuTest, TinyMovesAreInPlace) {
+  GbuOptions gbu;
+  World w(StrategyKind::kGeneralizedBottomUp, 2000, gbu);
+  // Move objects by a vanishing amount: the new position stays within
+  // the leaf MBR nearly always.
+  uint64_t in_place = 0;
+  for (ObjectId oid = 100; oid < 600; ++oid) {
+    const Point from = w.workload->position(oid);
+    const Point to{from.x + 1e-9, from.y};
+    ASSERT_TRUE(w.fx.strategy->Update(oid, from, to).ok());
+  }
+  in_place = w.fx.strategy->path_counts().in_place;
+  EXPECT_GT(in_place, 400u);
+}
+
+TEST(GbuTest, OutsideRootMbrFallsBackToTopDown) {
+  World w(StrategyKind::kGeneralizedBottomUp);
+  // The root MBR covers (roughly) the populated region. A jump outside
+  // it must take the TD arm (Algorithm 2's first guard).
+  const Point from = w.workload->position(0);
+  // Delete everything near the boundary first? Not needed: initial data
+  // is within [0,1]^2 and root MBR is their union; 2.0 is outside.
+  // (Points are clamped to the unit square in the generator, but the
+  // strategy API accepts any coordinates.)
+  const Point to{1.5, 1.5};
+  ASSERT_TRUE(w.fx.strategy->Update(0, from, to).ok());
+  EXPECT_EQ(w.fx.strategy->path_counts().top_down, 1u);
+  // Object is now outside [0,1]^2; widen the probe window.
+  std::optional<Point> found;
+  ASSERT_TRUE(w.fx.system->tree()
+                  .Query(Rect(-1, -1, 3, 3),
+                         [&](ObjectId o, const Rect& r) {
+                           if (o == 0) found = Point{r.min_x, r.min_y};
+                         })
+                  .ok());
+  ASSERT_TRUE(found.has_value());
+  EXPECT_DOUBLE_EQ(found->x, 1.5);
+}
+
+TEST(GbuTest, LevelThresholdZeroNeverAscends) {
+  GbuOptions gbu;
+  gbu.level_threshold = 0;
+  World w(StrategyKind::kGeneralizedBottomUp, 2000, gbu);
+  for (int i = 0; i < 4000; ++i) {
+    const auto op = w.workload->NextUpdate();
+    ASSERT_TRUE(w.fx.strategy->Update(op.oid, op.from, op.to).ok());
+  }
+  EXPECT_EQ(w.fx.strategy->path_counts().ascend, 0u);
+}
+
+TEST(GbuTest, AscendsWhenAllowed) {
+  GbuOptions gbu;
+  gbu.epsilon = 0.0;  // no extension: force sibling/ascend arms
+  gbu.level_threshold = GbuOptions::kLevelThresholdMax;
+  ExperimentConfig cfg;
+  cfg.strategy = StrategyKind::kGeneralizedBottomUp;
+  cfg.workload.num_objects = 3000;
+  cfg.workload.max_move_distance = 0.2;  // fast movers escape leaves
+  cfg.gbu = gbu;
+  WorkloadGenerator workload(cfg.workload);
+  auto fx = MakeFixture(cfg);
+  ASSERT_TRUE(BuildIndex(cfg, workload, &fx).ok());
+  for (int i = 0; i < 5000; ++i) {
+    const auto op = workload.NextUpdate();
+    ASSERT_TRUE(fx.strategy->Update(op.oid, op.from, op.to).ok());
+  }
+  EXPECT_GT(fx.strategy->path_counts().ascend, 0u);
+  EXPECT_TRUE(fx.system->tree().Validate().ok());
+}
+
+TEST(GbuTest, EpsilonZeroDisablesExtension) {
+  GbuOptions gbu;
+  gbu.epsilon = 0.0;
+  World w(StrategyKind::kGeneralizedBottomUp, 2000, gbu);
+  for (int i = 0; i < 4000; ++i) {
+    const auto op = w.workload->NextUpdate();
+    ASSERT_TRUE(w.fx.strategy->Update(op.oid, op.from, op.to).ok());
+  }
+  EXPECT_EQ(w.fx.strategy->path_counts().extend, 0u);
+}
+
+TEST(GbuTest, ExtensionHappensWithPositiveEpsilon) {
+  GbuOptions gbu;
+  gbu.epsilon = 0.01;
+  gbu.distance_threshold = 1.0;  // always try extension first
+  World w(StrategyKind::kGeneralizedBottomUp, 2000, gbu);
+  for (int i = 0; i < 6000; ++i) {
+    const auto op = w.workload->NextUpdate();
+    ASSERT_TRUE(w.fx.strategy->Update(op.oid, op.from, op.to).ok());
+  }
+  EXPECT_GT(w.fx.strategy->path_counts().extend, 0u);
+  EXPECT_TRUE(w.fx.system->tree().Validate().ok());
+}
+
+TEST(GbuTest, SiblingShiftsOccurWhenShiftFirst) {
+  GbuOptions gbu;
+  gbu.distance_threshold = 0.0;  // always try sibling shift first
+  World w(StrategyKind::kGeneralizedBottomUp, 4000, gbu);
+  for (int i = 0; i < 8000; ++i) {
+    const auto op = w.workload->NextUpdate();
+    ASSERT_TRUE(w.fx.strategy->Update(op.oid, op.from, op.to).ok());
+  }
+  EXPECT_GT(w.fx.strategy->path_counts().sibling, 0u);
+  EXPECT_TRUE(w.fx.system->tree().Validate().ok());
+}
+
+TEST(GbuTest, CheapestPathCostsThreeIos) {
+  // Cost-model Case 1: hash read + leaf read + (buffered) leaf write.
+  GbuOptions gbu;
+  World w(StrategyKind::kGeneralizedBottomUp, 2000, gbu);
+  ASSERT_TRUE(w.fx.system->FlushAll().ok());
+  const auto before = w.fx.system->SnapshotIo();
+  const Point from = w.workload->position(7);
+  const Point to{from.x + 1e-12, from.y};
+  ASSERT_TRUE(w.fx.strategy->Update(7, from, to).ok());
+  ASSERT_TRUE(w.fx.system->FlushAll().ok());
+  const auto after = w.fx.system->SnapshotIo();
+  const uint64_t io = (after.tree - before.tree).total_io() +
+                      (after.hash - before.hash).total_io();
+  EXPECT_EQ(io, 3u);  // exactly the paper's Case-1 cost
+  EXPECT_EQ(w.fx.strategy->path_counts().in_place, 1u);
+}
+
+// ---- LBU-specific behavior ----
+
+TEST(LbuTest, RequiresParentPointers) {
+  ExperimentConfig cfg;
+  cfg.strategy = StrategyKind::kLocalizedBottomUp;
+  auto fx = MakeFixture(cfg);
+  EXPECT_TRUE(fx.system->tree().options().parent_pointers);
+}
+
+TEST(LbuTest, UniformExtensionBoundedByParent) {
+  LbuOptions lbu;
+  lbu.epsilon = 0.004;
+  World w(StrategyKind::kLocalizedBottomUp, 3000, GbuOptions{}, lbu);
+  for (int i = 0; i < 6000; ++i) {
+    const auto op = w.workload->NextUpdate();
+    ASSERT_TRUE(w.fx.strategy->Update(op.oid, op.from, op.to).ok());
+  }
+  const auto& counts = w.fx.strategy->path_counts();
+  EXPECT_GT(counts.in_place + counts.extend, 0u);
+  EXPECT_TRUE(w.fx.system->tree().Validate().ok());
+}
+
+// ---- TD-specific behavior ----
+
+TEST(TdTest, EveryUpdateIsTopDown) {
+  World w(StrategyKind::kTopDown, 1000);
+  for (int i = 0; i < 1000; ++i) {
+    const auto op = w.workload->NextUpdate();
+    ASSERT_TRUE(w.fx.strategy->Update(op.oid, op.from, op.to).ok());
+  }
+  EXPECT_EQ(w.fx.strategy->path_counts().top_down, 1000u);
+  EXPECT_EQ(w.fx.strategy->path_counts().total(), 1000u);
+}
+
+TEST(TdTest, UpdateOfMissingObjectFails) {
+  World w(StrategyKind::kTopDown, 100);
+  EXPECT_FALSE(
+      w.fx.strategy->Update(5000, Point{0.1, 0.1}, Point{0.2, 0.2}).ok());
+}
+
+}  // namespace
+}  // namespace burtree

@@ -1,0 +1,143 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "harness/experiment.h"
+
+namespace burtree {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(TraceTest, RoundTripsOps) {
+  TraceWriter w;
+  w.Add(TraceUpdate{42, Point{0.1, 0.2}, Point{0.3, 0.4}});
+  w.Add(TraceQuery{Rect(0.0, 0.0, 0.5, 0.5)});
+  w.Add(TraceUpdate{7, Point{0.9, 0.9}, Point{0.8, 0.8}});
+  const std::string path = TempPath("trace_roundtrip.bin");
+  ASSERT_TRUE(w.WriteTo(path).ok());
+
+  auto ops = TraceReader::ReadFrom(path);
+  ASSERT_TRUE(ops.ok());
+  ASSERT_EQ(ops.value().size(), 3u);
+  const auto& u0 = std::get<TraceUpdate>(ops.value()[0]);
+  EXPECT_EQ(u0.oid, 42u);
+  EXPECT_EQ(u0.from, (Point{0.1, 0.2}));
+  EXPECT_EQ(u0.to, (Point{0.3, 0.4}));
+  const auto& q = std::get<TraceQuery>(ops.value()[1]);
+  EXPECT_EQ(q.window, Rect(0.0, 0.0, 0.5, 0.5));
+  const auto& u2 = std::get<TraceUpdate>(ops.value()[2]);
+  EXPECT_EQ(u2.oid, 7u);
+}
+
+TEST(TraceTest, EmptyTrace) {
+  TraceWriter w;
+  const std::string path = TempPath("trace_empty.bin");
+  ASSERT_TRUE(w.WriteTo(path).ok());
+  auto ops = TraceReader::ReadFrom(path);
+  ASSERT_TRUE(ops.ok());
+  EXPECT_TRUE(ops.value().empty());
+}
+
+TEST(TraceTest, MissingFileIsNotFound) {
+  auto ops = TraceReader::ReadFrom(TempPath("nonexistent_trace.bin"));
+  EXPECT_EQ(ops.status().code(), StatusCode::kNotFound);
+}
+
+TEST(TraceTest, CorruptMagicRejected) {
+  const std::string path = TempPath("trace_bad_magic.bin");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("JUNKJUNKJUNKJUNK", f);
+  std::fclose(f);
+  auto ops = TraceReader::ReadFrom(path);
+  EXPECT_EQ(ops.status().code(), StatusCode::kCorruption);
+}
+
+TEST(TraceTest, TruncatedTraceRejected) {
+  TraceWriter w;
+  for (int i = 0; i < 10; ++i) {
+    w.Add(TraceUpdate{static_cast<ObjectId>(i), Point{0.1, 0.1},
+                      Point{0.2, 0.2}});
+  }
+  const std::string path = TempPath("trace_trunc.bin");
+  ASSERT_TRUE(w.WriteTo(path).ok());
+  // Chop the last 8 bytes off.
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 8);
+  auto ops = TraceReader::ReadFrom(path);
+  EXPECT_EQ(ops.status().code(), StatusCode::kCorruption);
+}
+
+TEST(TraceTest, RecordedWorkloadReplaysIdentically) {
+  // Record a workload, replay it against GBU, and check the result equals
+  // running the generator live with the same seed.
+  WorkloadOptions wopts;
+  wopts.num_objects = 2000;
+  wopts.seed = 77;
+
+  // Live run.
+  ExperimentConfig cfg;
+  cfg.strategy = StrategyKind::kGeneralizedBottomUp;
+  cfg.workload = wopts;
+  WorkloadGenerator live(wopts);
+  auto live_fx = MakeFixture(cfg);
+  ASSERT_TRUE(BuildIndex(cfg, live, &live_fx).ok());
+  for (int i = 0; i < 3000; ++i) {
+    const auto op = live.NextUpdate();
+    ASSERT_TRUE(live_fx.strategy->Update(op.oid, op.from, op.to).ok());
+  }
+
+  // Recorded run.
+  WorkloadGenerator rec(wopts);
+  auto replay_fx = MakeFixture(cfg);
+  ASSERT_TRUE(BuildIndex(cfg, rec, &replay_fx).ok());
+  TraceWriter w;
+  for (const TraceOp& op : RecordWorkload(&rec, 3000, 50)) {
+    if (const auto* u = std::get_if<TraceUpdate>(&op)) w.Add(*u);
+    if (const auto* q = std::get_if<TraceQuery>(&op)) w.Add(*q);
+  }
+  const std::string path = TempPath("trace_replay.bin");
+  ASSERT_TRUE(w.WriteTo(path).ok());
+  auto ops = TraceReader::ReadFrom(path);
+  ASSERT_TRUE(ops.ok());
+  size_t updates = 0, queries = 0;
+  for (const TraceOp& op : ops.value()) {
+    if (const auto* u = std::get_if<TraceUpdate>(&op)) {
+      ASSERT_TRUE(replay_fx.strategy->Update(u->oid, u->from, u->to).ok());
+      ++updates;
+    } else {
+      const auto& q = std::get<TraceQuery>(op);
+      ASSERT_TRUE(replay_fx.executor->Query(q.window).ok());
+      ++queries;
+    }
+  }
+  EXPECT_EQ(updates, 3000u);
+  EXPECT_EQ(queries, 50u);
+
+  // Both trees contain the same objects at the same final positions.
+  std::vector<std::pair<ObjectId, double>> a, b;
+  ASSERT_TRUE(live_fx.system->tree()
+                  .Query(Rect(0, 0, 1, 1),
+                         [&](ObjectId oid, const Rect& r) {
+                           a.emplace_back(oid, r.min_x + r.min_y);
+                         })
+                  .ok());
+  ASSERT_TRUE(replay_fx.system->tree()
+                  .Query(Rect(0, 0, 1, 1),
+                         [&](ObjectId oid, const Rect& r) {
+                           b.emplace_back(oid, r.min_x + r.min_y);
+                         })
+                  .ok());
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace burtree

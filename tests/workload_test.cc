@@ -1,0 +1,131 @@
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace burtree {
+namespace {
+
+TEST(DistributionsTest, UniformCoversSquare) {
+  Rng rng(1);
+  double min_x = 1, max_x = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const Point p = SamplePoint(rng, Distribution::kUniform);
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 1.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 1.0);
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+  }
+  EXPECT_LT(min_x, 0.05);
+  EXPECT_GT(max_x, 0.95);
+}
+
+TEST(DistributionsTest, GaussianClustersAtCenter) {
+  Rng rng(2);
+  int central = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const Point p = SamplePoint(rng, Distribution::kGaussian);
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 1.0);
+    central += (std::abs(p.x - 0.5) < 0.24 && std::abs(p.y - 0.5) < 0.24);
+  }
+  // ~95% within 2 sigma per axis.
+  EXPECT_GT(central, 4000);
+}
+
+TEST(DistributionsTest, SkewedPullsTowardsOrigin) {
+  Rng rng(3);
+  int low = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const Point p = SamplePoint(rng, Distribution::kSkewed);
+    low += (p.x < 0.125);  // u^3 < 0.125 iff u < 0.5: half the mass
+  }
+  EXPECT_GT(low, 2200);
+  EXPECT_LT(low, 2800);
+}
+
+TEST(DistributionsTest, ParseNames) {
+  Distribution d;
+  EXPECT_TRUE(ParseDistribution("uniform", &d));
+  EXPECT_EQ(d, Distribution::kUniform);
+  EXPECT_TRUE(ParseDistribution("Gaussian", &d));
+  EXPECT_EQ(d, Distribution::kGaussian);
+  EXPECT_TRUE(ParseDistribution("SKEW", &d));
+  EXPECT_EQ(d, Distribution::kSkewed);
+  EXPECT_FALSE(ParseDistribution("pareto", &d));
+}
+
+TEST(WorkloadGeneratorTest, DeterministicStreams) {
+  WorkloadOptions opts;
+  opts.num_objects = 100;
+  opts.seed = 7;
+  WorkloadGenerator a(opts), b(opts);
+  EXPECT_EQ(a.initial_positions().size(), 100u);
+  for (int i = 0; i < 500; ++i) {
+    const auto ua = a.NextUpdate();
+    const auto ub = b.NextUpdate();
+    EXPECT_EQ(ua.oid, ub.oid);
+    EXPECT_EQ(ua.to, ub.to);
+    EXPECT_EQ(a.NextQueryWindow(), b.NextQueryWindow());
+  }
+}
+
+TEST(WorkloadGeneratorTest, RoundRobinObjectSelection) {
+  WorkloadOptions opts;
+  opts.num_objects = 10;
+  WorkloadGenerator g(opts);
+  for (int round = 0; round < 3; ++round) {
+    for (ObjectId i = 0; i < 10; ++i) {
+      EXPECT_EQ(g.NextUpdate().oid, i);
+    }
+  }
+}
+
+TEST(WorkloadGeneratorTest, MovesAreBoundedAndChained) {
+  WorkloadOptions opts;
+  opts.num_objects = 50;
+  opts.max_move_distance = 0.05;
+  WorkloadGenerator g(opts);
+  for (int i = 0; i < 2000; ++i) {
+    const auto u = g.NextUpdate();
+    // `from` is the object's previous position (chained state).
+    EXPECT_EQ(u.to, g.position(u.oid));
+    EXPECT_GE(u.to.x, 0.0);
+    EXPECT_LE(u.to.x, 1.0);
+    EXPECT_GE(u.to.y, 0.0);
+    EXPECT_LE(u.to.y, 1.0);
+    // Reflection can at most preserve the displacement magnitude.
+    EXPECT_LE(u.from.DistanceTo(u.to), 0.05 * std::sqrt(2.0) + 1e-9);
+  }
+}
+
+TEST(WorkloadGeneratorTest, QueryWindowsRespectMaxDim) {
+  WorkloadOptions opts;
+  opts.query_max_dim = 0.07;
+  WorkloadGenerator g(opts);
+  for (int i = 0; i < 2000; ++i) {
+    const Rect w = g.NextQueryWindow();
+    EXPECT_GE(w.min_x, 0.0);
+    EXPECT_LE(w.max_x, 1.0);
+    EXPECT_GE(w.min_y, 0.0);
+    EXPECT_LE(w.max_y, 1.0);
+    EXPECT_LE(w.Width(), 0.07);
+    EXPECT_LE(w.Height(), 0.07);
+  }
+}
+
+TEST(WorkloadGeneratorTest, PerThreadUpdatesUseCallerRng) {
+  WorkloadOptions opts;
+  opts.num_objects = 10;
+  WorkloadGenerator g(opts);
+  Rng rng(5);
+  const auto u = g.NextUpdateFor(3, rng);
+  EXPECT_EQ(u.oid, 3u);
+  EXPECT_EQ(g.position(3), u.to);
+}
+
+}  // namespace
+}  // namespace burtree
