@@ -28,18 +28,33 @@ struct BenchArgs {
   Distribution distribution = Distribution::kUniform;
   bool csv = false;
 
+  static constexpr const char* kScaleHelp =
+      "BURTREE_SCALE=<f> multiplies objects/updates/queries "
+      "(paper scale: 20).";
+
   static BenchArgs Parse(int argc, char** argv) {
     CliArgs cli(argc, argv);
+    BenchArgs a = FromCli(cli);
+    cli.ExitIfHelpRequested(argv[0], kScaleHelp);
+    return a;
+  }
+
+  /// `default_objects` / `default_buffer` let a bench advertise its own
+  /// defaults (fig8 runs denser and unbuffered) while keeping --help in
+  /// sync with what an unflagged run actually uses.
+  static BenchArgs FromCli(const CliArgs& cli,
+                           uint64_t default_objects = 50000,
+                           double default_buffer = 0.01) {
     BenchArgs a;
-    a.objects = CliArgs::Scaled(
-        static_cast<uint64_t>(cli.GetInt("objects", 50000)));
+    a.objects = CliArgs::Scaled(static_cast<uint64_t>(
+        cli.GetInt("objects", static_cast<int64_t>(default_objects))));
     a.updates = CliArgs::Scaled(
         static_cast<uint64_t>(cli.GetInt("updates", 50000)));
     a.queries = CliArgs::Scaled(
         static_cast<uint64_t>(cli.GetInt("queries", 1000)));
     a.max_move = cli.GetDouble("max-move", 0.03);
     a.query_max_dim = cli.GetDouble("query-dim", 0.1);
-    a.buffer_fraction = cli.GetDouble("buffer", 0.01);
+    a.buffer_fraction = cli.GetDouble("buffer", default_buffer);
     a.seed = static_cast<uint64_t>(cli.GetInt("seed", 20030901));
     a.csv = cli.GetBool("csv", false);
     ParseDistribution(cli.GetString("dist", "uniform"), &a.distribution);

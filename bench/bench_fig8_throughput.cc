@@ -9,21 +9,19 @@ using namespace burtree;
 using namespace burtree::bench;
 
 int main(int argc, char** argv) {
-  BenchArgs args = BenchArgs::Parse(argc, argv);
   CliArgs cli(argc, argv);
   // Throughput defaults differ from the figure benches: a denser tree and
   // no buffer keep per-op I/O in the paper's disk-bound regime (tps is
   // governed by I/O counts + DGL conflicts; see DESIGN.md).
-  if (!cli.Has("objects")) {
-    args.objects = CliArgs::Scaled(150000);
-  }
-  if (!cli.Has("buffer")) args.buffer_fraction = 0.0;
+  BenchArgs args = BenchArgs::FromCli(cli, /*default_objects=*/150000,
+                                      /*default_buffer=*/0.0);
   const uint32_t threads =
       static_cast<uint32_t>(cli.GetInt("threads", 50));
   const uint64_t ops =
       static_cast<uint64_t>(cli.GetInt("ops-per-thread", 120));
   const uint64_t latency_us =
       static_cast<uint64_t>(cli.GetInt("io-latency-us", 100));
+  cli.ExitIfHelpRequested(argv[0], BenchArgs::kScaleHelp);
   PrintHeader("Figure 8: throughput, DGL, " + std::to_string(threads) +
                   " threads",
               args);

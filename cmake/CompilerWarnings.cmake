@@ -1,0 +1,10 @@
+# Shared warning configuration: every first-party target opts in via
+# burtree_set_warnings(<target>). Third-party code (googletest) is excluded.
+set(BURTREE_WARNING_FLAGS -Wall -Wextra)
+if(BURTREE_WERROR)
+  list(APPEND BURTREE_WARNING_FLAGS -Werror)
+endif()
+
+function(burtree_set_warnings target)
+  target_compile_options(${target} PRIVATE ${BURTREE_WARNING_FLAGS})
+endfunction()

@@ -40,6 +40,7 @@ int main(int argc, char** argv) {
       CliArgs::Scaled(static_cast<uint64_t>(cli.GetInt("vehicles", 20000)));
   const int kMinutes = static_cast<int>(cli.GetInt("minutes", 30));
   const StrategyKind kind = ParseStrategy(cli.GetString("strategy", "GBU"));
+  cli.ExitIfHelpRequested(argv[0]);
 
   // City model: vehicles confined to the unit square, typical speed
   // 0.2-1.5 km/min on a 50 km-wide city => 0.004-0.03 in unit space.

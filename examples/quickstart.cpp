@@ -1,7 +1,7 @@
 // Quickstart: build a GBU-updatable R-tree index, insert moving objects,
 // update them bottom-up, and run window queries.
 //
-//   $ ./quickstart
+//   $ ./quickstart [--objects 5000]
 //
 // This is the smallest end-to-end use of the public API:
 //   IndexSystem (storage + buffer + R-tree + oid index + summary)
@@ -10,12 +10,21 @@
 #include <cstdio>
 
 #include "common/random.h"
+#include "harness/cli.h"
 #include "update/gbu.h"
 #include "update/query_executor.h"
 
 using namespace burtree;
 
-int main() {
+int main(int argc, char** argv) {
+  CliArgs cli(argc, argv);
+  const int64_t objects_flag = cli.GetInt("objects", 5000);
+  cli.ExitIfHelpRequested(argv[0]);
+  if (objects_flag < 0) {
+    std::fprintf(stderr, "--objects must be >= 0\n");
+    return 1;
+  }
+  const uint64_t kObjects = static_cast<uint64_t>(objects_flag);
   // 1. Assemble the engine. GBU needs the oid hash index and the
   //    main-memory summary structure; both stay in sync automatically.
   IndexSystemOptions options;
@@ -26,7 +35,6 @@ int main() {
 
   // 2. Insert a few thousand point objects.
   Rng rng(7);
-  const int kObjects = 5000;
   std::vector<Point> positions;
   for (ObjectId oid = 0; oid < kObjects; ++oid) {
     const Point p{rng.NextDouble(), rng.NextDouble()};
@@ -36,8 +44,9 @@ int main() {
       return 1;
     }
   }
-  std::printf("built an R-tree of height %u over %d objects\n",
-              system.tree().height(), kObjects);
+  std::printf("built an R-tree of height %u over %llu objects\n",
+              system.tree().height(),
+              static_cast<unsigned long long>(kObjects));
 
   // 3. Move every object a little, bottom-up (paper defaults).
   GeneralizedBottomUpStrategy gbu(&system, GbuOptions{});

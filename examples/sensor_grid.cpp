@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   const uint32_t kThreads =
       static_cast<uint32_t>(cli.GetInt("threads", 8));
   const double kSeconds = cli.GetDouble("seconds", 3.0);
+  cli.ExitIfHelpRequested(argv[0]);
 
   // Sensor readings cluster around operating points: Gaussian initial
   // distribution, tiny drift per sample (strong update locality — the

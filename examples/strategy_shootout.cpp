@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
       CliArgs::Scaled(static_cast<uint64_t>(cli.GetInt("queries", 500)));
   base.workload.max_move_distance = cli.GetDouble("max-move", 0.03);
   base.buffer_fraction = cli.GetDouble("buffer", 0.01);
+  cli.ExitIfHelpRequested(argv[0]);
 
   std::printf(
       "shootout: %llu objects, %llu updates, %llu queries, max-move %.3f\n\n",

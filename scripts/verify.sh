@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build, and run the full test suite.
+#
+#   scripts/verify.sh [Debug|Release] [extra cmake args...]
+#
+# Exits non-zero on the first failing step. CI runs this for Debug,
+# Release, and a sanitizer configuration (-DBURTREE_SANITIZE=ON).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_TYPE="${1:-Release}"
+shift || true
+BUILD_DIR="build-verify-$(echo "${BUILD_TYPE}$*" | tr -cd '[:alnum:]' \
+  | tr '[:upper:]' '[:lower:]')"
+
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE="${BUILD_TYPE}" "$@"
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"

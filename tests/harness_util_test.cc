@@ -62,6 +62,52 @@ TEST(CliArgsTest, DefaultsWhenAbsent) {
   EXPECT_FALSE(args.Has("objects"));
 }
 
+TEST(CliArgsTest, HelpRequestedByEitherSpelling) {
+  const char* with_long[] = {"prog", "--help"};
+  EXPECT_TRUE(CliArgs(2, const_cast<char**>(with_long)).HelpRequested());
+  const char* with_short[] = {"prog", "-h"};
+  EXPECT_TRUE(CliArgs(2, const_cast<char**>(with_short)).HelpRequested());
+  const char* none[] = {"prog", "--objects=5"};
+  EXPECT_FALSE(CliArgs(2, const_cast<char**>(none)).HelpRequested());
+}
+
+TEST(CliArgsTest, RecordsQueriedFlagsForUsage) {
+  const char* argv[] = {"prog", "--objects=5000"};
+  CliArgs args(2, const_cast<char**>(argv));
+  (void)args.GetInt("objects", 100);
+  (void)args.GetDouble("epsilon", 0.25);
+  (void)args.GetString("dist", "uniform");
+  (void)args.GetBool("csv", false);
+  (void)args.GetInt("objects", 100);  // repeat queries record once
+  ASSERT_EQ(args.known_flags().size(), 4u);
+  EXPECT_EQ(args.known_flags()[0].first, "objects");
+  // Defaults are recorded, not the parsed values.
+  EXPECT_EQ(args.known_flags()[0].second, "100");
+  EXPECT_EQ(args.known_flags()[3].second, "false");
+
+  std::ostringstream os;
+  args.PrintUsage(os);
+  const std::string usage = os.str();
+  EXPECT_NE(usage.find("--objects (default: 100)"), std::string::npos);
+  EXPECT_NE(usage.find("--dist (default: uniform)"), std::string::npos);
+}
+
+TEST(CliArgsTest, ExitIfHelpRequestedPrintsUsageAndExitsZero) {
+  const char* argv[] = {"prog", "--help"};
+  CliArgs args(2, const_cast<char**>(argv));
+  (void)args.GetInt("objects", 100);
+  // (Help goes to stdout; EXPECT_EXIT's matcher only sees stderr, so just
+  // assert the clean exit — PrintUsage content is covered above.)
+  EXPECT_EXIT(args.ExitIfHelpRequested("prog", "footer note"),
+              ::testing::ExitedWithCode(0), "");
+}
+
+TEST(CliArgsTest, ExitIfHelpRequestedIsANoOpWithoutHelp) {
+  const char* argv[] = {"prog"};
+  CliArgs args(1, const_cast<char**>(argv));
+  args.ExitIfHelpRequested("prog");  // must return normally
+}
+
 TEST(CliArgsTest, ScaleFactorDefaultsToOne) {
   // (BURTREE_SCALE is not set in the test environment.)
   if (getenv("BURTREE_SCALE") == nullptr) {

@@ -1,0 +1,39 @@
+// BURTREE_CHECK / BURTREE_DCHECK contract: passing checks are silent
+// no-ops, failing checks abort with file:line context. Death tests keep
+// the invariant machinery itself honest — every layer leans on it.
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace burtree {
+namespace {
+
+TEST(LoggingTest, PassingCheckIsANoOp) {
+  int evaluations = 0;
+  BURTREE_CHECK(++evaluations == 1);
+  EXPECT_EQ(evaluations, 1);  // the expression runs exactly once
+}
+
+TEST(LoggingDeathTest, FailingCheckAbortsWithContext) {
+  EXPECT_DEATH(BURTREE_CHECK(1 + 1 == 3), "CHECK failed at .*: 1 \\+ 1 == 3");
+}
+
+TEST(LoggingDeathTest, FailingCheckReportsFileAndLine) {
+  EXPECT_DEATH(BURTREE_CHECK(false), "logging_test\\.cc");
+}
+
+#ifdef NDEBUG
+TEST(LoggingTest, DcheckCompilesOutInReleaseBuilds) {
+  // The expression must not even be evaluated.
+  int evaluations = 0;
+  BURTREE_DCHECK(++evaluations > 0);
+  EXPECT_EQ(evaluations, 0);
+}
+#else
+TEST(LoggingDeathTest, DcheckAbortsInDebugBuilds) {
+  EXPECT_DEATH(BURTREE_DCHECK(false), "CHECK failed");
+}
+#endif
+
+}  // namespace
+}  // namespace burtree

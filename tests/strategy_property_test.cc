@@ -113,6 +113,89 @@ TEST(CrossStrategyEquivalenceTest, SameAnswersAllStrategies) {
   EXPECT_EQ(answers[0], answers[2]);
 }
 
+// Strategy equivalence under tuning + distribution sweeps: after an
+// identical randomized update trace, TD, LBU, and GBU must return
+// byte-identical window-query result sets, for every (epsilon, delta)
+// tuning and for uniform as well as skewed initial placements.
+struct EquivalenceParam {
+  double epsilon;
+  double delta;
+  Distribution dist;
+};
+
+std::string EquivalenceParamName(
+    const ::testing::TestParamInfo<EquivalenceParam>& info) {
+  const EquivalenceParam& p = info.param;
+  std::string name = DistributionName(p.dist);
+  name += "_eps";
+  name += std::to_string(static_cast<int>(p.epsilon * 1000));
+  name += "_delta";
+  name += std::to_string(static_cast<int>(p.delta * 1000));
+  return name;
+}
+
+class StrategyTraceEquivalenceTest
+    : public ::testing::TestWithParam<EquivalenceParam> {};
+
+TEST_P(StrategyTraceEquivalenceTest, IdenticalAnswersAfterIdenticalTrace) {
+  const EquivalenceParam p = GetParam();
+  constexpr int kUpdates = 3000;
+  constexpr int kQueries = 20;
+  // answers[strategy][query] — compared for byte-identical equality below.
+  std::vector<std::vector<std::set<ObjectId>>> answers;
+  for (StrategyKind kind :
+       {StrategyKind::kTopDown, StrategyKind::kLocalizedBottomUp,
+        StrategyKind::kGeneralizedBottomUp}) {
+    ExperimentConfig cfg;
+    cfg.strategy = kind;
+    cfg.workload.num_objects = 1000;
+    cfg.workload.distribution = p.dist;
+    cfg.workload.seed = 20260707;
+    cfg.gbu.epsilon = p.epsilon;
+    cfg.gbu.distance_threshold = p.delta;
+    cfg.lbu.epsilon = p.epsilon;
+    WorkloadGenerator workload(cfg.workload);
+    auto fx = MakeFixture(cfg);
+    ASSERT_TRUE(BuildIndex(cfg, workload, &fx).ok());
+    for (int i = 0; i < kUpdates; ++i) {
+      const auto op = workload.NextUpdate();
+      ASSERT_TRUE(fx.strategy->Update(op.oid, op.from, op.to).ok())
+          << StrategyName(kind) << " update " << i;
+    }
+    ASSERT_TRUE(fx.system->tree().Validate().ok());
+    std::vector<std::set<ObjectId>> per_query;
+    for (int q = 0; q < kQueries; ++q) {
+      const Rect window = workload.NextQueryWindow();
+      std::set<ObjectId> got;
+      auto matches = fx.executor->Query(
+          window, [&](ObjectId oid, const Rect&) { got.insert(oid); });
+      ASSERT_TRUE(matches.ok());
+      // Each strategy must also agree with the generator's ground truth.
+      EXPECT_EQ(got, ExactQuery(workload, window))
+          << StrategyName(kind) << " query " << q;
+      per_query.push_back(std::move(got));
+    }
+    answers.push_back(std::move(per_query));
+  }
+  EXPECT_EQ(answers[0], answers[1]) << "TD vs LBU";
+  EXPECT_EQ(answers[0], answers[2]) << "TD vs GBU";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EpsilonDeltaDistributionSweep, StrategyTraceEquivalenceTest,
+    ::testing::Values(
+        EquivalenceParam{0.0, 0.0, Distribution::kUniform},
+        EquivalenceParam{0.0, 0.3, Distribution::kUniform},
+        EquivalenceParam{0.003, 0.03, Distribution::kUniform},
+        EquivalenceParam{0.015, 0.0, Distribution::kUniform},
+        EquivalenceParam{0.015, 0.3, Distribution::kUniform},
+        EquivalenceParam{0.0, 0.0, Distribution::kSkewed},
+        EquivalenceParam{0.0, 0.3, Distribution::kSkewed},
+        EquivalenceParam{0.003, 0.03, Distribution::kSkewed},
+        EquivalenceParam{0.015, 0.0, Distribution::kSkewed},
+        EquivalenceParam{0.015, 0.3, Distribution::kSkewed}),
+    EquivalenceParamName);
+
 // Failure injection: updates against a missing oid must fail cleanly and
 // leave the structures intact for all strategies.
 class MissingObjectTest : public ::testing::TestWithParam<StrategyKind> {};

@@ -1,0 +1,174 @@
+// Unit tests for the UpdatePath decision ladder (src/update/strategy.h):
+// every arm must be reachable under some tuning, and UpdatePathCounts::Record
+// must tally exactly the paths Update() actually reports.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+
+namespace burtree {
+namespace {
+
+// ---- UpdatePathCounts::Record in isolation ----
+
+TEST(UpdatePathCountsTest, EachArmIncrementsItsCounter) {
+  UpdatePathCounts c;
+  c.Record(UpdatePath::kInPlace);
+  c.Record(UpdatePath::kExtend);
+  c.Record(UpdatePath::kSibling);
+  c.Record(UpdatePath::kAscend);
+  c.Record(UpdatePath::kRootInsert);
+  c.Record(UpdatePath::kTopDown);
+  EXPECT_EQ(c.in_place, 1u);
+  EXPECT_EQ(c.extend, 1u);
+  EXPECT_EQ(c.sibling, 1u);
+  EXPECT_EQ(c.ascend, 1u);
+  EXPECT_EQ(c.root_insert, 1u);
+  EXPECT_EQ(c.top_down, 1u);
+  EXPECT_EQ(c.total(), 6u);
+}
+
+TEST(UpdatePathCountsTest, TotalSumsRepeatedRecords) {
+  UpdatePathCounts c;
+  for (int i = 0; i < 5; ++i) c.Record(UpdatePath::kInPlace);
+  for (int i = 0; i < 3; ++i) c.Record(UpdatePath::kTopDown);
+  EXPECT_EQ(c.in_place, 5u);
+  EXPECT_EQ(c.top_down, 3u);
+  EXPECT_EQ(c.total(), 8u);
+}
+
+// ---- Ladder accounting against live strategies ----
+
+void ExpectSameCounts(const UpdatePathCounts& got,
+                      const UpdatePathCounts& want) {
+  EXPECT_EQ(got.in_place, want.in_place);
+  EXPECT_EQ(got.extend, want.extend);
+  EXPECT_EQ(got.sibling, want.sibling);
+  EXPECT_EQ(got.ascend, want.ascend);
+  EXPECT_EQ(got.root_insert, want.root_insert);
+  EXPECT_EQ(got.top_down, want.top_down);
+}
+
+struct ArmCase {
+  const char* label;
+  ExperimentConfig cfg;
+  int updates;
+  // Which counter must end up positive (pointer-to-member).
+  uint64_t UpdatePathCounts::*arm;
+};
+
+ExperimentConfig BaseConfig(StrategyKind kind, uint64_t objects,
+                            double max_move = 0.03) {
+  ExperimentConfig cfg;
+  cfg.strategy = kind;
+  cfg.workload.num_objects = objects;
+  cfg.workload.max_move_distance = max_move;
+  cfg.workload.seed = 20260728;
+  return cfg;
+}
+
+std::vector<ArmCase> ArmCases() {
+  std::vector<ArmCase> cases;
+  {
+    // kInPlace: vanishing moves stay inside the leaf MBR (GBU Case 1).
+    ArmCase c{"gbu_in_place",
+              BaseConfig(StrategyKind::kGeneralizedBottomUp, 2000, 1e-9), 2000,
+              &UpdatePathCounts::in_place};
+    cases.push_back(c);
+  }
+  {
+    // kExtend: positive epsilon with a delta so large every object counts
+    // as slow, so extension is always attempted first (GBU Case 2).
+    ArmCase c{"gbu_extend",
+              BaseConfig(StrategyKind::kGeneralizedBottomUp, 2000), 6000,
+              &UpdatePathCounts::extend};
+    c.cfg.gbu.epsilon = 0.01;
+    c.cfg.gbu.distance_threshold = 1.0;
+    cases.push_back(c);
+  }
+  {
+    // kSibling: delta = 0 marks every object fast, shifting before
+    // extending (GBU Case 3).
+    ArmCase c{"gbu_sibling",
+              BaseConfig(StrategyKind::kGeneralizedBottomUp, 4000), 8000,
+              &UpdatePathCounts::sibling};
+    c.cfg.gbu.distance_threshold = 0.0;
+    cases.push_back(c);
+  }
+  {
+    // kAscend: no extension, unbounded level threshold, fast movers leave
+    // their leaf and re-enter below a bounding ancestor (GBU only).
+    ArmCase c{"gbu_ascend",
+              BaseConfig(StrategyKind::kGeneralizedBottomUp, 3000, 0.2), 5000,
+              &UpdatePathCounts::ascend};
+    c.cfg.gbu.epsilon = 0.0;
+    c.cfg.gbu.level_threshold = GbuOptions::kLevelThresholdMax;
+    cases.push_back(c);
+  }
+  {
+    // kRootInsert: LBU with no enlargement and fast movers — when neither
+    // the leaf, an epsilon-extension, nor any sibling bounds the target,
+    // Algorithm 1 falls through to a root insert.
+    ArmCase c{"lbu_root_insert",
+              BaseConfig(StrategyKind::kLocalizedBottomUp, 2000, 0.2), 4000,
+              &UpdatePathCounts::root_insert};
+    c.cfg.lbu.epsilon = 0.0;
+    cases.push_back(c);
+  }
+  {
+    // kTopDown: the TD strategy takes the full delete+insert arm always.
+    ArmCase c{"td_top_down", BaseConfig(StrategyKind::kTopDown, 1000), 1000,
+              &UpdatePathCounts::top_down};
+    cases.push_back(c);
+  }
+  return cases;
+}
+
+class UpdatePathArmTest : public ::testing::TestWithParam<ArmCase> {};
+
+TEST_P(UpdatePathArmTest, ArmFiresAndRecordMatchesReportedPaths) {
+  const ArmCase& p = GetParam();
+  WorkloadGenerator workload(p.cfg.workload);
+  auto fx = MakeFixture(p.cfg);
+  ASSERT_TRUE(BuildIndex(p.cfg, workload, &fx).ok());
+  fx.strategy->ResetPathCounts();
+
+  // Tally what Update() reports and compare to the strategy's own counts.
+  UpdatePathCounts observed;
+  for (int i = 0; i < p.updates; ++i) {
+    const auto op = workload.NextUpdate();
+    auto r = fx.strategy->Update(op.oid, op.from, op.to);
+    ASSERT_TRUE(r.ok()) << "update " << i;
+    observed.Record(r.value().path);
+  }
+
+  const UpdatePathCounts& counts = fx.strategy->path_counts();
+  ExpectSameCounts(counts, observed);
+  EXPECT_EQ(counts.total(), static_cast<uint64_t>(p.updates));
+  EXPECT_GT(counts.*(p.arm), 0u) << "arm never fired: " << p.label;
+  EXPECT_TRUE(fx.system->tree().Validate().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Arms, UpdatePathArmTest,
+                         ::testing::ValuesIn(ArmCases()),
+                         [](const auto& info) {
+                           return std::string(info.param.label);
+                         });
+
+// ResetPathCounts must zero every arm so experiment phases can be measured
+// independently.
+TEST(UpdatePathArmTest, ResetClearsAllCounters) {
+  ExperimentConfig cfg = BaseConfig(StrategyKind::kGeneralizedBottomUp, 500);
+  WorkloadGenerator workload(cfg.workload);
+  auto fx = MakeFixture(cfg);
+  ASSERT_TRUE(BuildIndex(cfg, workload, &fx).ok());
+  for (int i = 0; i < 200; ++i) {
+    const auto op = workload.NextUpdate();
+    ASSERT_TRUE(fx.strategy->Update(op.oid, op.from, op.to).ok());
+  }
+  ASSERT_GT(fx.strategy->path_counts().total(), 0u);
+  fx.strategy->ResetPathCounts();
+  ExpectSameCounts(fx.strategy->path_counts(), UpdatePathCounts{});
+}
+
+}  // namespace
+}  // namespace burtree
