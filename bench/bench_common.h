@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -24,6 +25,7 @@ struct BenchArgs {
   double max_move = 0.03;
   double query_max_dim = 0.1;
   double buffer_fraction = 0.01;
+  size_t buffer_shards = 1;
   uint64_t seed = 20030901;
   Distribution distribution = Distribution::kUniform;
   bool csv = false;
@@ -55,6 +57,7 @@ struct BenchArgs {
     a.max_move = cli.GetDouble("max-move", 0.03);
     a.query_max_dim = cli.GetDouble("query-dim", 0.1);
     a.buffer_fraction = cli.GetDouble("buffer", default_buffer);
+    a.buffer_shards = static_cast<size_t>(cli.GetInt("shards", 1));
     a.seed = static_cast<uint64_t>(cli.GetInt("seed", 20030901));
     a.csv = cli.GetBool("csv", false);
     ParseDistribution(cli.GetString("dist", "uniform"), &a.distribution);
@@ -72,19 +75,41 @@ struct BenchArgs {
     cfg.num_updates = updates;
     cfg.num_queries = queries;
     cfg.buffer_fraction = buffer_fraction;
+    cfg.buffer_shards = buffer_shards;
     return cfg;
   }
 };
+
+/// Parses a comma-separated count list ("1,4,8") for sweep axes.
+/// Zero and non-numeric tokens are dropped: every sweep axis value is a
+/// divisor or allocation count, so 0 is never meaningful.
+inline std::vector<size_t> ParseCountList(const std::string& s) {
+  std::vector<size_t> out;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    const std::string tok = s.substr(pos, comma - pos);
+    if (!tok.empty()) {
+      const auto v =
+          static_cast<size_t>(std::strtoull(tok.c_str(), nullptr, 10));
+      if (v > 0) out.push_back(v);
+    }
+    pos = comma + 1;
+  }
+  return out;
+}
 
 inline void PrintHeader(const std::string& title, const BenchArgs& a) {
   std::printf("=== %s ===\n", title.c_str());
   std::printf(
       "workload: %llu objects, %llu updates, %llu queries, max-move %.3f, "
-      "buffer %.1f%%, dist %s, seed %llu\n\n",
+      "buffer %.1f%% (%zu shard%s), dist %s, seed %llu\n\n",
       static_cast<unsigned long long>(a.objects),
       static_cast<unsigned long long>(a.updates),
       static_cast<unsigned long long>(a.queries), a.max_move,
-      a.buffer_fraction * 100.0, DistributionName(a.distribution),
+      a.buffer_fraction * 100.0, a.buffer_shards,
+      a.buffer_shards == 1 ? "" : "s", DistributionName(a.distribution),
       static_cast<unsigned long long>(a.seed));
 }
 

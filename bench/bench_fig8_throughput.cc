@@ -21,7 +21,63 @@ int main(int argc, char** argv) {
       static_cast<uint64_t>(cli.GetInt("ops-per-thread", 120));
   const uint64_t latency_us =
       static_cast<uint64_t>(cli.GetInt("io-latency-us", 100));
+  // Optional shards × threads sweep: --sweep-shards 1,4,8 [--sweep-threads
+  // 8,16] replaces the update-mix rows with a GBU throughput grid at the
+  // given mix (--sweep-update-pct). Pair with --buffer > 0 so the pool is
+  // actually on the path.
+  const std::vector<size_t> sweep_shards =
+      ParseCountList(cli.GetString("sweep-shards", ""));
+  std::vector<size_t> sweep_threads =
+      ParseCountList(cli.GetString("sweep-threads", ""));
+  const double sweep_update_pct = cli.GetDouble("sweep-update-pct", 50.0);
   cli.ExitIfHelpRequested(argv[0], BenchArgs::kScaleHelp);
+  if (!sweep_shards.empty()) {
+    if (sweep_threads.empty()) sweep_threads = {threads};
+    // The sweep grid runs its own thread counts; name them in the header
+    // instead of the (unused) --threads value.
+    std::string tlist;
+    for (size_t t : sweep_threads) {
+      tlist += (tlist.empty() ? "" : ",") + std::to_string(t);
+    }
+    PrintHeader("Figure 8: throughput, DGL, shard sweep, threads " + tlist,
+                args);
+    std::vector<std::string> headers{"shards"};
+    for (size_t t : sweep_threads) {
+      headers.push_back(std::to_string(t) +
+                        (t == 1 ? " thread" : " threads"));
+    }
+    TablePrinter table(headers);
+    for (size_t s : sweep_shards) {
+      std::vector<std::string> cells{std::to_string(s)};
+      for (size_t t : sweep_threads) {
+        ThroughputConfig cfg;
+        cfg.base = args.BaseConfig(StrategyKind::kGeneralizedBottomUp);
+        cfg.base.buffer_shards = s;
+        cfg.threads = static_cast<uint32_t>(t);
+        cfg.ops_per_thread = ops;
+        cfg.update_fraction = sweep_update_pct / 100.0;
+        cfg.query_max_dim = 0.01;
+        cfg.concurrency.io_latency_us = latency_us;
+        auto res = RunThroughput(cfg);
+        if (!res.ok()) {
+          std::fprintf(stderr, "throughput run failed: %s\n",
+                       res.status().ToString().c_str());
+          return 1;
+        }
+        cells.push_back(TablePrinter::Fmt(res.value().tps, 0));
+      }
+      table.AddRow(std::move(cells));
+    }
+    std::printf("-- GBU throughput (tps), %.0f%% updates, shards x threads --\n",
+                sweep_update_pct);
+    if (args.csv) {
+      table.PrintCsv(std::cout);
+    } else {
+      table.Print(std::cout);
+    }
+    return 0;
+  }
+
   PrintHeader("Figure 8: throughput, DGL, " + std::to_string(threads) +
                   " threads",
               args);

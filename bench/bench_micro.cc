@@ -2,6 +2,9 @@
 // storage engine, the R-tree primitives, and the three update strategies.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <thread>
+
 #include "harness/experiment.h"
 
 namespace burtree {
@@ -30,6 +33,43 @@ void BM_BufferPoolHit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BufferPoolHit);
+
+// Multi-threaded hit path: each google-benchmark thread hammers its own
+// hot page; the Arg is the shard count, so Arg(1) measures single-latch
+// contention and higher args show the sharding win.
+void BM_ShardedPoolConcurrentHit(benchmark::State& state) {
+  static PageFile* file = nullptr;
+  static std::atomic<BufferPool*> pool{nullptr};
+  if (state.thread_index() == 0) {
+    file = new PageFile(1024);
+    auto* p =
+        new BufferPool(file, 1024, static_cast<size_t>(state.range(0)));
+    // One hot page per thread; a fresh file allocates ids 0..threads-1.
+    for (int t = 0; t < state.threads(); ++t) {
+      Page* pg = p->NewPage();
+      p->UnpinPage(pg->page_id(), true);
+    }
+    pool.store(p, std::memory_order_release);
+  }
+  BufferPool* p;
+  while ((p = pool.load(std::memory_order_acquire)) == nullptr) {
+    std::this_thread::yield();
+  }
+  const PageId id = static_cast<PageId>(state.thread_index());
+  for (auto _ : state) {
+    auto res = p->FetchPage(id);
+    benchmark::DoNotOptimize(res);
+    p->UnpinPage(id, false);
+  }
+  // All threads hit the internal stop barrier before leaving the loop, so
+  // thread 0 can tear down without racing the others.
+  if (state.thread_index() == 0) {
+    delete pool.exchange(nullptr);
+    delete file;
+    file = nullptr;
+  }
+}
+BENCHMARK(BM_ShardedPoolConcurrentHit)->Arg(1)->Arg(8)->Threads(8);
 
 void BM_RTreeInsert(benchmark::State& state) {
   TreeOptions opts;

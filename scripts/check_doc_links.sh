@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Lints the markdown doc set:
+#   1. every relative link target in docs/*.md, README.md, and
+#      bench/README.md resolves to an existing file, and
+#   2. every file under src/ is mentioned in docs/PAPER_MAP.md
+#      (the acceptance contract of the paper map).
+# Exits non-zero listing each violation.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+for md in docs/*.md README.md bench/README.md; do
+  [ -f "$md" ] || continue
+  dir="$(dirname "$md")"
+  while IFS= read -r target; do
+    target="${target%%#*}"  # strip anchors
+    case "$target" in
+      ''|http://*|https://*|mailto:*) continue ;;
+    esac
+    if [ ! -e "$dir/$target" ]; then
+      echo "BROKEN LINK: $md -> $target"
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$md" | sed -E 's/^\]\(//; s/\)$//' || true)
+done
+
+while IFS= read -r f; do
+  if ! grep -qF "$(basename "$f")" docs/PAPER_MAP.md; then
+    echo "MISSING FROM PAPER MAP: $f"
+    fail=1
+  fi
+done < <(find src -type f \( -name '*.h' -o -name '*.cc' \) | sort)
+
+if [ "$fail" -ne 0 ]; then
+  echo "doc lint failed"
+  exit 1
+fi
+echo "doc links OK; paper map covers all $(find src -type f \( -name '*.h' -o -name '*.cc' \) | wc -l) src files"

@@ -4,159 +4,220 @@
 
 namespace burtree {
 
-BufferPool::BufferPool(PageFile* file, size_t capacity)
-    : file_(file), capacity_(capacity) {}
+BufferPool::BufferPool(PageFile* file, size_t capacity, size_t shards)
+    : file_(file), capacity_(capacity) {
+  if (shards == 0) shards = 1;
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  RecomputeShardCapacities();
+}
 
-BufferPool::~BufferPool() {
-  (void)FlushAll();
-  for (auto& [id, f] : frames_) {
-    delete f;
+BufferPool::~BufferPool() { (void)FlushAll(); }
+
+size_t BufferPool::shard_capacity(size_t s) const {
+  // Even split with the remainder spread over the low shards, so the
+  // shard budgets always sum to capacity(). With one shard this is the
+  // whole capacity: identical to the classic unsharded pool.
+  const size_t cap = capacity_.load(std::memory_order_relaxed);
+  const size_t n = shards_.size();
+  return cap / n + (s < cap % n ? 1 : 0);
+}
+
+void BufferPool::RecomputeShardCapacities() {
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    std::unique_lock lock(shards_[i]->mu);
+    shards_[i]->capacity = shard_capacity(i);
   }
 }
 
 StatusOr<Page*> BufferPool::FetchPage(PageId id) {
-  std::unique_lock lock(mu_);
-  auto it = frames_.find(id);
-  if (it != frames_.end()) {
-    Frame* f = it->second;
-    ++stats_.hits;
+  Shard& shard = ShardFor(id);
+  std::unique_lock lock(shard.mu);
+  auto it = shard.frames.find(id);
+  if (it != shard.frames.end()) {
+    Frame* f = it->second.get();
+    ++shard.stats.hits;
     file_->io_stats().RecordBufferHit();
     if (f->in_lru) {
-      lru_list_.erase(f->lru_it);
+      shard.lru.erase(f->lru_it);
       f->in_lru = false;
     }
     f->page.Pin();
     return &f->page;
   }
-  ++stats_.misses;
-  auto* f = new Frame(file_->page_size());
+  ++shard.stats.misses;
+  auto f = std::make_unique<Frame>(file_->page_size());
   Status s = file_->Read(id, f->page.data());
-  if (!s.ok()) {
-    delete f;
-    return s;
-  }
+  if (!s.ok()) return s;
   f->page.set_page_id(id);
   f->page.set_dirty(false);
   f->page.Pin();
-  frames_.emplace(id, f);
-  EvictToCapacityLocked();
-  return &f->page;
+  Page* page = &f->page;
+  shard.frames.emplace(id, std::move(f));
+  EvictToCapacityLocked(shard);
+  return page;
 }
 
 Page* BufferPool::NewPage() {
-  std::unique_lock lock(mu_);
-  PageId id = file_->Allocate();
-  auto* f = new Frame(file_->page_size());
+  PageId id = file_->Allocate();  // PageFile has its own latch
+  Shard& shard = ShardFor(id);
+  std::unique_lock lock(shard.mu);
+  auto f = std::make_unique<Frame>(file_->page_size());
   f->page.set_page_id(id);
   f->page.set_dirty(true);  // fresh page must reach disk eventually
   f->page.Pin();
-  frames_.emplace(id, f);
-  EvictToCapacityLocked();
-  return &f->page;
+  Page* page = &f->page;
+  shard.frames.emplace(id, std::move(f));
+  EvictToCapacityLocked(shard);
+  return page;
 }
 
 void BufferPool::UnpinPage(PageId id, bool dirty) {
-  std::unique_lock lock(mu_);
-  auto it = frames_.find(id);
-  BURTREE_CHECK(it != frames_.end());
-  Frame* f = it->second;
+  Shard& shard = ShardFor(id);
+  std::unique_lock lock(shard.mu);
+  auto it = shard.frames.find(id);
+  BURTREE_CHECK(it != shard.frames.end());
+  Frame* f = it->second.get();
   BURTREE_CHECK(f->page.pin_count() > 0);
   if (dirty) f->page.set_dirty(true);
   f->page.Unpin();
   if (f->page.pin_count() == 0) {
     BURTREE_DCHECK(!f->in_lru);
-    lru_list_.push_front(id);
-    f->lru_it = lru_list_.begin();
+    shard.lru.push_front(id);
+    f->lru_it = shard.lru.begin();
     f->in_lru = true;
-    EvictToCapacityLocked();
+    EvictToCapacityLocked(shard);
   }
 }
 
 Status BufferPool::FlushPage(PageId id) {
-  std::unique_lock lock(mu_);
-  auto it = frames_.find(id);
-  if (it == frames_.end()) return Status::OK();
-  return FlushFrameLocked(*it->second);
+  Shard& shard = ShardFor(id);
+  std::unique_lock lock(shard.mu);
+  auto it = shard.frames.find(id);
+  if (it == shard.frames.end()) return Status::OK();
+  return FlushFrameLocked(shard, *it->second);
 }
 
 Status BufferPool::FlushAll() {
-  std::unique_lock lock(mu_);
-  for (auto& [id, f] : frames_) {
-    BURTREE_RETURN_IF_ERROR(FlushFrameLocked(*f));
+  for (auto& sp : shards_) {
+    Shard& shard = *sp;
+    std::unique_lock lock(shard.mu);
+    std::vector<PageWriteRequest> batch;
+    std::vector<Frame*> dirty;
+    for (auto& [id, f] : shard.frames) {
+      if (!f->page.is_dirty()) continue;
+      batch.push_back(PageWriteRequest{id, f->page.data()});
+      dirty.push_back(f.get());
+    }
+    BURTREE_RETURN_IF_ERROR(file_->FlushDirtyBatch(batch));
+    for (Frame* f : dirty) f->page.set_dirty(false);
+    shard.stats.flushes += dirty.size();
   }
   return Status::OK();
 }
 
 Status BufferPool::DeletePage(PageId id) {
-  std::unique_lock lock(mu_);
-  auto it = frames_.find(id);
-  if (it != frames_.end()) {
-    Frame* f = it->second;
+  Shard& shard = ShardFor(id);
+  std::unique_lock lock(shard.mu);
+  auto it = shard.frames.find(id);
+  if (it != shard.frames.end()) {
+    Frame* f = it->second.get();
     if (f->page.pin_count() > 0) {
       return Status::InvalidArgument("DeletePage of pinned page");
     }
-    if (f->in_lru) lru_list_.erase(f->lru_it);
-    frames_.erase(it);
-    delete f;  // dirty content intentionally discarded: page is dead
+    if (f->in_lru) shard.lru.erase(f->lru_it);
+    shard.frames.erase(it);  // dirty content intentionally discarded
   }
   return file_->Free(id);
 }
 
 void BufferPool::Resize(size_t capacity) {
-  std::unique_lock lock(mu_);
-  capacity_ = capacity;
-  EvictToCapacityLocked();
+  // Serialize whole resizes: two interleaved Resize() calls could
+  // otherwise each re-budget a different subset of shards and leave the
+  // pool permanently over or under its configured capacity.
+  std::unique_lock resize_lock(resize_mu_);
+  capacity_.store(capacity, std::memory_order_relaxed);
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
+    std::unique_lock lock(shard.mu);
+    shard.capacity = shard_capacity(i);
+    EvictToCapacityLocked(shard);
+  }
 }
 
 size_t BufferPool::resident_frames() const {
-  std::unique_lock lock(mu_);
-  return frames_.size();
+  size_t n = 0;
+  for (const auto& sp : shards_) {
+    std::unique_lock lock(sp->mu);
+    n += sp->frames.size();
+  }
+  return n;
 }
 
 BufferStats BufferPool::stats() const {
-  std::unique_lock lock(mu_);
-  return stats_;
+  BufferStats total;
+  for (const auto& sp : shards_) {
+    std::unique_lock lock(sp->mu);
+    total += sp->stats;
+  }
+  return total;
+}
+
+BufferPoolStats BufferPool::pool_stats() const {
+  BufferPoolStats ps;
+  ps.shards.reserve(shards_.size());
+  for (const auto& sp : shards_) {
+    std::unique_lock lock(sp->mu);
+    ps.shards.push_back(sp->stats);
+  }
+  return ps;
 }
 
 void BufferPool::ResetStats() {
-  std::unique_lock lock(mu_);
-  stats_ = BufferStats{};
-}
-
-Status BufferPool::EvictOneLocked() {
-  if (lru_list_.empty()) {
-    // All frames pinned: allow temporary over-capacity growth rather than
-    // failing the caller; correctness over strict accounting.
-    return Status::ResourceExhausted("all frames pinned");
-  }
-  PageId victim = lru_list_.back();
-  lru_list_.pop_back();
-  auto it = frames_.find(victim);
-  BURTREE_CHECK(it != frames_.end());
-  Frame* f = it->second;
-  f->in_lru = false;
-  Status s = FlushFrameLocked(*f);
-  if (!s.ok()) return s;
-  frames_.erase(it);
-  delete f;
-  ++stats_.evictions;
-  return Status::OK();
-}
-
-void BufferPool::EvictToCapacityLocked() {
-  while (frames_.size() > capacity_) {
-    if (!EvictOneLocked().ok()) break;
+  for (auto& sp : shards_) {
+    std::unique_lock lock(sp->mu);
+    sp->stats = BufferStats{};
   }
 }
 
-Status BufferPool::FlushFrameLocked(Frame& f) {
+void BufferPool::EvictToCapacityLocked(Shard& shard) {
+  if (shard.frames.size() <= shard.capacity) return;
+  // Detach LRU victims first (clean ones leave with zero I/O), then write
+  // the dirty ones back as one group write.
+  std::vector<std::unique_ptr<Frame>> victims;
+  std::vector<PageWriteRequest> batch;
+  while (shard.frames.size() > shard.capacity && !shard.lru.empty()) {
+    const PageId victim = shard.lru.back();
+    shard.lru.pop_back();
+    auto it = shard.frames.find(victim);
+    BURTREE_CHECK(it != shard.frames.end());
+    Frame* f = it->second.get();
+    f->in_lru = false;
+    if (f->page.is_dirty()) {
+      batch.push_back(PageWriteRequest{victim, f->page.data()});
+      ++shard.stats.flushes;
+    }
+    victims.push_back(std::move(it->second));
+    shard.frames.erase(it);
+    ++shard.stats.evictions;
+  }
+  // If all remaining frames are pinned the shard grows past its budget
+  // temporarily; correctness over strict accounting.
+  if (!batch.empty()) {
+    // A resident frame always maps to a live disk page (DeletePage drops
+    // the frame before freeing), so a failed write-back is a bug.
+    BURTREE_CHECK(file_->FlushDirtyBatch(batch).ok());
+  }
+}
+
+Status BufferPool::FlushFrameLocked(Shard& shard, Frame& f) {
   if (!f.page.is_dirty()) return Status::OK();
   BURTREE_RETURN_IF_ERROR(file_->Write(f.page.page_id(), f.page.data()));
   f.page.set_dirty(false);
-  ++stats_.flushes;
+  ++shard.stats.flushes;
   return Status::OK();
 }
-
-void BufferPool::TouchLocked(Frame& f) { (void)f; }
 
 }  // namespace burtree

@@ -1,32 +1,49 @@
-// LRU buffer pool over a PageFile. Sized as a fraction of the database
-// (paper §5: buffers of 0%..10% of database size, default 1%). Capacity 0
-// degenerates to pass-through: every access is a disk access, matching the
-// paper's "no buffer" configuration.
+// Sharded LRU buffer pool over a PageFile. Sized as a fraction of the
+// database (paper §5: buffers of 0%..10% of database size, default 1%).
+// Capacity 0 degenerates to pass-through: every access is a disk access,
+// matching the paper's "no buffer" configuration.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
+#include "common/metrics.h"
 #include "storage/page.h"
 #include "storage/page_file.h"
 
 namespace burtree {
 
-/// Buffer pool statistics, separate from the underlying disk IoStats.
-struct BufferStats {
-  uint64_t hits = 0;
-  uint64_t misses = 0;
-  uint64_t evictions = 0;
-  uint64_t flushes = 0;
-};
-
+/// N-way sharded buffer pool: pages hash to shards by page id, and each
+/// shard owns its own latch, frame table, LRU list, and BufferStats. The
+/// global capacity is split evenly across shards, so shard count 1 is
+/// exactly the classic single-latch LRU pool.
+///
+/// Thread-safety: fully thread-safe. Every per-page operation takes only
+/// that page's shard latch, so operations on pages in different shards
+/// never contend; pool-wide operations (FlushAll, Resize, stats) visit
+/// shards one at a time and hold at most one latch at once. A returned
+/// Page* stays valid while the caller holds a pin; its pin count is only
+/// mutated under the owning shard's latch, but concurrent writers to the
+/// page *data* must be serialized by a higher layer (the R-tree latch or
+/// DGL locks).
+///
+/// Eviction is "concurrent-clean": clean victims are dropped with no I/O,
+/// and when one operation must evict several frames (Resize, a shrink, a
+/// burst of unpins) the dirty victims are written back as one
+/// PageFile::FlushDirtyBatch group write instead of one pwrite per page —
+/// while only that shard's latch is held, so the other shards keep
+/// serving.
 class BufferPool {
  public:
-  /// `capacity` is the maximum number of resident unpinned+pinned frames;
-  /// 0 means pass-through (no caching).
-  BufferPool(PageFile* file, size_t capacity);
+  /// `capacity` is the maximum number of resident unpinned+pinned frames
+  /// across all shards; 0 means pass-through (no caching). `shards` is
+  /// clamped to at least 1.
+  BufferPool(PageFile* file, size_t capacity, size_t shards = 1);
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
@@ -46,43 +63,68 @@ class BufferPool {
   /// Writes the frame back if dirty. No-op if not resident.
   Status FlushPage(PageId id);
 
-  /// Writes back all dirty frames (call before reading final I/O stats so
-  /// buffered writes are accounted).
+  /// Writes back all dirty frames, one batched group write per shard
+  /// (call before reading final I/O stats so buffered writes are
+  /// accounted).
   Status FlushAll();
 
   /// Discards the frame (must be unpinned) and frees the disk page.
   Status DeletePage(PageId id);
 
-  /// Re-sizes the pool; excess unpinned frames are evicted immediately.
+  /// Re-sizes the pool; excess unpinned frames are evicted immediately
+  /// (dirty victims leave in one group write per shard).
   void Resize(size_t capacity);
 
-  size_t capacity() const { return capacity_; }
+  size_t capacity() const {
+    return capacity_.load(std::memory_order_relaxed);
+  }
+  size_t num_shards() const { return shards_.size(); }
+  /// Which shard serves `id` (exposed for the eviction-order tests).
+  size_t shard_of(PageId id) const { return id % shards_.size(); }
+  /// Frame budget of shard `s` under the current capacity split.
+  size_t shard_capacity(size_t s) const;
+
   size_t resident_frames() const;
+  /// Merged counters across shards (the classic single-pool view).
   BufferStats stats() const;
+  /// Per-shard counters plus totals, for the benches and metrics layer.
+  BufferPoolStats pool_stats() const;
   void ResetStats();
 
   PageFile* file() { return file_; }
 
  private:
   struct Frame {
-    Frame(size_t page_size) : page(page_size) {}
+    explicit Frame(size_t page_size) : page(page_size) {}
     Page page;
-    std::list<PageId>::iterator lru_it;  // valid iff in lru_list_
+    std::list<PageId>::iterator lru_it;  // valid iff in_lru
     bool in_lru = false;
   };
 
-  // All private helpers assume mu_ is held.
-  Status EvictOneLocked();
-  void EvictToCapacityLocked();
-  Status FlushFrameLocked(Frame& f);
-  void TouchLocked(Frame& f);
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<PageId, std::unique_ptr<Frame>> frames;
+    std::list<PageId> lru;  // front = most recent; only unpinned pages
+    BufferStats stats;
+    size_t capacity = 0;
+  };
+
+  Shard& ShardFor(PageId id) { return *shards_[shard_of(id)]; }
+
+  // All private helpers assume the shard's mu is held.
+  void EvictToCapacityLocked(Shard& shard);
+  Status FlushFrameLocked(Shard& shard, Frame& f);
+  void RecomputeShardCapacities();
 
   PageFile* file_;
-  size_t capacity_;
-  mutable std::mutex mu_;
-  std::unordered_map<PageId, Frame*> frames_;
-  std::list<PageId> lru_list_;  // front = most recent; only unpinned pages
-  BufferStats stats_;
+  // Atomic so a concurrent Resize() never races capacity()/
+  // shard_capacity() readers; shard budgets are updated under each
+  // shard's latch and may transiently disagree with a mid-resize total.
+  // resize_mu_ serializes whole resizes so the disagreement is only
+  // ever transient.
+  std::mutex resize_mu_;
+  std::atomic<size_t> capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace burtree

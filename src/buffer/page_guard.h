@@ -3,17 +3,28 @@
 // exclusively through guards so pins can never leak.
 #pragma once
 
+#include <type_traits>
 #include <utility>
 
 #include "buffer/buffer_pool.h"
 
 namespace burtree {
 
+/// Move-only RAII owner of one buffer-pool pin. A guard either holds
+/// exactly one pin (valid()) or none; destruction and Release() drop the
+/// pin exactly once, forwarding the accumulated dirty bit to the pool.
+///
+/// Thread-safety: a PageGuard instance is NOT thread-safe — it is a
+/// thread-local handle, never shared across threads. The pin/unpin calls
+/// it issues are safe against concurrent guards on any page (the pool
+/// shard latch serializes them), but two threads mutating the same page's
+/// *data* must be serialized by a higher layer (tree latch / DGL locks).
 class PageGuard {
  public:
   PageGuard() = default;
   PageGuard(BufferPool* pool, Page* page) : pool_(pool), page_(page) {}
 
+  /// Copying is forbidden: a copy would double-release the single pin.
   PageGuard(const PageGuard&) = delete;
   PageGuard& operator=(const PageGuard&) = delete;
 
@@ -58,7 +69,7 @@ class PageGuard {
   /// Record that the caller modified the page image.
   void MarkDirty() { dirty_ = true; }
 
-  /// Explicit early unpin.
+  /// Explicit early unpin; idempotent, and what the destructor runs.
   void Release() {
     if (page_ != nullptr) {
       pool_->UnpinPage(page_->page_id(), dirty_);
@@ -73,5 +84,15 @@ class PageGuard {
   Page* page_ = nullptr;
   bool dirty_ = false;
 };
+
+// Compile-time contract: an accidental copy (pass-by-value, capture in a
+// copying lambda, container of guards) would double-unpin; moves must stay
+// noexcept so guards can live in vectors without copy fallbacks.
+static_assert(!std::is_copy_constructible_v<PageGuard> &&
+                  !std::is_copy_assignable_v<PageGuard>,
+              "PageGuard must stay move-only: a copy would duplicate the pin");
+static_assert(std::is_nothrow_move_constructible_v<PageGuard> &&
+                  std::is_nothrow_move_assignable_v<PageGuard>,
+              "PageGuard moves must be noexcept");
 
 }  // namespace burtree

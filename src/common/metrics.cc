@@ -1,8 +1,51 @@
 #include "common/metrics.h"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace burtree {
+
+std::string BufferStats::ToString() const {
+  char buf[200];
+  std::snprintf(
+      buf, sizeof(buf),
+      "BufferStats{hits=%llu, misses=%llu, evictions=%llu, flushes=%llu, "
+      "hit_rate=%.3f}",
+      static_cast<unsigned long long>(hits),
+      static_cast<unsigned long long>(misses),
+      static_cast<unsigned long long>(evictions),
+      static_cast<unsigned long long>(flushes), hit_rate());
+  return buf;
+}
+
+double BufferPoolStats::imbalance() const {
+  if (shards.empty()) return 1.0;
+  uint64_t max_n = 0;
+  uint64_t sum = 0;
+  for (const auto& s : shards) {
+    const uint64_t n = s.hits + s.misses;
+    max_n = std::max(max_n, n);
+    sum += n;
+  }
+  if (sum == 0) return 1.0;
+  const double mean =
+      static_cast<double>(sum) / static_cast<double>(shards.size());
+  return static_cast<double>(max_n) / mean;
+}
+
+std::string BufferPoolStats::ToString() const {
+  const BufferStats t = total();
+  char buf[240];
+  std::snprintf(
+      buf, sizeof(buf),
+      "BufferPoolStats{shards=%zu, hits=%llu, misses=%llu, evictions=%llu, "
+      "flushes=%llu, hit_rate=%.3f, imbalance=%.2f}",
+      shards.size(), static_cast<unsigned long long>(t.hits),
+      static_cast<unsigned long long>(t.misses),
+      static_cast<unsigned long long>(t.evictions),
+      static_cast<unsigned long long>(t.flushes), t.hit_rate(), imbalance());
+  return buf;
+}
 
 std::string IoStats::ToString() const {
   char buf[160];

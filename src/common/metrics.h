@@ -6,6 +6,7 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace burtree {
 
@@ -16,6 +17,13 @@ class IoStats {
   void RecordRead() { reads_.fetch_add(1, std::memory_order_relaxed); }
   void RecordWrite() { writes_.fetch_add(1, std::memory_order_relaxed); }
   void RecordBufferHit() { hits_.fetch_add(1, std::memory_order_relaxed); }
+  /// Batched variants for the group read / write-back paths.
+  void RecordReads(uint64_t n) {
+    reads_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void RecordWrites(uint64_t n) {
+    writes_.fetch_add(n, std::memory_order_relaxed);
+  }
 
   uint64_t reads() const { return reads_.load(std::memory_order_relaxed); }
   uint64_t writes() const { return writes_.load(std::memory_order_relaxed); }
@@ -53,6 +61,46 @@ struct IoSnapshot {
                       buffer_hits - o.buffer_hits};
   }
   uint64_t total_io() const { return reads + writes; }
+};
+
+/// Buffer-pool counters (above the disk: hits never reach IoStats).
+/// Plain integers — each instance is owned by exactly one pool shard and
+/// only mutated under that shard's latch; cross-shard reads go through
+/// BufferPool::stats(), which snapshots every shard under its latch.
+struct BufferStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t flushes = 0;
+
+  BufferStats& operator+=(const BufferStats& o) {
+    hits += o.hits;
+    misses += o.misses;
+    evictions += o.evictions;
+    flushes += o.flushes;
+    return *this;
+  }
+  double hit_rate() const {
+    const uint64_t n = hits + misses;
+    return n == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(n);
+  }
+  std::string ToString() const;
+};
+
+/// Aggregate view over a sharded buffer pool: one BufferStats per shard
+/// plus the merged total. Produced by BufferPool::pool_stats(); consumed
+/// by the benches to report per-shard balance alongside the totals.
+struct BufferPoolStats {
+  std::vector<BufferStats> shards;
+
+  BufferStats total() const {
+    BufferStats t;
+    for (const auto& s : shards) t += s;
+    return t;
+  }
+  /// max/mean of per-shard (hits+misses): 1.0 = perfectly balanced hash.
+  double imbalance() const;
+  std::string ToString() const;
 };
 
 /// Simple wall-clock stopwatch for the CPU-time series of Figures 5(c)/(d).

@@ -44,6 +44,19 @@ struct TreeOptions {
   double reinsert_fraction = 0.3;
 };
 
+/// Sizing and sharding of a buffer pool (extension beyond the paper; the
+/// paper's single-threaded experiments are insensitive to `shards`, but
+/// the multi-threaded DGL workload contends on the pool latch).
+struct BufferPoolOptions {
+  /// Total resident frames across all shards; 0 = pass-through (the
+  /// paper's "no buffer" setting).
+  size_t capacity_pages = 0;
+
+  /// Number of independently latched LRU shards; pages map to shards by
+  /// page id. 1 reproduces the classic single-latch LRU exactly.
+  size_t shards = 1;
+};
+
 /// Tuning parameters of the Generalized Bottom-Up strategy (§3.2.1).
 struct GbuOptions {
   /// Epsilon: cap on directional MBR enlargement (unit-square units).

@@ -20,7 +20,9 @@ StrategyFixture MakeFixture(const ExperimentConfig& config) {
   opts.tree.page_size = config.page_size;
   opts.tree.split = config.split;
   opts.tree.forced_reinsert = config.forced_reinsert;
+  opts.buffer_shards = config.buffer_shards;
   opts.hash.page_size = config.page_size;
+  opts.hash.buffer_shards = config.buffer_shards;
 
   switch (config.strategy) {
     case StrategyKind::kTopDown:

@@ -35,6 +35,9 @@ struct ExperimentConfig {
   /// Buffer pool sized as a fraction of the tree's pages after the build
   /// (paper default 1%).
   double buffer_fraction = 0.01;
+  /// LRU shard count for the tree and hash-index buffer pools (1 = the
+  /// classic single-latch pool; >1 only matters under concurrency).
+  size_t buffer_shards = 1;
   size_t page_size = 1024;
   SplitAlgorithm split = SplitAlgorithm::kQuadratic;
   /// R*-style forced re-insertion on overflow (see TreeOptions).

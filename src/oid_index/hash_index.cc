@@ -28,7 +28,7 @@ void StoreU64(uint8_t* p, uint64_t v) { std::memcpy(p, &v, 8); }
 HashIndex::HashIndex(const HashIndexOptions& options)
     : options_(options),
       file_(options.page_size),
-      pool_(&file_, options.buffer_pages) {
+      pool_(&file_, options.buffer_pages, options.buffer_shards) {
   BURTREE_CHECK((options_.initial_buckets &
                  (options_.initial_buckets - 1)) == 0);
   base_buckets_ = options_.initial_buckets;

@@ -23,6 +23,8 @@ struct HashIndexOptions {
   /// Buffer pool capacity (pages) for bucket pages. 0 = pass-through so
   /// every probe is a disk access.
   size_t buffer_pages = 0;
+  /// LRU shard count for the bucket-page pool (1 = single latch).
+  size_t buffer_shards = 1;
   /// Charge one synthetic disk read per Lookup regardless of buffering —
   /// the paper's "1 I/O (hash index)" cost-model term.
   bool charge_unit_read = false;

@@ -12,6 +12,11 @@ namespace burtree {
 
 /// In-memory image of one disk page. Owned by the buffer pool (when one is
 /// attached) or by callers doing raw PageFile I/O.
+///
+/// Thread-safety: NOT thread-safe by itself. The pin count and dirty bit
+/// are mutated only under the owning buffer-pool shard's latch; the data
+/// bytes are protected by whatever higher-level lock (R-tree latch, DGL
+/// granule locks) serializes access to the logical node stored here.
 class Page {
  public:
   explicit Page(size_t size) : size_(size), data_(new uint8_t[size]) {

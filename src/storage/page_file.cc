@@ -70,6 +70,44 @@ Status PageFile::Write(PageId id, const uint8_t* in) {
   return Status::OK();
 }
 
+Status PageFile::ReadPages(const std::vector<PageReadRequest>& reqs) {
+  if (reqs.empty()) return Status::OK();
+  {
+    std::shared_lock lock(mu_);
+    for (const auto& r : reqs) {
+      if (!IsLiveLocked(r.id)) {
+        return Status::InvalidArgument("ReadPages of non-live page");
+      }
+    }
+    for (const auto& r : reqs) {
+      std::memcpy(r.out, slots_[r.id].get(), page_size_);
+    }
+  }
+  stats_.RecordReads(reqs.size());
+  tls_io_count += reqs.size();
+  ChargeLatency();  // once per batch: the group read amortizes the seek
+  return Status::OK();
+}
+
+Status PageFile::FlushDirtyBatch(const std::vector<PageWriteRequest>& reqs) {
+  if (reqs.empty()) return Status::OK();
+  {
+    std::shared_lock lock(mu_);  // slot vector is not resized here
+    for (const auto& r : reqs) {
+      if (!IsLiveLocked(r.id)) {
+        return Status::InvalidArgument("FlushDirtyBatch of non-live page");
+      }
+    }
+    for (const auto& r : reqs) {
+      std::memcpy(slots_[r.id].get(), r.data, page_size_);
+    }
+  }
+  stats_.RecordWrites(reqs.size());
+  tls_io_count += reqs.size();
+  ChargeLatency();  // once per batch: the group write amortizes the seek
+  return Status::OK();
+}
+
 size_t PageFile::live_pages() const {
   std::shared_lock lock(mu_);
   return slots_.size() - free_list_.size();
@@ -86,6 +124,13 @@ bool PageFile::IsLiveLocked(PageId id) const {
 
 void PageFile::ChargeLatency() const {
   if (io_latency_ns_ == 0) return;
+  if (io_latency_model_ == IoLatencyModel::kSleep) {
+    // Blocking model: the caller (typically a buffer-pool shard holding
+    // its latch across a miss) yields the CPU, so independent work on
+    // other shards proceeds during the simulated disk access.
+    std::this_thread::sleep_for(std::chrono::nanoseconds(io_latency_ns_));
+    return;
+  }
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::nanoseconds(io_latency_ns_);
   // Busy-wait: sleep granularity on Linux (~50us) is coarser than typical

@@ -16,6 +16,25 @@
 
 namespace burtree {
 
+/// One page of a batched read: the destination buffer must hold
+/// page_size() bytes.
+struct PageReadRequest {
+  PageId id = kInvalidPageId;
+  uint8_t* out = nullptr;
+};
+
+/// One page of a batched write-back.
+struct PageWriteRequest {
+  PageId id = kInvalidPageId;
+  const uint8_t* data = nullptr;
+};
+
+/// The simulated disk: a latched slot vector of fixed-size pages.
+///
+/// Thread-safety: fully thread-safe. A shared_mutex guards the slot
+/// vector (Allocate/Free exclusive; Read/Write shared — slots are never
+/// resized by I/O), and IoStats counters are atomic. The concurrent
+/// throughput experiment drives one PageFile from 50 threads.
 class PageFile {
  public:
   /// Creates an empty file of `page_size`-byte pages.
@@ -41,6 +60,19 @@ class PageFile {
   /// disk write.
   Status Write(PageId id, const uint8_t* in);
 
+  /// Batched read: copies every requested page under a single lock
+  /// acquisition. Counts one disk read *per page* (the paper's metric is
+  /// access count) but charges the simulated latency only once per batch —
+  /// a group read amortizes the seek, not the transfers. Fails before
+  /// copying anything if any id is not live.
+  Status ReadPages(const std::vector<PageReadRequest>& reqs);
+
+  /// Batched write-back of dirty frames: the group-write counterpart of
+  /// ReadPages. One lock acquisition and one latency charge for the whole
+  /// batch; IoStats still counts one write per page. Fails before writing
+  /// anything if any id is not live.
+  Status FlushDirtyBatch(const std::vector<PageWriteRequest>& reqs);
+
   /// Number of pages ever allocated and still live (excludes freed).
   size_t live_pages() const;
 
@@ -59,11 +91,21 @@ class PageFile {
   /// cost-model charges that bypass the physical page path).
   static void AddThreadIo(uint64_t n);
 
+  /// How synthetic latency is incurred. kBusyWait burns the calling
+  /// thread's CPU (the throughput experiment charges latency outside all
+  /// latches and needs the delay on-thread even at sub-sleep-granularity
+  /// scales). kSleep blocks the thread, letting other threads run — the
+  /// right model when the caller holds a latch across the I/O, as the
+  /// buffer pool's miss path does: a sleeping miss stalls only its shard.
+  enum class IoLatencyModel { kBusyWait, kSleep };
+
   /// Optional synthetic latency charged per read/write, in nanoseconds.
   /// Used by the throughput experiment to make tps I/O-bound like the
   /// paper's disk-resident setting. 0 disables it.
   void set_io_latency_ns(uint64_t ns) { io_latency_ns_ = ns; }
   uint64_t io_latency_ns() const { return io_latency_ns_; }
+  void set_io_latency_model(IoLatencyModel m) { io_latency_model_ = m; }
+  IoLatencyModel io_latency_model() const { return io_latency_model_; }
 
  private:
   bool IsLiveLocked(PageId id) const;
@@ -76,6 +118,7 @@ class PageFile {
   std::vector<PageId> free_list_;
   IoStats stats_;
   uint64_t io_latency_ns_ = 0;
+  IoLatencyModel io_latency_model_ = IoLatencyModel::kBusyWait;
 };
 
 }  // namespace burtree

@@ -22,6 +22,8 @@ struct IndexSystemOptions {
   /// Tree buffer pool capacity in pages (0 = pass-through, the paper's
   /// "no buffer" setting). Experiments size this as a % of the DB.
   size_t buffer_pages = 0;
+  /// LRU shard count for the tree buffer pool (1 = classic single latch).
+  size_t buffer_shards = 1;
   /// Attach the disk-resident oid hash index (needed by LBU/GBU; TD runs
   /// without one, exactly as in the paper).
   bool enable_oid_index = false;

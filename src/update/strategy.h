@@ -23,11 +23,18 @@ enum class UpdatePath {
   kTopDown,     ///< full top-down delete + insert
 };
 
+/// Outcome of one update: which decision-ladder arm handled it.
+///
+/// Thread-safety: plain value type; freely copyable across threads.
 struct UpdateResult {
   UpdatePath path = UpdatePath::kTopDown;
 };
 
 /// Per-strategy counters of decision-ladder outcomes.
+///
+/// Thread-safety: NOT thread-safe; owned by one strategy instance and
+/// mutated only from whatever context calls Update() (the concurrent
+/// harness serializes updates under the tree latch before counting).
 struct UpdatePathCounts {
   uint64_t in_place = 0;
   uint64_t extend = 0;
@@ -51,6 +58,15 @@ struct UpdatePathCounts {
   }
 };
 
+/// Interface of the paper's three update strategies: TD (top-down
+/// delete+insert), LBU (Algorithm 1), GBU (Algorithm 2). One instance is
+/// bound to one IndexSystem for its lifetime.
+///
+/// Thread-safety: implementations are NOT internally synchronized.
+/// Update() mutates the tree, the oid index, and path_counts_; concurrent
+/// callers must hold the exclusive tree latch (see ConcurrentIndex),
+/// which is how the Figure-8 harness drives 50 threads through one
+/// strategy instance.
 class UpdateStrategy {
  public:
   virtual ~UpdateStrategy() = default;

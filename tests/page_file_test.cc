@@ -126,6 +126,93 @@ TEST(PageFileTest, ConcurrentDisjointWrites) {
   }
 }
 
+TEST(PageFileTest, ReadPagesBatchCountsPerPageIo) {
+  PageFile f(kPageSize);
+  std::vector<PageId> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(f.Allocate());
+    uint8_t buf[kPageSize];
+    std::memset(buf, 0x30 + i, kPageSize);
+    ASSERT_TRUE(f.Write(ids[static_cast<size_t>(i)], buf).ok());
+  }
+  const uint64_t reads_before = f.io_stats().reads();
+  PageFile::ResetThreadIo();
+  std::vector<std::vector<uint8_t>> out(4, std::vector<uint8_t>(kPageSize));
+  std::vector<PageReadRequest> reqs;
+  for (size_t i = 0; i < 4; ++i) {
+    reqs.push_back(PageReadRequest{ids[i], out[i].data()});
+  }
+  ASSERT_TRUE(f.ReadPages(reqs).ok());
+  EXPECT_EQ(f.io_stats().reads(), reads_before + 4);  // paper metric: count
+  EXPECT_EQ(PageFile::thread_io(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(out[i][0], 0x30 + static_cast<int>(i));
+  }
+  EXPECT_TRUE(f.ReadPages({}).ok());  // empty batch: no-op
+  EXPECT_EQ(f.io_stats().reads(), reads_before + 4);
+}
+
+TEST(PageFileTest, ReadPagesFailsWholeBatchOnNonLivePage) {
+  PageFile f(kPageSize);
+  const PageId a = f.Allocate();
+  uint8_t seed[kPageSize];
+  std::memset(seed, 0x7C, kPageSize);
+  ASSERT_TRUE(f.Write(a, seed).ok());
+  std::vector<uint8_t> x(kPageSize, 0xFF), y(kPageSize, 0xFF);
+  std::vector<PageReadRequest> reqs{{a, x.data()}, {a + 1, y.data()}};
+  const uint64_t reads_before = f.io_stats().reads();
+  EXPECT_FALSE(f.ReadPages(reqs).ok());
+  EXPECT_EQ(f.io_stats().reads(), reads_before);  // nothing counted
+  EXPECT_EQ(x[0], 0xFF);  // nothing copied before the validation pass
+}
+
+TEST(PageFileTest, FlushDirtyBatchGroupWritesEveryPage) {
+  PageFile f(kPageSize);
+  std::vector<PageId> ids{f.Allocate(), f.Allocate(), f.Allocate()};
+  std::vector<std::vector<uint8_t>> imgs;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    imgs.emplace_back(kPageSize, static_cast<uint8_t>(0x60 + i));
+  }
+  std::vector<PageWriteRequest> reqs;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    reqs.push_back(PageWriteRequest{ids[i], imgs[i].data()});
+  }
+  const uint64_t writes_before = f.io_stats().writes();
+  ASSERT_TRUE(f.FlushDirtyBatch(reqs).ok());
+  EXPECT_EQ(f.io_stats().writes(), writes_before + 3);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    uint8_t buf[kPageSize];
+    ASSERT_TRUE(f.Read(ids[i], buf).ok());
+    EXPECT_EQ(buf[0], 0x60 + static_cast<int>(i));
+  }
+  // A non-live id anywhere fails the batch before any bytes land.
+  std::vector<PageWriteRequest> bad{{ids[0], imgs[1].data()},
+                                    {ids[2] + 7, imgs[2].data()}};
+  EXPECT_FALSE(f.FlushDirtyBatch(bad).ok());
+  uint8_t buf[kPageSize];
+  ASSERT_TRUE(f.Read(ids[0], buf).ok());
+  EXPECT_EQ(buf[0], 0x60);  // untouched by the failed batch
+}
+
+TEST(PageFileTest, SleepLatencyModelBlocksInsteadOfSpinning) {
+  PageFile f(kPageSize);
+  const PageId id = f.Allocate();
+  f.set_io_latency_ns(2'000'000);  // 2 ms: well above sleep granularity
+  f.set_io_latency_model(PageFile::IoLatencyModel::kSleep);
+  uint8_t buf[kPageSize];
+  Stopwatch sw;
+  ASSERT_TRUE(f.Read(id, buf).ok());
+  EXPECT_GE(sw.ElapsedSeconds(), 0.002);
+  // Batches charge the latency once, not per page.
+  std::vector<uint8_t> o1(kPageSize), o2(kPageSize);
+  std::vector<PageReadRequest> reqs{{id, o1.data()}, {id, o2.data()}};
+  sw.Restart();
+  ASSERT_TRUE(f.ReadPages(reqs).ok());
+  const double batch_s = sw.ElapsedSeconds();
+  EXPECT_GE(batch_s, 0.002);
+  EXPECT_LT(batch_s, 0.5);
+}
+
 TEST(PageFileTest, ConcurrentAllocateIsRaceFree) {
   PageFile f(kPageSize);
   constexpr int kThreads = 8;
