@@ -26,6 +26,7 @@ struct BenchArgs {
   double query_max_dim = 0.1;
   double buffer_fraction = 0.01;
   size_t buffer_shards = 1;
+  LatchMode latch_mode = LatchMode::kGlobal;
   uint64_t seed = 20030901;
   Distribution distribution = Distribution::kUniform;
   bool csv = false;
@@ -58,6 +59,13 @@ struct BenchArgs {
     a.query_max_dim = cli.GetDouble("query-dim", 0.1);
     a.buffer_fraction = cli.GetDouble("buffer", default_buffer);
     a.buffer_shards = static_cast<size_t>(cli.GetInt("shards", 1));
+    const std::string lm = cli.GetString("latch-mode", "global");
+    if (!ParseLatchMode(lm, &a.latch_mode)) {
+      std::fprintf(stderr,
+                   "unknown --latch-mode '%s' (want global|subtree)\n",
+                   lm.c_str());
+      std::exit(2);
+    }
     a.seed = static_cast<uint64_t>(cli.GetInt("seed", 20030901));
     a.csv = cli.GetBool("csv", false);
     ParseDistribution(cli.GetString("dist", "uniform"), &a.distribution);
@@ -76,6 +84,7 @@ struct BenchArgs {
     cfg.num_queries = queries;
     cfg.buffer_fraction = buffer_fraction;
     cfg.buffer_shards = buffer_shards;
+    cfg.latch_mode = latch_mode;
     return cfg;
   }
 };
@@ -104,12 +113,13 @@ inline void PrintHeader(const std::string& title, const BenchArgs& a) {
   std::printf("=== %s ===\n", title.c_str());
   std::printf(
       "workload: %llu objects, %llu updates, %llu queries, max-move %.3f, "
-      "buffer %.1f%% (%zu shard%s), dist %s, seed %llu\n\n",
+      "buffer %.1f%% (%zu shard%s), latch %s, dist %s, seed %llu\n\n",
       static_cast<unsigned long long>(a.objects),
       static_cast<unsigned long long>(a.updates),
       static_cast<unsigned long long>(a.queries), a.max_move,
       a.buffer_fraction * 100.0, a.buffer_shards,
-      a.buffer_shards == 1 ? "" : "s", DistributionName(a.distribution),
+      a.buffer_shards == 1 ? "" : "s", LatchModeName(a.latch_mode),
+      DistributionName(a.distribution),
       static_cast<unsigned long long>(a.seed));
 }
 

@@ -3,6 +3,8 @@
 // Queries use small windows in [0, 0.01] as in §5.4. Expected shape:
 // TD/LBU throughput falls as the update share rises; GBU's rises; GBU
 // consistently above TD; LBU below TD.
+#include <algorithm>
+
 #include "bench_common.h"
 
 using namespace burtree;
@@ -21,6 +23,11 @@ int main(int argc, char** argv) {
       static_cast<uint64_t>(cli.GetInt("ops-per-thread", 120));
   const uint64_t latency_us =
       static_cast<uint64_t>(cli.GetInt("io-latency-us", 100));
+  // Charge the simulated disk latency at the PageFile (sleep model,
+  // while the operation's latches are held) instead of after the op —
+  // the disk-resident regime where per-subtree latching overlaps I/O
+  // stalls that the global tree latch serializes.
+  const bool io_in_op = cli.GetBool("io-in-op", false);
   // Optional shards × threads sweep: --sweep-shards 1,4,8 [--sweep-threads
   // 8,16] replaces the update-mix rows with a GBU throughput grid at the
   // given mix (--sweep-update-pct). Pair with --buffer > 0 so the pool is
@@ -30,7 +37,72 @@ int main(int argc, char** argv) {
   std::vector<size_t> sweep_threads =
       ParseCountList(cli.GetString("sweep-threads", ""));
   const double sweep_update_pct = cli.GetDouble("sweep-update-pct", 50.0);
+  // Latch-mode sweep: --sweep-latch replaces the update-mix rows with a
+  // global-vs-subtree GBU grid over --sweep-threads (default 1,2,4,8) at
+  // --sweep-update-pct updates. Implies --io-in-op: overlap of in-op I/O
+  // stalls is precisely what the latch modes differ on.
+  const bool sweep_latch = cli.GetBool("sweep-latch", false);
   cli.ExitIfHelpRequested(argv[0], BenchArgs::kScaleHelp);
+
+  if (sweep_latch) {
+    if (sweep_threads.empty()) sweep_threads = {1, 2, 4, 8};
+    std::string tlist;
+    for (size_t t : sweep_threads) {
+      tlist += (tlist.empty() ? "" : ",") + std::to_string(t);
+    }
+    PrintHeader("Figure 8: throughput, DGL, latch-mode sweep, threads " +
+                    tlist,
+                args);
+    std::vector<std::string> headers{"latch-mode"};
+    for (size_t t : sweep_threads) {
+      headers.push_back(std::to_string(t) +
+                        (t == 1 ? " thread" : " threads"));
+    }
+    headers.push_back("escalated%");
+    TablePrinter table(headers);
+    for (LatchMode mode : {LatchMode::kGlobal, LatchMode::kSubtree}) {
+      std::vector<std::string> cells{LatchModeName(mode)};
+      LatchModeStats last;
+      uint64_t last_ops = 1;
+      for (size_t t : sweep_threads) {
+        ThroughputConfig cfg;
+        cfg.base = args.BaseConfig(StrategyKind::kGeneralizedBottomUp);
+        cfg.base.latch_mode = mode;
+        cfg.threads = static_cast<uint32_t>(t);
+        cfg.ops_per_thread = ops;
+        cfg.update_fraction = sweep_update_pct / 100.0;
+        cfg.query_max_dim = 0.01;
+        cfg.concurrency.io_latency_us = latency_us;
+        cfg.concurrency.io_latency_in_op = true;
+        auto res = RunThroughput(cfg);
+        if (!res.ok()) {
+          std::fprintf(stderr, "throughput run failed: %s\n",
+                       res.status().ToString().c_str());
+          return 1;
+        }
+        cells.push_back(TablePrinter::Fmt(res.value().tps, 0));
+        last = res.value().latch_stats;
+        last_ops = std::max<uint64_t>(1, res.value().total_ops);
+      }
+      const uint64_t escalated =
+          last.escalated_updates + last.escalated_queries;
+      cells.push_back(TablePrinter::Fmt(
+          100.0 * static_cast<double>(escalated) /
+              static_cast<double>(last_ops),
+          1));
+      table.AddRow(std::move(cells));
+    }
+    std::printf(
+        "-- GBU throughput (tps), %.0f%% updates, in-op I/O latency "
+        "%llu us, latch mode x threads --\n",
+        sweep_update_pct, static_cast<unsigned long long>(latency_us));
+    if (args.csv) {
+      table.PrintCsv(std::cout);
+    } else {
+      table.Print(std::cout);
+    }
+    return 0;
+  }
   if (!sweep_shards.empty()) {
     if (sweep_threads.empty()) sweep_threads = {threads};
     // The sweep grid runs its own thread counts; name them in the header
@@ -58,6 +130,7 @@ int main(int argc, char** argv) {
         cfg.update_fraction = sweep_update_pct / 100.0;
         cfg.query_max_dim = 0.01;
         cfg.concurrency.io_latency_us = latency_us;
+        cfg.concurrency.io_latency_in_op = io_in_op;
         auto res = RunThroughput(cfg);
         if (!res.ok()) {
           std::fprintf(stderr, "throughput run failed: %s\n",
@@ -97,6 +170,7 @@ int main(int argc, char** argv) {
       cfg.update_fraction = pct / 100.0;
       cfg.query_max_dim = 0.01;  // §5.4 window range
       cfg.concurrency.io_latency_us = latency_us;
+      cfg.concurrency.io_latency_in_op = io_in_op;
       auto res = RunThroughput(cfg);
       if (!res.ok()) {
         std::fprintf(stderr, "throughput run failed: %s\n",

@@ -32,9 +32,19 @@ void BufferPool::RecomputeShardCapacities() {
   }
 }
 
+void BufferPool::WaitForWriteback(Shard& shard,
+                                  std::unique_lock<std::mutex>& lock,
+                                  PageId id) {
+  shard.writeback_cv.wait(
+      lock, [&] { return shard.writeback.find(id) == shard.writeback.end(); });
+}
+
 StatusOr<Page*> BufferPool::FetchPage(PageId id) {
   Shard& shard = ShardFor(id);
   std::unique_lock lock(shard.mu);
+  // A victim mid-write-back is not resident, but its disk image is stale
+  // until the batch lands: wait it out before the miss path reads disk.
+  WaitForWriteback(shard, lock, id);
   auto it = shard.frames.find(id);
   if (it != shard.frames.end()) {
     Frame* f = it->second.get();
@@ -56,7 +66,7 @@ StatusOr<Page*> BufferPool::FetchPage(PageId id) {
   f->page.Pin();
   Page* page = &f->page;
   shard.frames.emplace(id, std::move(f));
-  EvictToCapacityLocked(shard);
+  EvictToCapacity(shard, lock);
   return page;
 }
 
@@ -70,7 +80,7 @@ Page* BufferPool::NewPage() {
   f->page.Pin();
   Page* page = &f->page;
   shard.frames.emplace(id, std::move(f));
-  EvictToCapacityLocked(shard);
+  EvictToCapacity(shard, lock);
   return page;
 }
 
@@ -88,7 +98,7 @@ void BufferPool::UnpinPage(PageId id, bool dirty) {
     shard.lru.push_front(id);
     f->lru_it = shard.lru.begin();
     f->in_lru = true;
-    EvictToCapacityLocked(shard);
+    EvictToCapacity(shard, lock);
   }
 }
 
@@ -104,6 +114,9 @@ Status BufferPool::FlushAll() {
   for (auto& sp : shards_) {
     Shard& shard = *sp;
     std::unique_lock lock(shard.mu);
+    // Let in-flight eviction write-backs land first so the I/O counters
+    // read after FlushAll() cover them.
+    shard.writeback_cv.wait(lock, [&] { return shard.writeback.empty(); });
     std::vector<PageWriteRequest> batch;
     std::vector<Frame*> dirty;
     for (auto& [id, f] : shard.frames) {
@@ -121,6 +134,9 @@ Status BufferPool::FlushAll() {
 Status BufferPool::DeletePage(PageId id) {
   Shard& shard = ShardFor(id);
   std::unique_lock lock(shard.mu);
+  // Freeing the disk page while its eviction write-back is in flight
+  // would make the batched write fail: wait for it to land.
+  WaitForWriteback(shard, lock, id);
   auto it = shard.frames.find(id);
   if (it != shard.frames.end()) {
     Frame* f = it->second.get();
@@ -143,7 +159,7 @@ void BufferPool::Resize(size_t capacity) {
     Shard& shard = *shards_[i];
     std::unique_lock lock(shard.mu);
     shard.capacity = shard_capacity(i);
-    EvictToCapacityLocked(shard);
+    EvictToCapacity(shard, lock);
   }
 }
 
@@ -182,12 +198,15 @@ void BufferPool::ResetStats() {
   }
 }
 
-void BufferPool::EvictToCapacityLocked(Shard& shard) {
+void BufferPool::EvictToCapacity(Shard& shard,
+                                 std::unique_lock<std::mutex>& lock) {
   if (shard.frames.size() <= shard.capacity) return;
-  // Detach LRU victims first (clean ones leave with zero I/O), then write
-  // the dirty ones back as one group write.
-  std::vector<std::unique_ptr<Frame>> victims;
+  // Detach LRU victims under the latch (clean ones die right here with
+  // zero I/O); dirty ones park in the in-flight table so the group write
+  // can run after the latch drops.
+  std::vector<std::unique_ptr<Frame>> clean_victims;
   std::vector<PageWriteRequest> batch;
+  std::vector<PageId> dirty_ids;
   while (shard.frames.size() > shard.capacity && !shard.lru.empty()) {
     const PageId victim = shard.lru.back();
     shard.lru.pop_back();
@@ -197,19 +216,30 @@ void BufferPool::EvictToCapacityLocked(Shard& shard) {
     f->in_lru = false;
     if (f->page.is_dirty()) {
       batch.push_back(PageWriteRequest{victim, f->page.data()});
+      dirty_ids.push_back(victim);
+      shard.writeback.emplace(victim, std::move(it->second));
       ++shard.stats.flushes;
+    } else {
+      clean_victims.push_back(std::move(it->second));
     }
-    victims.push_back(std::move(it->second));
     shard.frames.erase(it);
     ++shard.stats.evictions;
   }
   // If all remaining frames are pinned the shard grows past its budget
   // temporarily; correctness over strict accounting.
-  if (!batch.empty()) {
-    // A resident frame always maps to a live disk page (DeletePage drops
-    // the frame before freeing), so a failed write-back is a bug.
-    BURTREE_CHECK(file_->FlushDirtyBatch(batch).ok());
-  }
+  if (batch.empty()) return;
+
+  // Write back latch-free so hits on this shard proceed during the I/O.
+  // The batch's data pointers stay valid: the in-flight frames are owned
+  // by shard.writeback and nobody touches them until the cv fires.
+  lock.unlock();
+  // A resident frame always maps to a live disk page (DeletePage drops
+  // the frame before freeing and waits out in-flight write-backs), so a
+  // failed write-back is a bug.
+  BURTREE_CHECK(file_->FlushDirtyBatch(batch).ok());
+  lock.lock();
+  for (PageId id : dirty_ids) shard.writeback.erase(id);
+  shard.writeback_cv.notify_all();
 }
 
 Status BufferPool::FlushFrameLocked(Shard& shard, Frame& f) {

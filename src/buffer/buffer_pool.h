@@ -5,6 +5,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -35,9 +36,13 @@ namespace burtree {
 /// Eviction is "concurrent-clean": clean victims are dropped with no I/O,
 /// and when one operation must evict several frames (Resize, a shrink, a
 /// burst of unpins) the dirty victims are written back as one
-/// PageFile::FlushDirtyBatch group write instead of one pwrite per page —
-/// while only that shard's latch is held, so the other shards keep
-/// serving.
+/// PageFile::FlushDirtyBatch group write instead of one pwrite per page.
+/// The write-back happens *after* the shard latch is released: victims
+/// are detached into a per-shard in-flight table under the latch, the
+/// batch is written latch-free, then the table is cleared. A slow flush
+/// therefore never blocks hits on its own shard; only a fetch/delete of
+/// a page whose write-back is still in flight waits (on the shard's
+/// condition variable) so it can never observe stale disk bytes.
 class BufferPool {
  public:
   /// `capacity` is the maximum number of resident unpinned+pinned frames
@@ -105,14 +110,25 @@ class BufferPool {
     mutable std::mutex mu;
     std::unordered_map<PageId, std::unique_ptr<Frame>> frames;
     std::list<PageId> lru;  // front = most recent; only unpinned pages
+    /// Dirty victims whose batched write-back is running latch-free;
+    /// removed (and writeback_cv notified) once the batch lands.
+    std::unordered_map<PageId, std::unique_ptr<Frame>> writeback;
+    std::condition_variable writeback_cv;
     BufferStats stats;
     size_t capacity = 0;
   };
 
   Shard& ShardFor(PageId id) { return *shards_[shard_of(id)]; }
 
-  // All private helpers assume the shard's mu is held.
-  void EvictToCapacityLocked(Shard& shard);
+  /// Detaches LRU victims under `lock`, then — if any were dirty —
+  /// releases the latch, writes them back as one group write, re-latches
+  /// and clears the in-flight table. `lock` is held again on return.
+  void EvictToCapacity(Shard& shard, std::unique_lock<std::mutex>& lock);
+  /// Blocks until `id` has no write-back in flight (lock released while
+  /// waiting, held again on return).
+  void WaitForWriteback(Shard& shard, std::unique_lock<std::mutex>& lock,
+                        PageId id);
+  // Assume the shard's mu is held.
   Status FlushFrameLocked(Shard& shard, Frame& f);
   void RecomputeShardCapacities();
 

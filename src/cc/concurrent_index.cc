@@ -2,8 +2,60 @@
 
 #include <chrono>
 #include <thread>
+#include <vector>
 
 namespace burtree {
+
+namespace {
+
+/// UpdateLatchScope over a PageLatchSet (writer mode).
+class WriterScope final : public UpdateLatchScope {
+ public:
+  explicit WriterScope(PageLatchSet* set) : set_(set) {}
+  bool Covers(PageId page) const override { return set_->Covers(page); }
+  bool TryExtend(PageId page) override {
+    return set_->TryExtendExclusive(page);
+  }
+
+ private:
+  PageLatchSet* set_;
+};
+
+/// TraversalLatchHooks over a PageLatchSet (reader mode).
+class ReaderHooks final : public TraversalLatchHooks {
+ public:
+  explicit ReaderHooks(PageLatchSet* set) : set_(set) {}
+  void AcquireShared(PageId page) override { set_->AcquireShared(page); }
+  bool TryAcquireShared(PageId page) override {
+    return set_->TryAcquireShared(page);
+  }
+  void ReleaseShared(PageId page) override { set_->ReleaseShared(page); }
+
+ private:
+  PageLatchSet* set_;
+};
+
+}  // namespace
+
+const char* LatchModeName(LatchMode mode) {
+  switch (mode) {
+    case LatchMode::kGlobal: return "global";
+    case LatchMode::kSubtree: return "subtree";
+  }
+  return "?";
+}
+
+bool ParseLatchMode(const std::string& s, LatchMode* out) {
+  if (s == "global") {
+    *out = LatchMode::kGlobal;
+    return true;
+  }
+  if (s == "subtree") {
+    *out = LatchMode::kSubtree;
+    return true;
+  }
+  return false;
+}
 
 ConcurrentIndex::ConcurrentIndex(IndexSystem* system,
                                  UpdateStrategy* strategy,
@@ -14,12 +66,89 @@ ConcurrentIndex::ConcurrentIndex(IndexSystem* system,
       executor_(executor),
       options_(options),
       lock_manager_(options.lock),
-      granules_(options.grid_bits) {}
+      granules_(options.grid_bits),
+      latch_table_(options.latch_stripes) {
+  if (options_.io_latency_in_op) {
+    // The tree "disk" sleeps per access while the operation's latches
+    // are held; ChargeIoLatency then becomes a no-op.
+    system_->file().set_io_latency_ns(options_.io_latency_us * 1000);
+    system_->file().set_io_latency_model(PageFile::IoLatencyModel::kSleep);
+  }
+}
+
+LatchModeStats ConcurrentIndex::latch_stats() const {
+  LatchModeStats s;
+  s.scoped_updates = scoped_updates_.load(std::memory_order_relaxed);
+  s.escalated_updates = escalated_updates_.load(std::memory_order_relaxed);
+  s.coupled_queries = coupled_queries_.load(std::memory_order_relaxed);
+  s.escalated_queries = escalated_queries_.load(std::memory_order_relaxed);
+  return s;
+}
 
 void ConcurrentIndex::ChargeIoLatency(uint64_t ios) const {
+  if (options_.io_latency_in_op) return;  // already slept at the PageFile
   if (options_.io_latency_us == 0 || ios == 0) return;
   std::this_thread::sleep_for(
       std::chrono::microseconds(options_.io_latency_us * ios));
+}
+
+Status ConcurrentIndex::UpdateGlobal(ObjectId oid, const Point& from,
+                                     const Point& to, uint64_t* ios) {
+  std::unique_lock latch(latch_);
+  PageFile::ResetThreadIo();
+  auto result = strategy_->Update(oid, from, to);
+  *ios = PageFile::thread_io();
+  return result.status();
+}
+
+Status ConcurrentIndex::UpdateSubtree(ObjectId oid, const Point& from,
+                                      const Point& to, uint64_t* ios) {
+  PageFile::ResetThreadIo();
+  PageId warm = kInvalidPageId;
+  {
+    std::shared_lock tree_latch(latch_);
+    // The plan reads only the oid index and the summary (their own
+    // mutexes) — no tree pages — so it cannot race page writers.
+    const UpdatePlan plan = strategy_->PlanUpdate(oid, from, to);
+    if (plan.leaf_local) {
+      {
+        PageLatchSet latches(&latch_table_);
+        std::vector<PageId> pages{plan.leaf};
+        if (plan.parent != kInvalidPageId) pages.push_back(plan.parent);
+        latches.AcquireExclusive(pages);
+        WriterScope scope(&latches);
+        auto result = strategy_->UpdateScoped(scope, plan, oid, from, to);
+        if (result.status().code() != StatusCode::kLatchContention) {
+          scoped_updates_.fetch_add(1, std::memory_order_relaxed);
+          *ios = PageFile::thread_io();
+          return result.status();
+        }
+        // UpdateScoped mutates nothing before returning LatchContention,
+        // so the tree-exclusive re-run below starts from a clean slate.
+      }
+      // Escalation warming, step 1: predict the page the re-run will
+      // stall on. The probe uses a fresh try-only latch scope (released
+      // at block exit) and must run under the shared tree latch like
+      // any page-latching reader.
+      PageLatchSet probe(&latch_table_);
+      WriterScope probe_scope(&probe);
+      warm = strategy_->PredictEscalationDest(probe_scope, plan, oid,
+                                              from, to);
+    }
+  }
+  // Step 2: pull it into the buffer pool holding no latch at all — only
+  // the pin is taken, the bytes are never read — so the I/O sleep
+  // overlaps every other thread instead of delaying the escalation or
+  // blocking a subtree.
+  if (warm != kInvalidPageId) {
+    auto res = system_->buffer().FetchPage(warm);
+    if (res.ok()) system_->buffer().UnpinPage(warm, /*dirty=*/false);
+  }
+  escalated_updates_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock tree_latch(latch_);
+  auto result = strategy_->Update(oid, from, to);
+  *ios = PageFile::thread_io();
+  return result.status();
 }
 
 Status ConcurrentIndex::Update(ObjectId oid, const Point& from,
@@ -34,17 +163,43 @@ Status ConcurrentIndex::Update(ObjectId oid, const Point& from,
   }
 
   uint64_t ios = 0;
-  Status op_status;
-  {
-    std::unique_lock latch(latch_);
-    PageFile::ResetThreadIo();
-    auto result = strategy_->Update(oid, from, to);
-    op_status = result.status();
-    ios = PageFile::thread_io();
-  }
+  Status op_status = options_.latch_mode == LatchMode::kGlobal
+                         ? UpdateGlobal(oid, from, to, &ios)
+                         : UpdateSubtree(oid, from, to, &ios);
   ChargeIoLatency(ios);
   lock_manager_.ReleaseAll(ts);
   return op_status;
+}
+
+StatusOr<size_t> ConcurrentIndex::QueryGlobal(const Rect& window,
+                                              uint64_t* ios) {
+  std::shared_lock latch(latch_);
+  PageFile::ResetThreadIo();
+  StatusOr<size_t> result = executor_->Query(window);
+  *ios = PageFile::thread_io();
+  return result;
+}
+
+StatusOr<size_t> ConcurrentIndex::QuerySubtree(const Rect& window,
+                                               uint64_t* ios) {
+  PageFile::ResetThreadIo();
+  {
+    std::shared_lock tree_latch(latch_);
+    PageLatchSet latches(&latch_table_);
+    ReaderHooks hooks(&latches);
+    StatusOr<size_t> result = executor_->Query(window, nullptr, &hooks);
+    if (result.status().code() != StatusCode::kLatchContention) {
+      coupled_queries_.fetch_add(1, std::memory_order_relaxed);
+      *ios = PageFile::thread_io();
+      return result;
+    }
+  }
+  // Coupling starved (bounded retries exhausted): serialize this query.
+  escalated_queries_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock tree_latch(latch_);
+  StatusOr<size_t> result = executor_->Query(window);
+  *ios = PageFile::thread_io();  // includes the aborted coupled attempt
+  return result;
 }
 
 StatusOr<size_t> ConcurrentIndex::Query(const Rect& window) {
@@ -58,13 +213,9 @@ StatusOr<size_t> ConcurrentIndex::Query(const Rect& window) {
   }
 
   uint64_t ios = 0;
-  StatusOr<size_t> result = Status::Aborted("unreached");
-  {
-    std::shared_lock latch(latch_);
-    PageFile::ResetThreadIo();
-    result = executor_->Query(window);
-    ios = PageFile::thread_io();
-  }
+  StatusOr<size_t> result = options_.latch_mode == LatchMode::kGlobal
+                                ? QueryGlobal(window, &ios)
+                                : QuerySubtree(window, &ios);
   ChargeIoLatency(ios);
   lock_manager_.ReleaseAll(ts);
   return result;

@@ -4,32 +4,82 @@
 // Pipeline per operation:
 //   1. acquire the DGL lock set (sorted granules => deadlock-free; the
 //      lock manager's wait-die/timeout is a backstop),
-//   2. run the logical operation under a tree latch (updates exclusive,
-//      queries shared) — RAM-speed critical section,
-//   3. release the latch, then charge the simulated disk latency for the
-//      page I/Os the operation performed *while still holding the DGL
-//      locks* — so conflicting operations serialize their I/O time
-//      exactly as a disk-resident DGL R-tree would,
+//   2. run the logical operation under tree latching — RAM-speed
+//      critical sections — in one of two latch modes:
+//        * kGlobal: one tree-wide latch (updates exclusive, queries
+//          shared) — the original pipeline, bit-for-bit,
+//        * kSubtree: bottom-up updates X-latch only their planned leaf /
+//          parent pages in a striped page-latch table (extras by
+//          try-latch); window queries couple shared latches over level-1
+//          nodes and leaves; anything needing structure modification
+//          escalates to the tree-wide exclusive latch and retries,
+//   3. release the latches, then charge the simulated disk latency for
+//      the page I/Os the operation performed *while still holding the
+//      DGL locks* — so conflicting operations serialize their I/O time
+//      exactly as a disk-resident DGL R-tree would. (Alternatively,
+//      io_latency_in_op charges the latency at the PageFile, sleep
+//      model, while page latches are held — the disk-resident regime
+//      where per-subtree latching overlaps I/O stalls.)
 //   4. release the locks.
 //
 // Throughput is therefore governed by per-operation I/O counts and
-// granule conflicts, the two quantities Figure 8 measures.
+// granule conflicts — plus, in subtree mode, genuine tree-latch
+// parallelism for the leaf-local updates the paper's bottom-up
+// strategies produce.
+//
+// Deadlock freedom (see docs/ARCHITECTURE.md for the full argument):
+// DGL granules (sorted) → tree latch → page latches (writers: sorted
+// up-front set, try-only extension; readers: blocking only while holding
+// nothing, try-only coupling) → buffer shard latch → PageFile. Every
+// blocking wait is issued either holding nothing at its layer or in
+// globally sorted order, so no cycle can form.
 #pragma once
 
 #include <atomic>
 #include <shared_mutex>
+#include <string>
 
 #include "cc/dgl.h"
+#include "cc/latch_table.h"
 #include "cc/lock_manager.h"
 #include "update/query_executor.h"
 #include "update/strategy.h"
 
 namespace burtree {
 
+/// How the Figure-8 pipeline latches tree pages.
+enum class LatchMode {
+  kGlobal,   ///< one tree-wide latch (original behavior)
+  kSubtree,  ///< per-subtree page latches with tree-wide escalation
+};
+
+const char* LatchModeName(LatchMode mode);
+
+/// Parses "global" / "subtree" (case-sensitive); returns false and
+/// leaves `out` untouched on anything else.
+bool ParseLatchMode(const std::string& s, LatchMode* out);
+
 struct ConcurrencyOptions {
   uint32_t grid_bits = 6;         ///< 64x64 spatial granules
   uint64_t io_latency_us = 100;   ///< simulated disk latency per page I/O
+  /// Charge the per-I/O latency at the PageFile (sleep model, incurred
+  /// while the operation's latches are held) instead of after the
+  /// operation. Models a disk-resident tree where an I/O stalls exactly
+  /// the pages the operation has latched — the regime where subtree
+  /// latching overlaps I/O stalls that the global latch serializes.
+  bool io_latency_in_op = false;
+  LatchMode latch_mode = LatchMode::kGlobal;
+  /// Stripes in the page-latch table (rounded up to a power of two).
+  size_t latch_stripes = LatchTable::kDefaultStripes;
   LockManagerOptions lock;
+};
+
+/// Counters of subtree-mode control flow (testing / benches).
+struct LatchModeStats {
+  uint64_t scoped_updates = 0;     ///< updates completed under page latches
+  uint64_t escalated_updates = 0;  ///< updates re-run tree-exclusive
+  uint64_t coupled_queries = 0;    ///< queries completed under coupling
+  uint64_t escalated_queries = 0;  ///< queries re-run tree-exclusive
 };
 
 class ConcurrentIndex {
@@ -46,10 +96,18 @@ class ConcurrentIndex {
 
   LockManager& lock_manager() { return lock_manager_; }
   const ConcurrencyOptions& options() const { return options_; }
+  LatchModeStats latch_stats() const;
 
  private:
   uint64_t NextTs() { return ts_.fetch_add(1, std::memory_order_relaxed); }
   void ChargeIoLatency(uint64_t ios) const;
+
+  Status UpdateGlobal(ObjectId oid, const Point& from, const Point& to,
+                      uint64_t* ios);
+  Status UpdateSubtree(ObjectId oid, const Point& from, const Point& to,
+                       uint64_t* ios);
+  StatusOr<size_t> QueryGlobal(const Rect& window, uint64_t* ios);
+  StatusOr<size_t> QuerySubtree(const Rect& window, uint64_t* ios);
 
   IndexSystem* system_;
   UpdateStrategy* strategy_;
@@ -57,8 +115,16 @@ class ConcurrentIndex {
   ConcurrencyOptions options_;
   LockManager lock_manager_;
   SpatialGranules granules_;
+  /// Tree-wide latch. Global mode: updates exclusive, queries shared.
+  /// Subtree mode: leaf-local updates and coupled queries shared (page
+  /// latches underneath), escalated operations exclusive.
   std::shared_mutex latch_;
+  LatchTable latch_table_;
   std::atomic<uint64_t> ts_{1};
+  std::atomic<uint64_t> scoped_updates_{0};
+  std::atomic<uint64_t> escalated_updates_{0};
+  std::atomic<uint64_t> coupled_queries_{0};
+  std::atomic<uint64_t> escalated_queries_{0};
 };
 
 }  // namespace burtree

@@ -1,0 +1,119 @@
+#include "cc/latch_table.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace burtree {
+
+namespace {
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+}  // namespace
+
+LatchTable::LatchTable(size_t stripes) {
+  const size_t n = RoundUpPow2(std::max<size_t>(1, stripes));
+  stripes_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+  mask_ = n - 1;
+}
+
+size_t LatchTable::StripeOf(PageId id) const {
+  // SplitMix64 finalizer: page ids are sequential, so adjacent tree nodes
+  // must not land on adjacent stripes systematically.
+  uint64_t z = static_cast<uint64_t>(id) + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return static_cast<size_t>((z ^ (z >> 31)) & mask_);
+}
+
+PageLatchSet::Held* PageLatchSet::Find(size_t stripe) {
+  for (Held& h : held_) {
+    if (h.stripe == stripe) return &h;
+  }
+  return nullptr;
+}
+
+const PageLatchSet::Held* PageLatchSet::Find(size_t stripe) const {
+  for (const Held& h : held_) {
+    if (h.stripe == stripe) return &h;
+  }
+  return nullptr;
+}
+
+void PageLatchSet::AcquireExclusive(const std::vector<PageId>& pages) {
+  BURTREE_CHECK(held_.empty());  // must be the planned, up-front set
+  std::vector<size_t> stripes;
+  stripes.reserve(pages.size());
+  for (PageId p : pages) stripes.push_back(table_->StripeOf(p));
+  std::sort(stripes.begin(), stripes.end());
+  stripes.erase(std::unique(stripes.begin(), stripes.end()), stripes.end());
+  for (size_t s : stripes) {
+    table_->stripe(s).lock();
+    held_.push_back(Held{s, /*exclusive=*/true, 1});
+  }
+}
+
+bool PageLatchSet::Covers(PageId page) const {
+  return Find(table_->StripeOf(page)) != nullptr;
+}
+
+bool PageLatchSet::TryExtendExclusive(PageId page) {
+  const size_t s = table_->StripeOf(page);
+  if (Held* h = Find(s)) {
+    BURTREE_CHECK(h->exclusive);  // no mode mixing within one set
+    return true;
+  }
+  if (!table_->stripe(s).try_lock()) return false;
+  held_.push_back(Held{s, /*exclusive=*/true, 1});
+  return true;
+}
+
+void PageLatchSet::AcquireShared(PageId page) {
+  // Blocking shared acquisition is only safe while holding nothing: a
+  // reader that waits while holding would re-introduce wait cycles.
+  BURTREE_CHECK(held_.empty());
+  const size_t s = table_->StripeOf(page);
+  table_->stripe(s).lock_shared();
+  held_.push_back(Held{s, /*exclusive=*/false, 1});
+}
+
+bool PageLatchSet::TryAcquireShared(PageId page) {
+  const size_t s = table_->StripeOf(page);
+  if (Held* h = Find(s)) {
+    BURTREE_CHECK(!h->exclusive);
+    ++h->refs;
+    return true;
+  }
+  if (!table_->stripe(s).try_lock_shared()) return false;
+  held_.push_back(Held{s, /*exclusive=*/false, 1});
+  return true;
+}
+
+void PageLatchSet::ReleaseShared(PageId page) {
+  const size_t s = table_->StripeOf(page);
+  Held* h = Find(s);
+  BURTREE_CHECK(h != nullptr && !h->exclusive && h->refs > 0);
+  if (--h->refs == 0) {
+    table_->stripe(s).unlock_shared();
+    held_.erase(held_.begin() + (h - held_.data()));
+  }
+}
+
+void PageLatchSet::ReleaseAll() {
+  for (const Held& h : held_) {
+    if (h.exclusive) {
+      table_->stripe(h.stripe).unlock();
+    } else {
+      table_->stripe(h.stripe).unlock_shared();
+    }
+  }
+  held_.clear();
+}
+
+}  // namespace burtree

@@ -1,0 +1,134 @@
+// Page-latch table for per-subtree concurrency on the Figure-8 path.
+//
+// A LatchTable is a striped pool of reader/writer latches keyed by page
+// id: pages hash onto a fixed power-of-two number of stripes, each owning
+// one std::shared_mutex. Two pages that collide onto a stripe share a
+// latch — safe (strictly more exclusion) and bounded-memory, which is why
+// striped storage beats a true per-page map here.
+//
+// PageLatchSet is the RAII holder through which every latch is acquired.
+// It enforces the deadlock-freedom protocol of the cc layer (see
+// docs/ARCHITECTURE.md "Lock ordering"):
+//
+//   * Writers call AcquireExclusive(pages) exactly once with the page set
+//     they *plan* to touch. The set is mapped to stripes, sorted, and
+//     deduplicated before any latch is taken, so blocking writer-writer
+//     waits always happen in globally sorted stripe order — no cycle can
+//     form among writers.
+//   * Any latch needed beyond the declared set (a sibling chosen during
+//     the operation, LBU's parent discovered from the leaf page) must go
+//     through TryExtendExclusive, which never blocks. Failure means the
+//     caller escalates to the tree-wide latch instead of waiting.
+//   * Readers latch-couple: AcquireShared may block only while the set
+//     holds nothing else; every further shared latch must go through
+//     TryAcquireShared (non-blocking). A reader therefore never waits
+//     while holding, so it can never be an interior node of a wait cycle.
+//
+// Together: every blocking wait is either (a) issued while holding no
+// page latch, or (b) part of one sorted exclusive acquisition. Both are
+// cycle-free, so the table is deadlock-free by construction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "common/types.h"
+
+namespace burtree {
+
+/// Striped reader/writer latch storage keyed by page id.
+///
+/// Thread-safety: fully thread-safe; the table itself is immutable after
+/// construction and the per-stripe mutexes do the synchronization.
+class LatchTable {
+ public:
+  /// 4096 stripes ≈ a few hundred KB of mutexes. Sized so that try-latch
+  /// extensions (which escalate on collision) rarely hit a stripe some
+  /// unrelated operation holds: with T threads each holding ~3 stripes,
+  /// a random try-latch collides with probability ~3T/stripes — ~0.6%
+  /// at 8 threads rather than ~9% with 256 stripes.
+  static constexpr size_t kDefaultStripes = 4096;
+
+  /// `stripes` is rounded up to a power of two (minimum 1).
+  explicit LatchTable(size_t stripes = kDefaultStripes);
+
+  LatchTable(const LatchTable&) = delete;
+  LatchTable& operator=(const LatchTable&) = delete;
+
+  size_t num_stripes() const { return stripes_.size(); }
+
+  /// Stripe index serving `id` (exposed for tests and sorted acquisition).
+  size_t StripeOf(PageId id) const;
+
+  std::shared_mutex& stripe(size_t s) { return stripes_[s]->mu; }
+
+ private:
+  struct Stripe {
+    std::shared_mutex mu;
+  };
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+  size_t mask_ = 0;
+};
+
+/// RAII owner of a set of latches from one LatchTable. Move-only; the
+/// destructor releases everything still held. One PageLatchSet belongs to
+/// one operation on one thread.
+///
+/// A set is either a *writer* set (AcquireExclusive / TryExtendExclusive)
+/// or a *reader* set (AcquireShared / TryAcquireShared / ReleaseShared);
+/// mixing modes in one set is a protocol violation and asserts.
+class PageLatchSet {
+ public:
+  explicit PageLatchSet(LatchTable* table) : table_(table) {}
+  ~PageLatchSet() { ReleaseAll(); }
+
+  PageLatchSet(const PageLatchSet&) = delete;
+  PageLatchSet& operator=(const PageLatchSet&) = delete;
+
+  /// Blocking exclusive acquisition of the whole planned page set, in
+  /// sorted deduplicated stripe order. Must be the set's first
+  /// acquisition (asserts if anything is already held).
+  void AcquireExclusive(const std::vector<PageId>& pages);
+
+  /// True when `page`'s stripe is already held by this set (in either
+  /// mode) — the page is safe to read/write under the set's protection.
+  bool Covers(PageId page) const;
+
+  /// Non-blocking exclusive acquisition of one more page. Returns true
+  /// when the stripe is now (or already was) held exclusively. Never
+  /// blocks; a false return means the caller must escalate.
+  bool TryExtendExclusive(PageId page);
+
+  /// Blocking shared acquisition; allowed only while the set holds
+  /// nothing (the coupling root). Asserts otherwise.
+  void AcquireShared(PageId page);
+
+  /// Non-blocking shared acquisition while other shared latches are
+  /// held. A stripe already held shared is reference-counted.
+  bool TryAcquireShared(PageId page);
+
+  /// Drops one shared hold on `page`'s stripe (the latch is released
+  /// when the last reference goes).
+  void ReleaseShared(PageId page);
+
+  /// Releases every latch still held. Idempotent.
+  void ReleaseAll();
+
+  size_t held_stripes() const { return held_.size(); }
+
+ private:
+  struct Held {
+    size_t stripe;
+    bool exclusive;
+    int refs;
+  };
+  Held* Find(size_t stripe);
+  const Held* Find(size_t stripe) const;
+
+  LatchTable* table_;
+  std::vector<Held> held_;  // small: a handful of stripes per operation
+};
+
+}  // namespace burtree

@@ -19,6 +19,7 @@ enum class StatusCode {
   kResourceExhausted, ///< Buffer pool full of pinned pages, etc.
   kAborted,         ///< Operation gave up (e.g., lock wait-die abort).
   kUnsupported,     ///< Feature disabled by options.
+  kLatchContention, ///< Subtree-latch path must escalate / retry (cc layer).
 };
 
 /// Value-semantic success/error result. Cheap to copy on the OK path.
@@ -47,6 +48,13 @@ class Status {
   static Status Unsupported(std::string m) {
     return Status(StatusCode::kUnsupported, std::move(m));
   }
+  /// The operation cannot complete under the latches it currently holds
+  /// (page-latch scope too small, or a try-latch lost a race). Never an
+  /// application-visible error: the cc layer catches it and retries the
+  /// operation under the tree-wide exclusive latch.
+  static Status LatchContention(std::string m = "latch contention") {
+    return Status(StatusCode::kLatchContention, std::move(m));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -66,6 +74,7 @@ class Status {
       case StatusCode::kResourceExhausted: return "ResourceExhausted";
       case StatusCode::kAborted: return "Aborted";
       case StatusCode::kUnsupported: return "Unsupported";
+      case StatusCode::kLatchContention: return "LatchContention";
     }
     return "Unknown";
   }

@@ -150,8 +150,16 @@ StatusOr<ThroughputResult> RunThroughput(const ThroughputConfig& config) {
   StrategyFixture fx = MakeFixture(config.base);
   BURTREE_RETURN_IF_ERROR(BuildIndex(config.base, workload, &fx));
 
+  // The latch mode has two homes: ExperimentConfig (the bench-facing
+  // knob next to --shards) and ConcurrencyOptions (the ConcurrentIndex
+  // knob tests set directly). Honor whichever asks for subtree latching
+  // so neither is silently downgraded to the global default.
+  ConcurrencyOptions copts = config.concurrency;
+  if (config.base.latch_mode != LatchMode::kGlobal) {
+    copts.latch_mode = config.base.latch_mode;
+  }
   ConcurrentIndex index(fx.system.get(), fx.strategy.get(),
-                        fx.executor.get(), config.concurrency);
+                        fx.executor.get(), copts);
 
   const uint32_t threads = config.threads;
   const uint64_t objects = config.base.workload.num_objects;
@@ -210,6 +218,7 @@ StatusOr<ThroughputResult> RunThroughput(const ThroughputConfig& config) {
   res.elapsed_s = elapsed;
   res.tps = elapsed > 0 ? static_cast<double>(res.total_ops) / elapsed : 0;
   res.lock_stats = index.lock_manager().stats();
+  res.latch_stats = index.latch_stats();
   return res;
 }
 

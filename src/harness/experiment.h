@@ -38,6 +38,11 @@ struct ExperimentConfig {
   /// LRU shard count for the tree and hash-index buffer pools (1 = the
   /// classic single-latch pool; >1 only matters under concurrency).
   size_t buffer_shards = 1;
+  /// Tree-latch mode for the concurrent (Figure-8) path: kGlobal is one
+  /// tree-wide latch, kSubtree latches per leaf/parent subtree. Ignored
+  /// by the single-threaded pipeline; RunThroughput copies it into the
+  /// ConcurrencyOptions it builds the ConcurrentIndex with.
+  LatchMode latch_mode = LatchMode::kGlobal;
   size_t page_size = 1024;
   SplitAlgorithm split = SplitAlgorithm::kQuadratic;
   /// R*-style forced re-insertion on overflow (see TreeOptions).
@@ -103,6 +108,7 @@ struct ThroughputResult {
   uint64_t total_ops = 0;
   double elapsed_s = 0.0;
   LockStats lock_stats;
+  LatchModeStats latch_stats;  ///< subtree-mode escalation counters
 };
 
 /// Figure-8 style run: N threads over a DGL-locked ConcurrentIndex with

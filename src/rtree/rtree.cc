@@ -1,8 +1,10 @@
 #include "rtree/rtree.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <queue>
+#include <thread>
 
 #include "rtree/split.h"
 
@@ -786,6 +788,90 @@ Status RTree::Query(const Rect& window, const QueryCallback& cb) {
       }
     }
   }
+  return Status::OK();
+}
+
+Status RTree::QuerySubtreeCoupled(PageId page, const Rect& window,
+                                  TraversalLatchHooks* hooks,
+                                  std::vector<LeafEntry>* out) {
+  // Leaf-local updaters hold their latches only across RAM-speed critical
+  // sections (I/O latency is charged at the page layer or afterwards), so
+  // a generous retry budget makes contention failures vanishingly rare —
+  // but the budget keeps the no-deadlock / no-livelock argument total.
+  constexpr int kAttempts = 256;
+  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(1u << std::min(attempt, 7)));
+    }
+    std::vector<LeafEntry> matches;
+    bool contended = false;
+    hooks->AcquireShared(page);
+    {
+      PageGuard g = PageGuard::Fetch(pool_, page);
+      NodeView v = View(g);
+      if (v.is_leaf()) {
+        for (uint32_t i = 0; i < v.count(); ++i) {
+          const LeafEntry e = v.leaf_entry(i);
+          if (e.rect.Intersects(window)) matches.push_back(e);
+        }
+      } else {
+        for (uint32_t i = 0; i < v.count() && !contended; ++i) {
+          const InternalEntry e = v.internal_entry(i);
+          if (!e.rect.Intersects(window)) continue;
+          if (!hooks->TryAcquireShared(e.child)) {
+            contended = true;
+            break;
+          }
+          {
+            PageGuard lg = PageGuard::Fetch(pool_, e.child);
+            NodeView lv = View(lg);
+            for (uint32_t k = 0; k < lv.count(); ++k) {
+              const LeafEntry le = lv.leaf_entry(k);
+              if (le.rect.Intersects(window)) matches.push_back(le);
+            }
+          }
+          hooks->ReleaseShared(e.child);
+        }
+      }
+    }
+    hooks->ReleaseShared(page);
+    if (!contended) {
+      out->insert(out->end(), matches.begin(), matches.end());
+      return Status::OK();
+    }
+  }
+  return Status::LatchContention("query subtree starved");
+}
+
+Status RTree::Query(const Rect& window, const QueryCallback& cb,
+                    TraversalLatchHooks* hooks) {
+  if (hooks == nullptr) return Query(window, cb);
+  struct Ref {
+    PageId page;
+    Level level;
+  };
+  std::vector<Ref> stack{{root_, root_level_}};
+  std::vector<LeafEntry> matches;
+  while (!stack.empty()) {
+    const Ref ref = stack.back();
+    stack.pop_back();
+    if (ref.level >= 2) {
+      // Immutable under the caller's shared tree latch: read latch-free.
+      PageGuard g = PageGuard::Fetch(pool_, ref.page);
+      NodeView v = View(g);
+      for (uint32_t i = 0; i < v.count(); ++i) {
+        const InternalEntry e = v.internal_entry(i);
+        if (e.rect.Intersects(window)) {
+          stack.push_back(Ref{e.child, ref.level - 1});
+        }
+      }
+      continue;
+    }
+    BURTREE_RETURN_IF_ERROR(
+        QuerySubtreeCoupled(ref.page, window, hooks, &matches));
+  }
+  for (const LeafEntry& e : matches) cb(e.oid, e.rect);
   return Status::OK();
 }
 

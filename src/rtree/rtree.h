@@ -57,6 +57,27 @@ struct TreeShape {
   uint64_t total_entries = 0;  ///< data entries
 };
 
+/// Shared-latch hooks for latch-coupled window queries (implemented by
+/// the cc layer over its striped page-latch table).
+///
+/// Contract (mirrors PageLatchSet): AcquireShared may block, but is only
+/// invoked while the traversal holds no other latch; TryAcquireShared is
+/// invoked while a parent latch is held and must never block — a false
+/// return makes the traversal release everything and retry, so a reader
+/// can never sit inside a wait cycle.
+class TraversalLatchHooks {
+ public:
+  virtual ~TraversalLatchHooks() = default;
+
+  /// Blocking shared acquisition of `page` (coupling root).
+  virtual void AcquireShared(PageId page) = 0;
+
+  /// Non-blocking shared acquisition while a parent latch is held.
+  virtual bool TryAcquireShared(PageId page) = 0;
+
+  virtual void ReleaseShared(PageId page) = 0;
+};
+
 class RTree {
  public:
   RTree(BufferPool* pool, const TreeOptions& options);
@@ -109,6 +130,22 @@ class RTree {
   using QueryCallback = std::function<void(ObjectId, const Rect&)>;
   Status Query(const Rect& window, const QueryCallback& cb);
 
+  /// Window query with shared latch-coupling (subtree latch mode).
+  /// Levels >= 2 are traversed latch-free — they are only mutated under
+  /// the tree-wide exclusive latch, which the caller excludes by holding
+  /// the tree latch shared. Level-1 nodes and leaves race with leaf-local
+  /// updaters, so each level-1 subtree is processed atomically: S-latch
+  /// the parent, then each overlapping leaf via try-latch *while the
+  /// parent latch is held* (a sibling shift holds the parent exclusively,
+  /// so an entry can never hop between two leaves mid-scan). Matches are
+  /// buffered per parent and emitted only once the subtree succeeded, so
+  /// a retry never double-reports. Returns Status::LatchContention when
+  /// a subtree stays contended past the retry budget; the caller then
+  /// escalates to the tree-wide latch. `hooks == nullptr` degrades to the
+  /// plain traversal.
+  Status Query(const Rect& window, const QueryCallback& cb,
+               TraversalLatchHooks* hooks);
+
   /// k-nearest-neighbor result entry.
   struct Neighbor {
     ObjectId oid = kInvalidObjectId;
@@ -152,6 +189,15 @@ class RTree {
   /// `path_from_root` exactly like a top-down delete would.
   Status DeleteAtLeaf(const std::vector<PageId>& path_from_root,
                       ObjectId oid);
+
+  /// Latch-coupled scan of one level<=1 subtree (a level-1 node and its
+  /// leaves, or a root leaf) with bounded retries: S-latch the parent,
+  /// try-S each overlapping leaf while the parent latch is held, buffer
+  /// matches, emit only on a consistent pass. Used by the hooks overload
+  /// of Query() and by the summary-assisted QueryExecutor path.
+  Status QuerySubtreeCoupled(PageId page, const Rect& window,
+                             TraversalLatchHooks* hooks,
+                             std::vector<LeafEntry>* out);
 
   // ---- Introspection ----
 

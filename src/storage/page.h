@@ -1,6 +1,7 @@
 // A fixed-size page: the unit of disk I/O accounting throughout burtree.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -15,8 +16,11 @@ namespace burtree {
 ///
 /// Thread-safety: NOT thread-safe by itself. The pin count and dirty bit
 /// are mutated only under the owning buffer-pool shard's latch; the data
-/// bytes are protected by whatever higher-level lock (R-tree latch, DGL
-/// granule locks) serializes access to the logical node stored here.
+/// bytes are protected by whatever higher-level lock (tree/page latches,
+/// DGL granule locks) serializes access to the logical node stored here.
+/// The pin count is atomic only so that diagnostic reads from outside
+/// the shard latch (tests, metrics) are well-defined; it is not a
+/// synchronization point.
 class Page {
  public:
   explicit Page(size_t size) : size_(size), data_(new uint8_t[size]) {
@@ -36,16 +40,18 @@ class Page {
   bool is_dirty() const { return dirty_; }
   void set_dirty(bool d) { dirty_ = d; }
 
-  int pin_count() const { return pin_count_; }
-  void Pin() { ++pin_count_; }
-  void Unpin() { --pin_count_; }
+  int pin_count() const {
+    return pin_count_.load(std::memory_order_relaxed);
+  }
+  void Pin() { pin_count_.fetch_add(1, std::memory_order_relaxed); }
+  void Unpin() { pin_count_.fetch_sub(1, std::memory_order_relaxed); }
 
  private:
   size_t size_;
   std::unique_ptr<uint8_t[]> data_;
   PageId page_id_ = kInvalidPageId;
   bool dirty_ = false;
-  int pin_count_ = 0;
+  std::atomic<int> pin_count_{0};
 };
 
 }  // namespace burtree

@@ -1,8 +1,39 @@
 #include "update/gbu.h"
 
+#include <algorithm>
 #include <limits>
+#include <optional>
+#include <utility>
+#include <vector>
 
 namespace burtree {
+
+namespace {
+
+/// Guttman ChooseLeaf criterion over an indexed rect range: least
+/// enlargement to include `target`, ties broken by smaller area.
+/// Returns n when the range is empty or no rect was accepted.
+template <typename RectOf>
+uint32_t LeastEnlargementIndex(uint32_t n, const Rect& target,
+                               RectOf rect_of) {
+  uint32_t best = n;
+  double best_enl = std::numeric_limits<double>::infinity();
+  double best_area = std::numeric_limits<double>::infinity();
+  for (uint32_t i = 0; i < n; ++i) {
+    const std::optional<Rect> r = rect_of(i);
+    if (!r.has_value()) continue;
+    const double enl = r->Enlargement(target);
+    const double area = r->Area();
+    if (enl < best_enl || (enl == best_enl && area < best_area)) {
+      best_enl = enl;
+      best_area = area;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
 
 GeneralizedBottomUpStrategy::GeneralizedBottomUpStrategy(
     IndexSystem* system, const GbuOptions& options)
@@ -14,7 +45,8 @@ GeneralizedBottomUpStrategy::GeneralizedBottomUpStrategy(
 bool GeneralizedBottomUpStrategy::TryExtend(PageGuard& leaf_guard,
                                             NodeView& leaf, int slot,
                                             ObjectId oid,
-                                            const Point& new_pos) {
+                                            const Point& new_pos,
+                                            UpdateLatchScope* scope) {
   (void)oid;
   RTree& tree = system_->tree();
   SummaryStructure* summary = system_->summary();
@@ -23,6 +55,9 @@ bool GeneralizedBottomUpStrategy::TryExtend(PageGuard& leaf_guard,
   // Parent MBR comes from the direct access table: zero I/O (§3.2).
   const PageId parent_id = summary->ParentOf(leaf_id);
   if (parent_id == kInvalidPageId) return false;
+  // Subtree latch mode: the parent was declared in the plan and latched
+  // up front; a mismatch means the plan went stale — give up the arm.
+  if (scope != nullptr && !scope->Covers(parent_id)) return false;
   const auto parent_mbr = summary->NodeMbr(parent_id);
   if (!parent_mbr.has_value()) return false;
 
@@ -61,10 +96,10 @@ bool GeneralizedBottomUpStrategy::TryExtend(PageGuard& leaf_guard,
 bool GeneralizedBottomUpStrategy::TrySiblingShift(PageGuard& leaf_guard,
                                                   NodeView& leaf,
                                                   ObjectId oid,
-                                                  const Point& new_pos) {
+                                                  const Point& new_pos,
+                                                  UpdateLatchScope* scope) {
   RTree& tree = system_->tree();
   SummaryStructure* summary = system_->summary();
-  TreeObserver* obs = tree.observer();
   const PageId leaf_id = leaf_guard.id();
 
   // Shifting removes the entry; never underflow the source leaf.
@@ -72,6 +107,7 @@ bool GeneralizedBottomUpStrategy::TrySiblingShift(PageGuard& leaf_guard,
 
   const PageId parent_id = summary->ParentOf(leaf_id);
   if (parent_id == kInvalidPageId) return false;
+  if (scope != nullptr && !scope->Covers(parent_id)) return false;
 
   // Read the parent page for sibling routing MBRs (1 R); the bit vector
   // filters full siblings with no further I/O (§3.2.1 optimization 4).
@@ -79,25 +115,50 @@ bool GeneralizedBottomUpStrategy::TrySiblingShift(PageGuard& leaf_guard,
   NodeView parent(parent_guard.data(), tree.options().page_size,
                   tree.options().parent_pointers);
 
-  int best_slot = -1;
-  double best_area = std::numeric_limits<double>::infinity();
+  // Candidates ordered by routing-rect area (the paper picks the
+  // smallest); with a latch scope, a contended candidate is skipped and
+  // the next-best tried instead of waiting.
+  std::vector<std::pair<double, uint32_t>> candidates;
   for (uint32_t i = 0; i < parent.count(); ++i) {
     const InternalEntry e = parent.internal_entry(i);
     if (e.child == leaf_id || !e.rect.Contains(new_pos)) continue;
     if (summary->LeafIsFull(e.child)) continue;
-    if (e.rect.Area() < best_area) {
-      best_area = e.rect.Area();
-      best_slot = static_cast<int>(i);
-    }
+    candidates.emplace_back(e.rect.Area(), i);
   }
-  if (best_slot < 0) return false;
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
 
-  const InternalEntry chosen = parent.internal_entry(
-      static_cast<uint32_t>(best_slot));
-  PageGuard sib_guard = PageGuard::Fetch(tree.pool(), chosen.child);
-  NodeView sib(sib_guard.data(), tree.options().page_size,
-               tree.options().parent_pointers);
-  BURTREE_CHECK(!sib.full());  // bit vector guarantees a free slot
+  for (const auto& [area, idx] : candidates) {
+    (void)area;
+    const InternalEntry chosen = parent.internal_entry(idx);
+    if (scope != nullptr && !scope->TryExtend(chosen.child)) continue;
+    PageGuard sib_guard = PageGuard::Fetch(tree.pool(), chosen.child);
+    NodeView sib(sib_guard.data(), tree.options().page_size,
+                 tree.options().parent_pointers);
+    if (scope != nullptr) {
+      // The fullness bit was read without the sibling latch; re-check
+      // now that the page can no longer change underneath us.
+      if (sib.full()) continue;
+    } else {
+      BURTREE_CHECK(!sib.full());  // bit vector guarantees a free slot
+    }
+
+    DoSiblingShift(leaf_guard, leaf, parent_guard, parent, sib_guard, sib,
+                   chosen, oid, new_pos);
+    return true;
+  }
+  return false;
+}
+
+void GeneralizedBottomUpStrategy::DoSiblingShift(
+    PageGuard& leaf_guard, NodeView& leaf, PageGuard& parent_guard,
+    NodeView& parent, PageGuard& sib_guard, NodeView& sib,
+    const InternalEntry& chosen, ObjectId oid, const Point& new_pos) {
+  RTree& tree = system_->tree();
+  TreeObserver* obs = tree.observer();
+  const PageId leaf_id = leaf_guard.id();
 
   // Move the updated object.
   const int slot = leaf.FindOidSlot(oid);
@@ -144,7 +205,6 @@ bool GeneralizedBottomUpStrategy::TrySiblingShift(PageGuard& leaf_guard,
   BURTREE_CHECK(lslot >= 0);
   parent.set_entry_rect(static_cast<uint32_t>(lslot), tight);
   parent_guard.MarkDirty();
-  return true;
 }
 
 StatusOr<UpdateResult> GeneralizedBottomUpStrategy::Update(
@@ -155,7 +215,7 @@ StatusOr<UpdateResult> GeneralizedBottomUpStrategy::Update(
   const Rect new_rect = IndexSystem::PointRect(new_pos);
 
   auto record = [&](UpdatePath p) {
-    path_counts_.Record(p);
+    RecordPath(p);
     return UpdateResult{p};
   };
   auto top_down = [&]() -> StatusOr<UpdateResult> {
@@ -192,17 +252,17 @@ StatusOr<UpdateResult> GeneralizedBottomUpStrategy::Update(
   const double dist = old_pos.DistanceTo(new_pos);
   const bool extend_first = dist < options_.distance_threshold;
   if (extend_first) {
-    if (TryExtend(leaf_guard, leaf, slot, oid, new_pos)) {
+    if (TryExtend(leaf_guard, leaf, slot, oid, new_pos, nullptr)) {
       return record(UpdatePath::kExtend);
     }
-    if (TrySiblingShift(leaf_guard, leaf, oid, new_pos)) {
+    if (TrySiblingShift(leaf_guard, leaf, oid, new_pos, nullptr)) {
       return record(UpdatePath::kSibling);
     }
   } else {
-    if (TrySiblingShift(leaf_guard, leaf, oid, new_pos)) {
+    if (TrySiblingShift(leaf_guard, leaf, oid, new_pos, nullptr)) {
       return record(UpdatePath::kSibling);
     }
-    if (TryExtend(leaf_guard, leaf, slot, oid, new_pos)) {
+    if (TryExtend(leaf_guard, leaf, slot, oid, new_pos, nullptr)) {
       return record(UpdatePath::kExtend);
     }
   }
@@ -239,6 +299,216 @@ StatusOr<UpdateResult> GeneralizedBottomUpStrategy::Update(
   BURTREE_RETURN_IF_ERROR(
       tree.InsertDescendingFrom({tree.root()}, oid, new_rect));
   return record(UpdatePath::kRootInsert);
+}
+
+bool GeneralizedBottomUpStrategy::TryScopedParentAscend(
+    UpdateLatchScope& scope, PageGuard& leaf_guard, NodeView& leaf,
+    int slot, ObjectId oid, const Point& new_pos) {
+  RTree& tree = system_->tree();
+  SummaryStructure* summary = system_->summary();
+  TreeObserver* obs = tree.observer();
+  const PageId leaf_id = leaf_guard.id();
+  const Rect new_rect = IndexSystem::PointRect(new_pos);
+
+  if (options_.level_threshold < 1) return false;  // ascent disabled
+  // Removal below must not underflow (same guard as the unscoped path).
+  if (leaf.count() <= tree.MinFill(/*leaf=*/true)) return false;
+
+  // FindParent stops at the immediate parent exactly when the parent MBR
+  // bounds the new position (the leaf itself does not, or the in-place
+  // arm would have taken the update). Deeper ascents escalate.
+  const PageId parent_id = summary->ParentOf(leaf_id);
+  if (parent_id == kInvalidPageId) return false;
+  if (!scope.Covers(parent_id)) return false;
+  const auto parent_mbr = summary->NodeMbr(parent_id);
+  if (!parent_mbr.has_value() || !parent_mbr->Contains(new_pos)) {
+    return false;
+  }
+
+  PageGuard parent_guard = PageGuard::Fetch(tree.pool(), parent_id);
+  NodeView parent(parent_guard.data(), tree.options().page_size,
+                  tree.options().parent_pointers);
+
+  // Guttman ChooseLeaf among the parent's children — identical to the
+  // DescendChooseSubtree step the unscoped re-insert would run (the
+  // source leaf competes too; its routing entry is equally stale there).
+  const uint32_t best = LeastEnlargementIndex(
+      parent.count(), new_rect,
+      [&](uint32_t i) { return std::optional<Rect>(parent.entry_rect(i)); });
+  if (best == parent.count()) return false;  // empty parent: cannot happen
+  const InternalEntry chosen = parent.internal_entry(best);
+
+  const bool dest_is_source = chosen.child == leaf_id;
+  if (!dest_is_source && !scope.TryExtend(chosen.child)) return false;
+
+  PageGuard dest_guard;
+  if (!dest_is_source) {
+    dest_guard = PageGuard::Fetch(tree.pool(), chosen.child);
+  }
+  NodeView dest = dest_is_source
+                      ? leaf
+                      : NodeView(dest_guard.data(), tree.options().page_size,
+                                 tree.options().parent_pointers);
+  // A full destination means the append would split: escalate instead.
+  if (dest.full()) return false;
+
+  // Commit. Order mirrors the unscoped path: bottom-up delete, then the
+  // append with expand-only MBR maintenance.
+  leaf.RemoveEntry(static_cast<uint32_t>(slot));
+  leaf_guard.MarkDirty();
+  obs->OnLeafEntryRemoved(oid, leaf_id);
+  obs->OnLeafOccupancyChanged(leaf_id, leaf.count(), leaf.capacity());
+
+  dest.AppendLeafEntry(LeafEntry{new_rect, oid});
+  obs->OnLeafEntryAdded(oid, chosen.child);
+  obs->OnLeafOccupancyChanged(chosen.child, dest.count(), dest.capacity());
+  const Rect new_cover = dest.mbr().UnionWith(new_rect);
+  if (!(new_cover == dest.mbr())) {
+    dest.set_mbr(new_cover);
+    obs->OnNodeMbrChanged(chosen.child, 0, new_cover);
+  }
+  if (dest_is_source) {
+    leaf_guard.MarkDirty();
+  } else {
+    dest_guard.MarkDirty();
+  }
+
+  // AdjustAncestors, expand-only, which here cannot propagate past the
+  // parent: the destination grew only by a point inside the parent MBR.
+  const int dslot = parent.FindChildSlot(chosen.child);
+  BURTREE_CHECK(dslot >= 0);
+  const Rect er = parent.entry_rect(static_cast<uint32_t>(dslot));
+  const Rect ner = er.UnionWith(new_cover);
+  if (!(ner == er)) {
+    parent.set_entry_rect(static_cast<uint32_t>(dslot), ner);
+    parent_guard.MarkDirty();
+  }
+  return true;
+}
+
+PageId GeneralizedBottomUpStrategy::PredictEscalationDest(
+    UpdateLatchScope& scope, const UpdatePlan& plan, ObjectId oid,
+    const Point& old_pos, const Point& new_pos) {
+  (void)oid;
+  (void)old_pos;
+  RTree& tree = system_->tree();
+  SummaryStructure* summary = system_->summary();
+  const Rect new_rect = IndexSystem::PointRect(new_pos);
+  if (!plan.leaf_local) return kInvalidPageId;
+
+  const uint32_t max_levels =
+      options_.level_threshold == GbuOptions::kLevelThresholdMax
+          ? tree.root_level()
+          : options_.level_threshold;
+  const auto anc =
+      summary->FindAncestorContaining(plan.leaf, new_pos, max_levels);
+  if (!anc.has_value()) return kInvalidPageId;  // root-rooted re-insert
+
+  // Least-enlargement descent over the direct access table (child covers
+  // approximate the routing rects ChooseSubtree will consult) down to
+  // the level-1 node above the probable destination.
+  PageId node = anc->path_from_root.back();
+  Level level = anc->ancestor_level;
+  while (level > 1) {
+    // Children here are internal (level >= 1), so the table has them.
+    const std::vector<PageId> children = summary->ChildrenOf(node);
+    const uint32_t best = LeastEnlargementIndex(
+        static_cast<uint32_t>(children.size()), new_rect,
+        [&](uint32_t i) { return summary->NodeMbr(children[i]); });
+    if (best == children.size()) return kInvalidPageId;
+    node = children[best];
+    --level;
+  }
+
+  // Reading the level-1 node's entries races leaf-local writers, so it
+  // needs the latch; try-only, and skip warming when contended.
+  if (!scope.Covers(node) && !scope.TryExtend(node)) return kInvalidPageId;
+  PageGuard pg = PageGuard::Fetch(tree.pool(), node);
+  NodeView pv(pg.data(), tree.options().page_size,
+              tree.options().parent_pointers);
+  if (pv.is_leaf() || pv.count() == 0) return kInvalidPageId;
+  const uint32_t best = LeastEnlargementIndex(
+      pv.count(), new_rect,
+      [&](uint32_t i) { return std::optional<Rect>(pv.entry_rect(i)); });
+  return pv.internal_entry(best).child;
+}
+
+UpdatePlan GeneralizedBottomUpStrategy::PlanUpdate(ObjectId oid,
+                                                   const Point& old_pos,
+                                                   const Point& new_pos) {
+  (void)old_pos;
+  SummaryStructure* summary = system_->summary();
+  // Root-containment failure means a top-down update: no leaf-local plan.
+  if (!summary->root_mbr().Contains(new_pos)) return UpdatePlan{};
+  auto leaf_or = system_->oid_index()->Lookup(oid);
+  if (!leaf_or.ok()) return UpdatePlan{};
+  UpdatePlan plan;
+  plan.leaf_local = true;
+  plan.leaf = leaf_or.value();
+  plan.parent = summary->ParentOf(plan.leaf);  // zero I/O (§3.2)
+  return plan;
+}
+
+StatusOr<UpdateResult> GeneralizedBottomUpStrategy::UpdateScoped(
+    UpdateLatchScope& scope, const UpdatePlan& plan, ObjectId oid,
+    const Point& old_pos, const Point& new_pos) {
+  RTree& tree = system_->tree();
+  const Rect new_rect = IndexSystem::PointRect(new_pos);
+  const PageId leaf_id = plan.leaf;
+  BURTREE_CHECK(scope.Covers(leaf_id));
+
+  auto record = [&](UpdatePath p) {
+    RecordPath(p);
+    return UpdateResult{p};
+  };
+
+  PageGuard leaf_guard = PageGuard::Fetch(tree.pool(), leaf_id);
+  NodeView leaf(leaf_guard.data(), tree.options().page_size,
+                tree.options().parent_pointers);
+  const int slot = leaf.FindOidSlot(oid);
+  if (slot < 0) {
+    // The object was piggybacked to a sibling between planning and
+    // latching: re-run under the tree-wide latch.
+    return Status::LatchContention("object moved after planning");
+  }
+
+  // Step 3: in-place update when the leaf MBR still bounds the object.
+  if (leaf.mbr().Contains(new_pos)) {
+    leaf.set_entry_rect(static_cast<uint32_t>(slot), new_rect);
+    leaf_guard.MarkDirty();
+    return record(UpdatePath::kInPlace);
+  }
+
+  // Steps 4/5: same delta-ordered arms as Update(), scope-confined.
+  const double dist = old_pos.DistanceTo(new_pos);
+  const bool extend_first = dist < options_.distance_threshold;
+  if (extend_first) {
+    if (TryExtend(leaf_guard, leaf, slot, oid, new_pos, &scope)) {
+      return record(UpdatePath::kExtend);
+    }
+    if (TrySiblingShift(leaf_guard, leaf, oid, new_pos, &scope)) {
+      return record(UpdatePath::kSibling);
+    }
+  } else {
+    if (TrySiblingShift(leaf_guard, leaf, oid, new_pos, &scope)) {
+      return record(UpdatePath::kSibling);
+    }
+    if (TryExtend(leaf_guard, leaf, slot, oid, new_pos, &scope)) {
+      return record(UpdatePath::kExtend);
+    }
+  }
+
+  // Step 6, one-level case: an ascent that stops at the leaf's own
+  // parent re-inserts inside the latched subtree.
+  if (TryScopedParentAscend(scope, leaf_guard, leaf, slot, oid, new_pos)) {
+    return record(UpdatePath::kAscend);
+  }
+
+  // Deeper ascents / root insert / top-down modify structure along an
+  // arbitrary path — escalate before touching anything. The caller asks
+  // PredictEscalationDest afterwards (with all latches released) so the
+  // re-run's destination can be warmed without serializing anyone.
+  return Status::LatchContention("needs ascent or top-down");
 }
 
 }  // namespace burtree

@@ -24,21 +24,73 @@ class GeneralizedBottomUpStrategy final : public UpdateStrategy {
   StatusOr<UpdateResult> Update(ObjectId oid, const Point& old_pos,
                                 const Point& new_pos) override;
 
+  /// GBU plans at zero page I/O: the leaf comes from the oid index (one
+  /// charged probe) and the parent from the summary structure's direct
+  /// access table, so both latches can be acquired in sorted order
+  /// before the operation reads any page.
+  UpdatePlan PlanUpdate(ObjectId oid, const Point& old_pos,
+                        const Point& new_pos) override;
+
+  /// Leaf-local arms only (in-place / iExtendMBR / sibling shift with
+  /// piggybacking). The bounded ascent and top-down fallbacks return
+  /// LatchContention before mutating anything.
+  StatusOr<UpdateResult> UpdateScoped(UpdateLatchScope& scope,
+                                      const UpdatePlan& plan, ObjectId oid,
+                                      const Point& old_pos,
+                                      const Point& new_pos) override;
+
+  /// Escalation warming: predict the tree-exclusive re-run's destination
+  /// leaf (FindParent, then a least-enlargement descent over the direct
+  /// access table; the level-1 node is probe-read under a try-latch from
+  /// the fresh `scope`). The caller fetches the returned page with no
+  /// latches held, so the I/O stall overlaps other threads instead of
+  /// serializing under the tree-wide latch. Best-effort; never mutates.
+  PageId PredictEscalationDest(UpdateLatchScope& scope,
+                               const UpdatePlan& plan, ObjectId oid,
+                               const Point& old_pos,
+                               const Point& new_pos) override;
+
   const char* name() const override { return "GBU"; }
 
   const GbuOptions& options() const { return options_; }
 
  private:
   /// Attempts the epsilon-capped extension of the leaf MBR towards
-  /// new_pos. On success updates leaf + parent routing entry.
+  /// new_pos. On success updates leaf + parent routing entry. With a
+  /// latch scope, the parent must already be covered (it is in the plan).
   bool TryExtend(PageGuard& leaf_guard, NodeView& leaf, int slot,
-                 ObjectId oid, const Point& new_pos);
+                 ObjectId oid, const Point& new_pos,
+                 UpdateLatchScope* scope);
 
   /// Attempts to shift the entry (plus piggybacked cohabitants) into a
   /// sibling leaf containing new_pos. Uses the bit vector to skip full
-  /// siblings without reading them.
+  /// siblings without reading them. With a latch scope, candidate
+  /// siblings are try-latched (contended ones are skipped) and the
+  /// fullness bit is re-checked under the latch.
   bool TrySiblingShift(PageGuard& leaf_guard, NodeView& leaf, ObjectId oid,
-                       const Point& new_pos);
+                       const Point& new_pos, UpdateLatchScope* scope);
+
+  /// The committed shift: move the entry (and piggybacked cohabitants)
+  /// from `leaf` into `sib`, tighten the source, refresh both routing
+  /// entries. All three pages are pinned (and, in subtree mode, latched)
+  /// by the caller.
+  void DoSiblingShift(PageGuard& leaf_guard, NodeView& leaf,
+                      PageGuard& parent_guard, NodeView& parent,
+                      PageGuard& sib_guard, NodeView& sib,
+                      const InternalEntry& chosen, ObjectId oid,
+                      const Point& new_pos);
+
+  /// Scoped one-level bounded ascent (subtree latch mode only): when
+  /// FindParent would stop at the leaf's own parent — i.e. the parent
+  /// MBR contains the new position — the re-insert's ChooseSubtree
+  /// descent stays inside the latched subtree. Replicates
+  /// InsertDescendingFrom's non-split append (same Guttman choice, same
+  /// expand-only MBR updates, same observer events); returns false when
+  /// the chosen child is full (a split must escalate) or its latch is
+  /// contended. Mutates nothing on failure.
+  bool TryScopedParentAscend(UpdateLatchScope& scope, PageGuard& leaf_guard,
+                             NodeView& leaf, int slot, ObjectId oid,
+                             const Point& new_pos);
 
   IndexSystem* system_;
   GbuOptions options_;

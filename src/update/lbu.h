@@ -21,6 +21,21 @@ class LocalizedBottomUpStrategy final : public UpdateStrategy {
   StatusOr<UpdateResult> Update(ObjectId oid, const Point& old_pos,
                                 const Point& new_pos) override;
 
+  /// LBU keeps parent links on the leaf pages, not in memory, so the plan
+  /// can only declare the leaf (one hash-index probe); the parent is
+  /// discovered from the latched leaf and try-extended at run time.
+  UpdatePlan PlanUpdate(ObjectId oid, const Point& old_pos,
+                        const Point& new_pos) override;
+
+  /// Leaf-local arms only (in-place / extend / sibling shift). Sibling
+  /// probing try-latches each candidate before reading it and the entry
+  /// is only removed from the source leaf once a destination is latched,
+  /// so escalation never happens mid-mutation.
+  StatusOr<UpdateResult> UpdateScoped(UpdateLatchScope& scope,
+                                      const UpdatePlan& plan, ObjectId oid,
+                                      const Point& old_pos,
+                                      const Point& new_pos) override;
+
   const char* name() const override { return "LBU"; }
 
  private:

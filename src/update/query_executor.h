@@ -16,9 +16,14 @@ class QueryExecutor {
   QueryExecutor(IndexSystem* system, bool use_summary);
 
   /// Runs the window query; returns the number of matches. `cb` may be
-  /// null when only the count matters.
+  /// null when only the count matters. `hooks` (subtree latch mode)
+  /// makes the traversal couple shared page latches over level-1 nodes
+  /// and leaves — both in the plain descent and in the summary-pruned
+  /// plan; it may return Status::LatchContention, which the cc layer
+  /// handles by escalating to the tree-wide latch.
   StatusOr<size_t> Query(const Rect& window,
-                         const RTree::QueryCallback& cb = nullptr);
+                         const RTree::QueryCallback& cb = nullptr,
+                         TraversalLatchHooks* hooks = nullptr);
 
   bool use_summary() const { return use_summary_; }
 

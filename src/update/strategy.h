@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 #include "common/geometry.h"
@@ -58,15 +59,55 @@ struct UpdatePathCounts {
   }
 };
 
+/// The page set a bottom-up update intends to touch, reported *before*
+/// any page latch is taken so the cc layer can acquire exclusive latches
+/// in sorted order prior to the operation's I/O (subtree latch mode).
+struct UpdatePlan {
+  /// False: the operation needs the tree-wide exclusive latch (top-down
+  /// strategies, root-containment failures, unknown object).
+  bool leaf_local = false;
+  /// Leaf currently holding the object, from the secondary oid index.
+  /// The lookup's cost-model I/O is charged during planning; UpdateScoped
+  /// trusts this id instead of probing the index a second time.
+  PageId leaf = kInvalidPageId;
+  /// Parent of `leaf` when the strategy knows it at zero I/O (GBU reads
+  /// it from the summary structure); kInvalidPageId when unknown (LBU
+  /// discovers it from the latched leaf page and try-extends).
+  PageId parent = kInvalidPageId;
+};
+
+/// Page-latch scope a subtree-mode update runs under. Implemented by the
+/// cc layer over its striped latch table; strategies use it to confine
+/// page writes to latched pages and to opportunistically grow the scope.
+///
+/// Contract: TryExtend never blocks. A false return means the operation
+/// must give up the arm that needed the page (or return
+/// Status::LatchContention so the caller escalates to the tree-wide
+/// latch) — waiting here could deadlock against sorted writer
+/// acquisition.
+class UpdateLatchScope {
+ public:
+  virtual ~UpdateLatchScope() = default;
+
+  /// True when `page` is already covered by the scope's exclusive set.
+  virtual bool Covers(PageId page) const = 0;
+
+  /// Non-blocking attempt to add an exclusive latch on `page`; the latch
+  /// is held until the operation completes.
+  virtual bool TryExtend(PageId page) = 0;
+};
+
 /// Interface of the paper's three update strategies: TD (top-down
 /// delete+insert), LBU (Algorithm 1), GBU (Algorithm 2). One instance is
 /// bound to one IndexSystem for its lifetime.
 ///
-/// Thread-safety: implementations are NOT internally synchronized.
-/// Update() mutates the tree, the oid index, and path_counts_; concurrent
-/// callers must hold the exclusive tree latch (see ConcurrentIndex),
-/// which is how the Figure-8 harness drives 50 threads through one
-/// strategy instance.
+/// Thread-safety: Update() mutates the tree and the oid index and is NOT
+/// internally synchronized — concurrent callers must hold the tree-wide
+/// exclusive latch (see ConcurrentIndex). UpdateScoped() is the
+/// subtree-latch-mode entry point: it may run concurrently from many
+/// threads *provided* each caller holds exclusive page latches covering
+/// its UpdatePlan (plus the tree-wide latch in shared mode). Path
+/// counters are internally synchronized either way.
 class UpdateStrategy {
  public:
   virtual ~UpdateStrategy() = default;
@@ -76,12 +117,74 @@ class UpdateStrategy {
   virtual StatusOr<UpdateResult> Update(ObjectId oid, const Point& old_pos,
                                         const Point& new_pos) = 0;
 
+  /// Reports the page set this update would touch if it stays
+  /// leaf-local. Reads only the secondary index / summary (never tree
+  /// pages, which would race). Default: not leaf-local, i.e. the caller
+  /// must take the tree-wide latch.
+  virtual UpdatePlan PlanUpdate(ObjectId oid, const Point& old_pos,
+                                const Point& new_pos) {
+    (void)oid;
+    (void)old_pos;
+    (void)new_pos;
+    return UpdatePlan{};
+  }
+
+  /// Attempts the update while touching only pages latched through
+  /// `scope` (the plan's pages are pre-latched; extras via TryExtend).
+  /// Returns Status::LatchContention — before mutating anything — when
+  /// the update needs structure modifications or unlatchable pages; the
+  /// caller then re-runs Update() under the tree-wide exclusive latch.
+  virtual StatusOr<UpdateResult> UpdateScoped(UpdateLatchScope& scope,
+                                              const UpdatePlan& plan,
+                                              ObjectId oid,
+                                              const Point& old_pos,
+                                              const Point& new_pos) {
+    (void)scope;
+    (void)plan;
+    (void)oid;
+    (void)old_pos;
+    (void)new_pos;
+    return Status::LatchContention("strategy has no leaf-local path");
+  }
+
+  /// After UpdateScoped escalated: predict the page the tree-exclusive
+  /// re-run will most likely stall on (GBU: the re-insert's destination
+  /// leaf, from a summary-table descent) so the caller can pull it into
+  /// the buffer pool *before* serializing. `scope` is a fresh, empty
+  /// latch scope for any probe reads the prediction needs (try-only).
+  /// Best-effort: kInvalidPageId means nothing worth warming.
+  virtual PageId PredictEscalationDest(UpdateLatchScope& scope,
+                                       const UpdatePlan& plan, ObjectId oid,
+                                       const Point& old_pos,
+                                       const Point& new_pos) {
+    (void)scope;
+    (void)plan;
+    (void)oid;
+    (void)old_pos;
+    (void)new_pos;
+    return kInvalidPageId;
+  }
+
   virtual const char* name() const = 0;
 
-  const UpdatePathCounts& path_counts() const { return path_counts_; }
-  void ResetPathCounts() { path_counts_ = UpdatePathCounts{}; }
+  UpdatePathCounts path_counts() const {
+    std::lock_guard lock(counts_mu_);
+    return path_counts_;
+  }
+  void ResetPathCounts() {
+    std::lock_guard lock(counts_mu_);
+    path_counts_ = UpdatePathCounts{};
+  }
 
  protected:
+  /// Thread-safe counter bump (concurrent UpdateScoped callers).
+  void RecordPath(UpdatePath p) {
+    std::lock_guard lock(counts_mu_);
+    path_counts_.Record(p);
+  }
+
+ private:
+  mutable std::mutex counts_mu_;
   UpdatePathCounts path_counts_;
 };
 

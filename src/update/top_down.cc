@@ -10,7 +10,7 @@ StatusOr<UpdateResult> TopDownStrategy::Update(ObjectId oid,
       tree.Delete(oid, IndexSystem::PointRect(old_pos)));
   BURTREE_RETURN_IF_ERROR(
       tree.Insert(oid, IndexSystem::PointRect(new_pos)));
-  path_counts_.Record(UpdatePath::kTopDown);
+  RecordPath(UpdatePath::kTopDown);
   return UpdateResult{UpdatePath::kTopDown};
 }
 

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <thread>
+#include <tuple>
 
 #include "harness/experiment.h"
 
@@ -10,7 +12,8 @@ namespace burtree {
 namespace {
 
 struct ConcurrentWorld {
-  explicit ConcurrentWorld(StrategyKind kind, uint64_t objects = 3000) {
+  explicit ConcurrentWorld(StrategyKind kind, uint64_t objects = 3000,
+                           LatchMode latch_mode = LatchMode::kGlobal) {
     cfg.strategy = kind;
     cfg.workload.num_objects = objects;
     cfg.workload.seed = 31;
@@ -19,6 +22,7 @@ struct ConcurrentWorld {
     BURTREE_CHECK(BuildIndex(cfg, *workload, &fx).ok());
     ConcurrencyOptions copts;
     copts.io_latency_us = 0;  // tests measure correctness, not tps
+    copts.latch_mode = latch_mode;
     index = std::make_unique<ConcurrentIndex>(fx.system.get(),
                                               fx.strategy.get(),
                                               fx.executor.get(), copts);
@@ -30,10 +34,14 @@ struct ConcurrentWorld {
 };
 
 class ConcurrentStrategyTest
-    : public ::testing::TestWithParam<StrategyKind> {};
+    : public ::testing::TestWithParam<std::tuple<StrategyKind, LatchMode>> {
+ protected:
+  StrategyKind kind() const { return std::get<0>(GetParam()); }
+  LatchMode latch_mode() const { return std::get<1>(GetParam()); }
+};
 
 TEST_P(ConcurrentStrategyTest, ParallelUpdatesKeepTreeConsistent) {
-  ConcurrentWorld w(GetParam());
+  ConcurrentWorld w(kind(), 3000, latch_mode());
   constexpr int kThreads = 8;
   constexpr int kOpsPerThread = 300;
   const uint64_t n = w.cfg.workload.num_objects;
@@ -73,7 +81,7 @@ TEST_P(ConcurrentStrategyTest, ParallelUpdatesKeepTreeConsistent) {
 }
 
 TEST_P(ConcurrentStrategyTest, MixedReadersAndWriters) {
-  ConcurrentWorld w(GetParam());
+  ConcurrentWorld w(kind(), 3000, latch_mode());
   constexpr int kThreads = 8;
   const uint64_t n = w.cfg.workload.num_objects;
   std::vector<std::thread> threads;
@@ -113,13 +121,17 @@ TEST_P(ConcurrentStrategyTest, MixedReadersAndWriters) {
   EXPECT_TRUE(w.fx.system->tree().Validate().ok());
 }
 
-INSTANTIATE_TEST_SUITE_P(Kinds, ConcurrentStrategyTest,
-                         ::testing::Values(
-                             StrategyKind::kTopDown,
-                             StrategyKind::kGeneralizedBottomUp),
-                         [](const auto& info) {
-                           return StrategyName(info.param);
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, ConcurrentStrategyTest,
+    ::testing::Combine(::testing::Values(StrategyKind::kTopDown,
+                                         StrategyKind::kLocalizedBottomUp,
+                                         StrategyKind::kGeneralizedBottomUp),
+                       ::testing::Values(LatchMode::kGlobal,
+                                         LatchMode::kSubtree)),
+    [](const auto& info) {
+      return std::string(StrategyName(std::get<0>(info.param))) + "_" +
+             LatchModeName(std::get<1>(info.param));
+    });
 
 TEST(ConcurrentIndexTest, LatencyChargedPerIo) {
   ConcurrentWorld w(StrategyKind::kGeneralizedBottomUp, 500);
