@@ -15,6 +15,7 @@
 #include "harness/cli.h"
 #include "harness/experiment.h"
 #include "harness/table_printer.h"
+#include "storage/page_store.h"
 
 namespace burtree::bench {
 
@@ -27,6 +28,7 @@ struct BenchArgs {
   double buffer_fraction = 0.01;
   size_t buffer_shards = 1;
   LatchMode latch_mode = LatchMode::kGlobal;
+  StorageOptions storage;
   uint64_t seed = 20030901;
   Distribution distribution = Distribution::kUniform;
   bool csv = false;
@@ -66,6 +68,15 @@ struct BenchArgs {
                    lm.c_str());
       std::exit(2);
     }
+    const std::string backend = cli.GetString("backend", "mem");
+    if (!ParseStorageBackend(backend, &a.storage)) {
+      std::fprintf(stderr,
+                   "unknown --backend '%s' (want mem|file[:dir])\n",
+                   backend.c_str());
+      std::exit(2);
+    }
+    a.storage.fsync_on_flush = cli.GetBool("fsync", false);
+    a.storage.direct_io = cli.GetBool("direct-io", false);
     a.seed = static_cast<uint64_t>(cli.GetInt("seed", 20030901));
     a.csv = cli.GetBool("csv", false);
     ParseDistribution(cli.GetString("dist", "uniform"), &a.distribution);
@@ -85,6 +96,7 @@ struct BenchArgs {
     cfg.buffer_fraction = buffer_fraction;
     cfg.buffer_shards = buffer_shards;
     cfg.latch_mode = latch_mode;
+    cfg.storage = storage;
     return cfg;
   }
 };
@@ -111,15 +123,18 @@ inline std::vector<size_t> ParseCountList(const std::string& s) {
 
 inline void PrintHeader(const std::string& title, const BenchArgs& a) {
   std::printf("=== %s ===\n", title.c_str());
+  std::string backend = StorageBackendName(a.storage.backend);
+  if (!a.storage.file_dir.empty()) backend += ":" + a.storage.file_dir;
   std::printf(
       "workload: %llu objects, %llu updates, %llu queries, max-move %.3f, "
-      "buffer %.1f%% (%zu shard%s), latch %s, dist %s, seed %llu\n\n",
+      "buffer %.1f%% (%zu shard%s), latch %s, backend %s, dist %s, "
+      "seed %llu\n\n",
       static_cast<unsigned long long>(a.objects),
       static_cast<unsigned long long>(a.updates),
       static_cast<unsigned long long>(a.queries), a.max_move,
       a.buffer_fraction * 100.0, a.buffer_shards,
       a.buffer_shards == 1 ? "" : "s", LatchModeName(a.latch_mode),
-      DistributionName(a.distribution),
+      backend.c_str(), DistributionName(a.distribution),
       static_cast<unsigned long long>(a.seed));
 }
 

@@ -30,12 +30,15 @@ struct StressConfig {
   // so the latch (not the simulated disk) is the contended resource.
   double hot_prob = 0.9;         // P(touch goes to the hot set)
   double hot_fraction = 0.1;     // hot set size as a fraction of pages
-  // Simulated disk latency per miss/write-back batch, sleep-model: the
-  // pool holds the shard latch across the read, so a miss stalls exactly
-  // one shard — the disk-resident regime where sharding overlaps I/O.
+  // Simulated disk latency per miss/write-back batch, sleep-model. The
+  // pool issues both miss reads and victim write-backs with no latch
+  // held, so a slow access stalls only waiters on that page; the latch
+  // itself is contended only by the in-memory bookkeeping. With the
+  // file backend, real device time plays this role — set 0 there.
   uint64_t io_latency_us = 100;
   uint64_t total_ops = 50000;    // split across threads
   uint64_t seed = 20030901;
+  StorageOptions storage;        // mem (synthetic latency) or file (real I/O)
 };
 
 struct StressResult {
@@ -45,17 +48,17 @@ struct StressResult {
 };
 
 // One cell of the sweep: T threads of leaf-touch updates against an
-// S-sharded pool over a fresh PageFile.
+// S-sharded pool over a fresh page store (--backend selects mem or file).
 StressResult RunPoolStress(size_t shards, size_t threads,
                            const StressConfig& cfg) {
-  PageFile file(1024);
-  file.set_io_latency_ns(cfg.io_latency_us * 1000);
-  file.set_io_latency_model(PageFile::IoLatencyModel::kSleep);
-  for (size_t i = 0; i < cfg.pages; ++i) file.Allocate();
+  std::unique_ptr<PageStore> file = MustMakePageStore(cfg.storage, 1024);
+  file->set_io_latency_ns(cfg.io_latency_us * 1000);
+  file->set_io_latency_model(PageStore::IoLatencyModel::kSleep);
+  for (size_t i = 0; i < cfg.pages; ++i) file->Allocate();
   const size_t capacity = std::max<size_t>(
       1, static_cast<size_t>(static_cast<double>(cfg.pages) *
                              cfg.buffer_fraction));
-  BufferPool pool(&file, capacity, shards);
+  BufferPool pool(file.get(), capacity, shards);
 
   std::vector<std::thread> workers;
   std::atomic<bool> failed{false};
@@ -80,7 +83,7 @@ StressResult RunPoolStress(size_t shards, size_t threads,
           // Thread-unique byte: leaf mutation without cross-thread data
           // races (entry-level exclusion is the lock manager's job, not
           // the pool's).
-          res.value()->data()[t % file.page_size()] ^= 0x5A;
+          res.value()->data()[t % file->page_size()] ^= 0x5A;
           pool.UnpinPage(id, /*dirty=*/true);
         } else {
           pool.UnpinPage(id, /*dirty=*/false);
@@ -126,6 +129,7 @@ int main(int argc, char** argv) {
       cli.GetInt("sweep-io-latency-us", 100));
   stress.total_ops = CliArgs::Scaled(
       static_cast<uint64_t>(cli.GetInt("sweep-ops", 50000)));
+  stress.storage = args.storage;  // --backend drives the sweep's store too
   cli.ExitIfHelpRequested(argv[0], BenchArgs::kScaleHelp);
   PrintHeader("Figure 6(g)-(h): varying buffer size", args);
   // ~25 leaf entries fit a 1 KB page, so the simulated database has one

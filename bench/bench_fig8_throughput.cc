@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
       static_cast<uint64_t>(cli.GetInt("ops-per-thread", 120));
   const uint64_t latency_us =
       static_cast<uint64_t>(cli.GetInt("io-latency-us", 100));
-  // Charge the simulated disk latency at the PageFile (sleep model,
+  // Charge the simulated disk latency at the PageStore (sleep model,
   // while the operation's latches are held) instead of after the op —
   // the disk-resident regime where per-subtree latching overlaps I/O
   // stalls that the global tree latch serializes.

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "harness/experiment.h"
+#include "storage/page_file.h"
 
 namespace burtree {
 namespace {

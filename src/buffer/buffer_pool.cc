@@ -1,10 +1,12 @@
 #include "buffer/buffer_pool.h"
 
+#include <iterator>
+
 #include "common/logging.h"
 
 namespace burtree {
 
-BufferPool::BufferPool(PageFile* file, size_t capacity, size_t shards)
+BufferPool::BufferPool(PageStore* file, size_t capacity, size_t shards)
     : file_(file), capacity_(capacity) {
   if (shards == 0) shards = 1;
   shards_.reserve(shards);
@@ -39,27 +41,60 @@ void BufferPool::WaitForWriteback(Shard& shard,
       lock, [&] { return shard.writeback.find(id) == shard.writeback.end(); });
 }
 
+void BufferPool::WaitForPageIo(Shard& shard,
+                               std::unique_lock<std::mutex>& lock,
+                               PageId id) {
+  // Loop until one lock-held pass sees the page in neither table: while
+  // this thread sleeps on miss_cv the latch is released, and the landed
+  // miss can get published, dirtied, evicted, and enter a *write-back*
+  // before the thread reacquires the latch — so each wake must re-check
+  // both tables.
+  for (;;) {
+    WaitForWriteback(shard, lock, id);
+    if (shard.miss_inflight.count(id) == 0) return;
+    shard.miss_cv.wait(
+        lock, [&] { return shard.miss_inflight.count(id) == 0; });
+  }
+}
+
 StatusOr<Page*> BufferPool::FetchPage(PageId id) {
   Shard& shard = ShardFor(id);
   std::unique_lock lock(shard.mu);
-  // A victim mid-write-back is not resident, but its disk image is stale
-  // until the batch lands: wait it out before the miss path reads disk.
-  WaitForWriteback(shard, lock, id);
-  auto it = shard.frames.find(id);
-  if (it != shard.frames.end()) {
-    Frame* f = it->second.get();
-    ++shard.stats.hits;
-    file_->io_stats().RecordBufferHit();
-    if (f->in_lru) {
-      shard.lru.erase(f->lru_it);
-      f->in_lru = false;
+  for (;;) {
+    // A victim mid-write-back is not resident, but its disk image is
+    // stale until the batch lands: wait it out before the miss path
+    // reads disk.
+    WaitForWriteback(shard, lock, id);
+    auto it = shard.frames.find(id);
+    if (it != shard.frames.end()) {
+      Frame* f = it->second.get();
+      ++shard.stats.hits;
+      file_->io_stats().RecordBufferHit();
+      if (f->in_lru) {
+        shard.lru.erase(f->lru_it);
+        f->in_lru = false;
+      }
+      f->page.Pin();
+      return &f->page;
     }
-    f->page.Pin();
-    return &f->page;
+    if (shard.miss_inflight.count(id) == 0) break;
+    // Another thread is already reading this page latch-free: wait for
+    // its read to land (a hit on the next pass) or fail (this thread
+    // becomes the loader), instead of issuing a duplicate disk read.
+    shard.miss_cv.wait(
+        lock, [&] { return shard.miss_inflight.count(id) == 0; });
   }
+  // Become the loader: publish the in-flight marker, then read with the
+  // shard latch *released*, so a slow page read stalls only waiters on
+  // this page — hits and other misses on the shard proceed meanwhile.
   ++shard.stats.misses;
+  shard.miss_inflight.insert(id);
+  lock.unlock();
   auto f = std::make_unique<Frame>(file_->page_size());
   Status s = file_->Read(id, f->page.data());
+  lock.lock();
+  shard.miss_inflight.erase(id);
+  shard.miss_cv.notify_all();
   if (!s.ok()) return s;
   f->page.set_page_id(id);
   f->page.set_dirty(false);
@@ -71,7 +106,7 @@ StatusOr<Page*> BufferPool::FetchPage(PageId id) {
 }
 
 Page* BufferPool::NewPage() {
-  PageId id = file_->Allocate();  // PageFile has its own latch
+  PageId id = file_->Allocate();  // the PageStore has its own latch
   Shard& shard = ShardFor(id);
   std::unique_lock lock(shard.mu);
   auto f = std::make_unique<Frame>(file_->page_size());
@@ -134,9 +169,10 @@ Status BufferPool::FlushAll() {
 Status BufferPool::DeletePage(PageId id) {
   Shard& shard = ShardFor(id);
   std::unique_lock lock(shard.mu);
-  // Freeing the disk page while its eviction write-back is in flight
-  // would make the batched write fail: wait for it to land.
-  WaitForWriteback(shard, lock, id);
+  // Freeing the disk page while its eviction write-back (or a miss read)
+  // is in flight would make that latch-free I/O fail: wait for it to
+  // land. A landed miss leaves a pinned frame, which is rejected below.
+  WaitForPageIo(shard, lock, id);
   auto it = shard.frames.find(id);
   if (it != shard.frames.end()) {
     Frame* f = it->second.get();
@@ -233,12 +269,31 @@ void BufferPool::EvictToCapacity(Shard& shard,
   // The batch's data pointers stay valid: the in-flight frames are owned
   // by shard.writeback and nobody touches them until the cv fires.
   lock.unlock();
-  // A resident frame always maps to a live disk page (DeletePage drops
-  // the frame before freeing and waits out in-flight write-backs), so a
-  // failed write-back is a bug.
-  BURTREE_CHECK(file_->FlushDirtyBatch(batch).ok());
+  const Status flush_status = file_->FlushDirtyBatch(batch);
   lock.lock();
-  for (PageId id : dirty_ids) shard.writeback.erase(id);
+  if (flush_status.ok()) {
+    for (PageId id : dirty_ids) shard.writeback.erase(id);
+  } else {
+    // A resident frame always maps to a live disk page (DeletePage drops
+    // the frame before freeing and waits out in-flight write-backs), so
+    // only an environmental error on the file backend (ENOSPC, EIO) can
+    // land here. Put the victims back as dirty resident frames — the
+    // shard runs over budget until a later eviction or FlushAll (which
+    // does surface the Status) retries the write.
+    std::fprintf(stderr, "burtree: eviction write-back failed, re-adopting "
+                         "%zu dirty frame(s): %s\n",
+                 dirty_ids.size(), flush_status.ToString().c_str());
+    shard.stats.flushes -= dirty_ids.size();    // they did not flush
+    shard.stats.evictions -= dirty_ids.size();  // nor leave the pool
+    for (PageId id : dirty_ids) {
+      auto node = shard.writeback.extract(id);
+      Frame* f = node.mapped().get();
+      shard.lru.push_back(id);  // back of the LRU: first victims next time
+      f->lru_it = std::prev(shard.lru.end());
+      f->in_lru = true;
+      shard.frames.insert(std::move(node));
+    }
+  }
   shard.writeback_cv.notify_all();
 }
 

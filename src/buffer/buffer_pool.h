@@ -1,4 +1,4 @@
-// Sharded LRU buffer pool over a PageFile. Sized as a fraction of the
+// Sharded LRU buffer pool over a PageStore. Sized as a fraction of the
 // database (paper §5: buffers of 0%..10% of database size, default 1%).
 // Capacity 0 degenerates to pass-through: every access is a disk access,
 // matching the paper's "no buffer" configuration.
@@ -11,11 +11,12 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/metrics.h"
 #include "storage/page.h"
-#include "storage/page_file.h"
+#include "storage/page_store.h"
 
 namespace burtree {
 
@@ -33,29 +34,36 @@ namespace burtree {
 /// page *data* must be serialized by a higher layer (the R-tree latch or
 /// DGL locks).
 ///
-/// Eviction is "concurrent-clean": clean victims are dropped with no I/O,
-/// and when one operation must evict several frames (Resize, a shrink, a
-/// burst of unpins) the dirty victims are written back as one
-/// PageFile::FlushDirtyBatch group write instead of one pwrite per page.
-/// The write-back happens *after* the shard latch is released: victims
-/// are detached into a per-shard in-flight table under the latch, the
-/// batch is written latch-free, then the table is cleared. A slow flush
-/// therefore never blocks hits on its own shard; only a fetch/delete of
-/// a page whose write-back is still in flight waits (on the shard's
-/// condition variable) so it can never observe stale disk bytes.
+/// All disk I/O runs with no shard latch held (the full protocol tables
+/// live in docs/STORAGE.md):
+///
+/// - **Miss path**: a fetch that misses registers the page in a
+///   per-shard miss-in-flight table, drops the latch, reads the page
+///   from the store, re-latches and publishes the frame (condition
+///   variable notify). Concurrent fetches of the *same* page wait on the
+///   shard's cv instead of issuing a duplicate read; fetches of other
+///   pages in the shard — hits or misses — proceed during the read, so a
+///   slow page read stalls only waiters on that page, not the shard.
+/// - **Eviction write-back**: clean victims are dropped with no I/O;
+///   dirty victims are detached into a per-shard write-back table under
+///   the latch, written back latch-free as one PageStore::FlushDirtyBatch
+///   group write, then the table is cleared. Only a fetch/delete of a
+///   page whose write-back is still in flight waits (it can never
+///   observe stale disk bytes).
 class BufferPool {
  public:
   /// `capacity` is the maximum number of resident unpinned+pinned frames
   /// across all shards; 0 means pass-through (no caching). `shards` is
   /// clamped to at least 1.
-  BufferPool(PageFile* file, size_t capacity, size_t shards = 1);
+  BufferPool(PageStore* file, size_t capacity, size_t shards = 1);
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  /// Returns the pinned page image for `id`, reading from disk on a miss.
-  /// Callers must Unpin() exactly once.
+  /// Returns the pinned page image for `id`, reading from disk on a miss
+  /// (with no shard latch held — see above). Callers must Unpin()
+  /// exactly once.
   StatusOr<Page*> FetchPage(PageId id);
 
   /// Allocates a new page on disk and returns it pinned and dirty.
@@ -96,7 +104,7 @@ class BufferPool {
   BufferPoolStats pool_stats() const;
   void ResetStats();
 
-  PageFile* file() { return file_; }
+  PageStore* file() { return file_; }
 
  private:
   struct Frame {
@@ -114,6 +122,11 @@ class BufferPool {
     /// removed (and writeback_cv notified) once the batch lands.
     std::unordered_map<PageId, std::unique_ptr<Frame>> writeback;
     std::condition_variable writeback_cv;
+    /// Pages whose miss read is running latch-free; removed (and
+    /// miss_cv notified) once the read lands or fails. Concurrent
+    /// fetches of a listed page wait instead of reading twice.
+    std::unordered_set<PageId> miss_inflight;
+    std::condition_variable miss_cv;
     BufferStats stats;
     size_t capacity = 0;
   };
@@ -128,11 +141,17 @@ class BufferPool {
   /// waiting, held again on return).
   void WaitForWriteback(Shard& shard, std::unique_lock<std::mutex>& lock,
                         PageId id);
+  /// Blocks until `id` has neither a write-back nor a miss read in
+  /// flight (lock released while waiting, held again on return). On
+  /// return the caller must re-inspect the frame table: the miss may
+  /// have published a frame, or failed and published nothing.
+  void WaitForPageIo(Shard& shard, std::unique_lock<std::mutex>& lock,
+                     PageId id);
   // Assume the shard's mu is held.
   Status FlushFrameLocked(Shard& shard, Frame& f);
   void RecomputeShardCapacities();
 
-  PageFile* file_;
+  PageStore* file_;
   // Atomic so a concurrent Resize() never races capacity()/
   // shard_capacity() readers; shard budgets are updated under each
   // shard's latch and may transiently disagree with a mid-resize total.

@@ -72,7 +72,7 @@ ConcurrentIndex::ConcurrentIndex(IndexSystem* system,
     // The tree "disk" sleeps per access while the operation's latches
     // are held; ChargeIoLatency then becomes a no-op.
     system_->file().set_io_latency_ns(options_.io_latency_us * 1000);
-    system_->file().set_io_latency_model(PageFile::IoLatencyModel::kSleep);
+    system_->file().set_io_latency_model(PageStore::IoLatencyModel::kSleep);
   }
 }
 
@@ -86,7 +86,7 @@ LatchModeStats ConcurrentIndex::latch_stats() const {
 }
 
 void ConcurrentIndex::ChargeIoLatency(uint64_t ios) const {
-  if (options_.io_latency_in_op) return;  // already slept at the PageFile
+  if (options_.io_latency_in_op) return;  // already slept at the PageStore
   if (options_.io_latency_us == 0 || ios == 0) return;
   std::this_thread::sleep_for(
       std::chrono::microseconds(options_.io_latency_us * ios));
@@ -95,15 +95,15 @@ void ConcurrentIndex::ChargeIoLatency(uint64_t ios) const {
 Status ConcurrentIndex::UpdateGlobal(ObjectId oid, const Point& from,
                                      const Point& to, uint64_t* ios) {
   std::unique_lock latch(latch_);
-  PageFile::ResetThreadIo();
+  PageStore::ResetThreadIo();
   auto result = strategy_->Update(oid, from, to);
-  *ios = PageFile::thread_io();
+  *ios = PageStore::thread_io();
   return result.status();
 }
 
 Status ConcurrentIndex::UpdateSubtree(ObjectId oid, const Point& from,
                                       const Point& to, uint64_t* ios) {
-  PageFile::ResetThreadIo();
+  PageStore::ResetThreadIo();
   PageId warm = kInvalidPageId;
   {
     std::shared_lock tree_latch(latch_);
@@ -120,7 +120,7 @@ Status ConcurrentIndex::UpdateSubtree(ObjectId oid, const Point& from,
         auto result = strategy_->UpdateScoped(scope, plan, oid, from, to);
         if (result.status().code() != StatusCode::kLatchContention) {
           scoped_updates_.fetch_add(1, std::memory_order_relaxed);
-          *ios = PageFile::thread_io();
+          *ios = PageStore::thread_io();
           return result.status();
         }
         // UpdateScoped mutates nothing before returning LatchContention,
@@ -147,7 +147,7 @@ Status ConcurrentIndex::UpdateSubtree(ObjectId oid, const Point& from,
   escalated_updates_.fetch_add(1, std::memory_order_relaxed);
   std::unique_lock tree_latch(latch_);
   auto result = strategy_->Update(oid, from, to);
-  *ios = PageFile::thread_io();
+  *ios = PageStore::thread_io();
   return result.status();
 }
 
@@ -174,15 +174,15 @@ Status ConcurrentIndex::Update(ObjectId oid, const Point& from,
 StatusOr<size_t> ConcurrentIndex::QueryGlobal(const Rect& window,
                                               uint64_t* ios) {
   std::shared_lock latch(latch_);
-  PageFile::ResetThreadIo();
+  PageStore::ResetThreadIo();
   StatusOr<size_t> result = executor_->Query(window);
-  *ios = PageFile::thread_io();
+  *ios = PageStore::thread_io();
   return result;
 }
 
 StatusOr<size_t> ConcurrentIndex::QuerySubtree(const Rect& window,
                                                uint64_t* ios) {
-  PageFile::ResetThreadIo();
+  PageStore::ResetThreadIo();
   {
     std::shared_lock tree_latch(latch_);
     PageLatchSet latches(&latch_table_);
@@ -190,7 +190,7 @@ StatusOr<size_t> ConcurrentIndex::QuerySubtree(const Rect& window,
     StatusOr<size_t> result = executor_->Query(window, nullptr, &hooks);
     if (result.status().code() != StatusCode::kLatchContention) {
       coupled_queries_.fetch_add(1, std::memory_order_relaxed);
-      *ios = PageFile::thread_io();
+      *ios = PageStore::thread_io();
       return result;
     }
   }
@@ -198,7 +198,7 @@ StatusOr<size_t> ConcurrentIndex::QuerySubtree(const Rect& window,
   escalated_queries_.fetch_add(1, std::memory_order_relaxed);
   std::unique_lock tree_latch(latch_);
   StatusOr<size_t> result = executor_->Query(window);
-  *ios = PageFile::thread_io();  // includes the aborted coupled attempt
+  *ios = PageStore::thread_io();  // includes the aborted coupled attempt
   return result;
 }
 

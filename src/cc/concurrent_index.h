@@ -17,7 +17,7 @@
 //      the page I/Os the operation performed *while still holding the
 //      DGL locks* — so conflicting operations serialize their I/O time
 //      exactly as a disk-resident DGL R-tree would. (Alternatively,
-//      io_latency_in_op charges the latency at the PageFile, sleep
+//      io_latency_in_op charges the latency at the PageStore, sleep
 //      model, while page latches are held — the disk-resident regime
 //      where per-subtree latching overlaps I/O stalls.)
 //   4. release the locks.
@@ -30,7 +30,7 @@
 // Deadlock freedom (see docs/ARCHITECTURE.md for the full argument):
 // DGL granules (sorted) → tree latch → page latches (writers: sorted
 // up-front set, try-only extension; readers: blocking only while holding
-// nothing, try-only coupling) → buffer shard latch → PageFile. Every
+// nothing, try-only coupling) → buffer shard latch → PageStore. Every
 // blocking wait is issued either holding nothing at its layer or in
 // globally sorted order, so no cycle can form.
 #pragma once
@@ -62,7 +62,7 @@ bool ParseLatchMode(const std::string& s, LatchMode* out);
 struct ConcurrencyOptions {
   uint32_t grid_bits = 6;         ///< 64x64 spatial granules
   uint64_t io_latency_us = 100;   ///< simulated disk latency per page I/O
-  /// Charge the per-I/O latency at the PageFile (sleep model, incurred
+  /// Charge the per-I/O latency at the PageStore (sleep model, incurred
   /// while the operation's latches are held) instead of after the
   /// operation. Models a disk-resident tree where an I/O stalls exactly
   /// the pages the operation has latched — the regime where subtree

@@ -4,8 +4,40 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 namespace burtree {
+
+/// Which PageStore implementation backs a page file (see docs/STORAGE.md
+/// for the contract and how to choose).
+enum class StorageBackend {
+  kMem,   ///< In-memory simulated disk (PageFile) — the default; counted
+          ///< I/O with optional synthetic latency, nothing persisted.
+  kFile,  ///< Real file via POSIX pread/pwrite (FilePageStore), with
+          ///< preadv/pwritev batching and optional fsync/O_DIRECT.
+};
+
+/// Storage-backend selection and file-backend policy knobs. Threads from
+/// the benches' `--backend mem|file[:dir]` flag through ExperimentConfig
+/// and IndexSystemOptions/HashIndexOptions down to MakePageStore.
+struct StorageOptions {
+  StorageBackend backend = StorageBackend::kMem;
+
+  /// Directory the file backend creates its (unlinked) backing files in;
+  /// empty = the system temp dir ($TMPDIR or /tmp). Put it on tmpfs
+  /// (/dev/shm) for a RAM-speed real-syscall run, or on a disk path to
+  /// measure a real device.
+  std::string file_dir;
+
+  /// File backend: fdatasync after every write-back call (Write and
+  /// FlushDirtyBatch), making each flush a durability point. Off by
+  /// default — the experiments measure access counts, not durability.
+  bool fsync_on_flush = false;
+
+  /// File backend: try O_DIRECT (falls back to buffered I/O where the
+  /// filesystem or page size does not support it, e.g. tmpfs).
+  bool direct_io = false;
+};
 
 /// Node-split algorithm for the R-tree.
 enum class SplitAlgorithm {
@@ -55,6 +87,9 @@ struct BufferPoolOptions {
   /// Number of independently latched LRU shards; pages map to shards by
   /// page id. 1 reproduces the classic single-latch LRU exactly.
   size_t shards = 1;
+
+  /// Which PageStore implementation the pool sits on.
+  StorageOptions storage;
 };
 
 /// Tuning parameters of the Generalized Bottom-Up strategy (§3.2.1).

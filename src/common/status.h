@@ -20,6 +20,7 @@ enum class StatusCode {
   kAborted,         ///< Operation gave up (e.g., lock wait-die abort).
   kUnsupported,     ///< Feature disabled by options.
   kLatchContention, ///< Subtree-latch path must escalate / retry (cc layer).
+  kIoError,         ///< Operating-system I/O failure (file backend).
 };
 
 /// Value-semantic success/error result. Cheap to copy on the OK path.
@@ -55,6 +56,9 @@ class Status {
   static Status LatchContention(std::string m = "latch contention") {
     return Status(StatusCode::kLatchContention, std::move(m));
   }
+  static Status IoError(std::string m) {
+    return Status(StatusCode::kIoError, std::move(m));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -75,6 +79,7 @@ class Status {
       case StatusCode::kAborted: return "Aborted";
       case StatusCode::kUnsupported: return "Unsupported";
       case StatusCode::kLatchContention: return "LatchContention";
+      case StatusCode::kIoError: return "IoError";
     }
     return "Unknown";
   }

@@ -21,8 +21,10 @@ StrategyFixture MakeFixture(const ExperimentConfig& config) {
   opts.tree.split = config.split;
   opts.tree.forced_reinsert = config.forced_reinsert;
   opts.buffer_shards = config.buffer_shards;
+  opts.storage = config.storage;
   opts.hash.page_size = config.page_size;
   opts.hash.buffer_shards = config.buffer_shards;
+  opts.hash.storage = config.storage;
 
   switch (config.strategy) {
     case StrategyKind::kTopDown:

@@ -38,6 +38,10 @@ struct ExperimentConfig {
   /// LRU shard count for the tree and hash-index buffer pools (1 = the
   /// classic single-latch pool; >1 only matters under concurrency).
   size_t buffer_shards = 1;
+  /// Storage backend for both page files (`--backend mem|file[:dir]` on
+  /// the benches): mem is the paper's counted in-memory disk, file does
+  /// real pread/pwrite I/O. See docs/STORAGE.md for how to choose.
+  StorageOptions storage;
   /// Tree-latch mode for the concurrent (Figure-8) path: kGlobal is one
   /// tree-wide latch, kSubtree latches per leaf/parent subtree. Ignored
   /// by the single-threaded pipeline; RunThroughput copies it into the

@@ -27,8 +27,8 @@ void StoreU64(uint8_t* p, uint64_t v) { std::memcpy(p, &v, 8); }
 
 HashIndex::HashIndex(const HashIndexOptions& options)
     : options_(options),
-      file_(options.page_size),
-      pool_(&file_, options.buffer_pages, options.buffer_shards) {
+      file_(MustMakePageStore(options.storage, options.page_size)),
+      pool_(file_.get(), options.buffer_pages, options.buffer_shards) {
   BURTREE_CHECK((options_.initial_buckets &
                  (options_.initial_buckets - 1)) == 0);
   base_buckets_ = options_.initial_buckets;
@@ -65,8 +65,8 @@ StatusOr<PageId> HashIndex::Lookup(ObjectId oid) {
   if (options_.charge_unit_read) {
     // Cost-model charge: one disk access per secondary-index probe, even
     // when the table is memory-resident (see HashIndexOptions).
-    file_.io_stats().RecordRead();
-    PageFile::AddThreadIo(1);
+    file_->io_stats().RecordRead();
+    PageStore::AddThreadIo(1);
   }
   PageId page = buckets_[BucketFor(HashOid(oid))];
   while (page != kInvalidPageId) {

@@ -1,6 +1,6 @@
 // Disk-resident linear-hashing table mapping oid -> leaf page. This is the
 // "secondary identity index such as a hash table" of §3.1/§3.2: lookups and
-// maintenance are charged real page I/O against a dedicated PageFile, so
+// maintenance are charged real page I/O against a dedicated PageStore, so
 // the cost model's "1 (hash index)" term is measured, not assumed.
 //
 // Bucket page layout:
@@ -9,6 +9,7 @@
 #pragma once
 
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -25,6 +26,9 @@ struct HashIndexOptions {
   size_t buffer_pages = 0;
   /// LRU shard count for the bucket-page pool (1 = single latch).
   size_t buffer_shards = 1;
+  /// Storage backend for the bucket-page file (its own device, separate
+  /// from the tree's — see docs/STORAGE.md).
+  StorageOptions storage;
   /// Charge one synthetic disk read per Lookup regardless of buffering —
   /// the paper's "1 I/O (hash index)" cost-model term.
   bool charge_unit_read = false;
@@ -57,14 +61,14 @@ class HashIndex final : public OidIndex {
   void OnLeafEntryRemoved(ObjectId oid, PageId leaf) override;
 
   /// I/O performed by the hash index (separate device from the tree).
-  const IoStats& io_stats() const { return file_.io_stats(); }
-  IoStats& io_stats() { return file_.io_stats(); }
+  const IoStats& io_stats() const { return file_->io_stats(); }
+  IoStats& io_stats() { return file_->io_stats(); }
   BufferPool& buffer() { return pool_; }
 
   /// Current number of primary buckets (testing / introspection).
   uint32_t bucket_count() const;
   /// Total pages including overflow pages.
-  size_t page_count() const { return file_.live_pages(); }
+  size_t page_count() const { return file_->live_pages(); }
 
  private:
   static constexpr size_t kHeaderSize = 8;
@@ -92,7 +96,7 @@ class HashIndex final : public OidIndex {
   void AppendToChainLocked(PageId head, ObjectId oid, PageId leaf);
 
   HashIndexOptions options_;
-  PageFile file_;
+  std::unique_ptr<PageStore> file_;
   BufferPool pool_;
   mutable std::mutex mu_;
   std::vector<PageId> buckets_;  // in-memory directory of primary buckets

@@ -1,0 +1,410 @@
+#include "storage/file_page_store.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include "common/logging.h"
+
+namespace burtree {
+
+namespace {
+
+// Cap per preadv/pwritev syscall; POSIX guarantees at least 16, Linux
+// allows 1024.
+constexpr size_t kMaxIov = 1024;
+
+// O_DIRECT wants buffers aligned to the device block size; 4096 covers
+// both 512e and 4Kn devices.
+constexpr size_t kDirectAlignment = 4096;
+
+Status Errno(const char* what) {
+  return Status::IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+/// RAII posix_memalign buffer for the O_DIRECT bounce path.
+struct AlignedBuffer {
+  explicit AlignedBuffer(size_t n) {
+    void* p = nullptr;
+    if (posix_memalign(&p, kDirectAlignment, n) != 0) p = nullptr;
+    data = static_cast<uint8_t*>(p);
+  }
+  ~AlignedBuffer() { std::free(data); }
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+  uint8_t* data = nullptr;
+};
+
+/// Sorts a batch by page id (pointers into the caller's vector).
+template <typename Req>
+std::vector<const Req*> SortById(const std::vector<Req>& reqs) {
+  std::vector<const Req*> order;
+  order.reserve(reqs.size());
+  for (const auto& r : reqs) order.push_back(&r);
+  // Stable: duplicate ids keep their batch order, so "last write wins"
+  // matches PageFile's sequential application byte for byte.
+  std::stable_sort(order.begin(), order.end(),
+                   [](const Req* a, const Req* b) { return a->id < b->id; });
+  return order;
+}
+
+/// Fuses the sorted batch into maximal contiguous-id runs and calls
+/// `fn(start_index, run_length)` per run. Duplicate ids and gaps split
+/// runs.
+template <typename Req, typename RunFn>
+Status ForEachContiguousRun(const std::vector<const Req*>& order,
+                            RunFn fn) {
+  for (size_t i = 0; i < order.size();) {
+    size_t j = i + 1;
+    while (j < order.size() && order[j]->id == order[j - 1]->id + 1) ++j;
+    BURTREE_RETURN_IF_ERROR(fn(i, j - i));
+    i = j;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<FilePageStore>> FilePageStore::Open(
+    const FilePageStoreOptions& options) {
+  if (options.page_size == 0) {
+    return Status::InvalidArgument("page_size must be positive");
+  }
+  int flags = O_RDWR | O_CREAT | O_CLOEXEC;
+  if (options.truncate) flags |= O_TRUNC;
+  // Best-effort O_DIRECT: the page size must be a multiple of the
+  // bounce-buffer alignment (4096 — which also covers any device
+  // logical-block size up to 4Kn; a 512-multiple alone would pass
+  // open() on a 4Kn disk and then fail every pread with EINVAL), and
+  // the filesystem must accept the flag (tmpfs does not). Otherwise
+  // fall back to buffered I/O rather than fail, and report via
+  // direct_io_active.
+  bool direct =
+      options.direct_io && options.page_size % kDirectAlignment == 0;
+  int fd = -1;
+  if (direct) {
+    fd = ::open(options.path.c_str(), flags | O_DIRECT, 0644);
+    if (fd < 0) direct = false;
+  }
+  if (fd < 0) {
+    fd = ::open(options.path.c_str(), flags, 0644);
+  }
+  if (fd < 0) {
+    return Errno(("open '" + options.path + "'").c_str());
+  }
+
+  size_t existing_pages = 0;
+  if (!options.truncate) {
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      Status s = Errno("fstat");
+      ::close(fd);
+      return s;
+    }
+    if (static_cast<size_t>(st.st_size) % options.page_size != 0) {
+      ::close(fd);
+      return Status::InvalidArgument(
+          "file size is not a multiple of page_size: '" + options.path + "'");
+    }
+    existing_pages = static_cast<size_t>(st.st_size) / options.page_size;
+  }
+  if (options.unlink_after_open) {
+    ::unlink(options.path.c_str());  // best effort: scratch semantics
+  }
+  return std::unique_ptr<FilePageStore>(
+      new FilePageStore(options, fd, direct, existing_pages));
+}
+
+FilePageStore::FilePageStore(FilePageStoreOptions options, int fd,
+                             bool direct, size_t existing_pages)
+    : PageStore(options.page_size),
+      options_(std::move(options)),
+      fd_(fd),
+      direct_(direct),
+      live_(existing_pages, true),
+      file_pages_(existing_pages) {}
+
+FilePageStore::~FilePageStore() {
+  if (fd_ >= 0) {
+    // Trim the geometric over-allocation so a truncate=false reopen
+    // adopts exactly the allocated slots, not the growth slack.
+    if (file_pages_ > live_.size()) {
+      if (::ftruncate(fd_, static_cast<off_t>(live_.size()) *
+                               static_cast<off_t>(page_size())) != 0) {
+        // Best effort: a failed trim only inflates a later reopen.
+      }
+    }
+    ::close(fd_);
+  }
+}
+
+PageId FilePageStore::Allocate() {
+  std::unique_lock lock(mu_);
+  if (!free_list_.empty()) {
+    PageId id = free_list_.back();
+    free_list_.pop_back();
+    // Match PageFile: a reused slot reads back zeroed. The zeroing write
+    // is allocation bookkeeping, not a counted disk access.
+    BURTREE_CHECK(ZeroPageLocked(id).ok());
+    live_[id] = true;
+    return id;
+  }
+  PageId id = static_cast<PageId>(live_.size());
+  if (static_cast<size_t>(id) >= file_pages_) {
+    // Geometric growth: one zero-filling ftruncate per doubling instead
+    // of one syscall (under the exclusive lock) per page. The destructor
+    // trims back to the allocated extent. Allocation cannot report
+    // errors, so an out-of-space device aborts here.
+    const size_t want = std::max<size_t>(
+        static_cast<size_t>(id) + 1, std::max<size_t>(file_pages_ * 2, 64));
+    BURTREE_CHECK(::ftruncate(fd_, static_cast<off_t>(want) *
+                                       static_cast<off_t>(page_size())) == 0);
+    file_pages_ = want;
+  }
+  live_.push_back(true);
+  return id;
+}
+
+Status FilePageStore::Free(PageId id) {
+  std::unique_lock lock(mu_);
+  if (id >= live_.size() || !live_[id]) {
+    return Status::InvalidArgument("Free of non-live page");
+  }
+  live_[id] = false;
+  free_list_.push_back(id);
+  return Status::OK();
+}
+
+Status FilePageStore::Read(PageId id, uint8_t* out) {
+  {
+    std::shared_lock lock(mu_);
+    if (!IsLiveLocked(id)) {
+      return Status::InvalidArgument("Read of non-live page");
+    }
+    BURTREE_RETURN_IF_ERROR(direct_
+                                ? DirectReadPage(id, out)
+                                : PreadFully(out, page_size(), OffsetOf(id)));
+  }
+  CountRead();
+  return Status::OK();
+}
+
+Status FilePageStore::Write(PageId id, const uint8_t* in) {
+  {
+    std::shared_lock lock(mu_);  // liveness vector is not resized here
+    if (!IsLiveLocked(id)) {
+      return Status::InvalidArgument("Write of non-live page");
+    }
+    BURTREE_RETURN_IF_ERROR(direct_
+                                ? DirectWritePage(id, in)
+                                : PwriteFully(in, page_size(), OffsetOf(id)));
+    if (options_.fsync_on_flush) BURTREE_RETURN_IF_ERROR(SyncLocked());
+  }
+  CountWrite();
+  return Status::OK();
+}
+
+Status FilePageStore::ReadPages(const std::vector<PageReadRequest>& reqs) {
+  if (reqs.empty()) return Status::OK();
+  {
+    std::shared_lock lock(mu_);
+    // Validate every id up front so a bad batch fails before any bytes
+    // are copied (same atomicity as PageFile).
+    for (const auto& r : reqs) {
+      if (!IsLiveLocked(r.id)) {
+        return Status::InvalidArgument("ReadPages of non-live page");
+      }
+    }
+    // Sort by page id and fuse contiguous runs: one preadv per run (one
+    // bounce-buffered pread in O_DIRECT mode) instead of one syscall per
+    // page — the file-backend analogue of the group read's amortized
+    // seek. Duplicate ids simply split runs.
+    const auto order = SortById(reqs);
+    BURTREE_RETURN_IF_ERROR(ForEachContiguousRun(
+        order, [&](size_t i, size_t run) -> Status {
+          const off_t off = OffsetOf(order[i]->id);
+          if (direct_) {
+            AlignedBuffer buf(run * page_size());
+            if (buf.data == nullptr) {
+              return Status::IoError("posix_memalign");
+            }
+            BURTREE_RETURN_IF_ERROR(
+                PreadFully(buf.data, run * page_size(), off));
+            for (size_t k = 0; k < run; ++k) {
+              std::memcpy(order[i + k]->out, buf.data + k * page_size(),
+                          page_size());
+            }
+            return Status::OK();
+          }
+          std::vector<struct iovec> iov(run);
+          for (size_t k = 0; k < run; ++k) {
+            iov[k].iov_base = order[i + k]->out;
+            iov[k].iov_len = page_size();
+          }
+          return VectoredIo(std::move(iov), off, /*write=*/false);
+        }));
+  }
+  CountReads(reqs.size());
+  return Status::OK();
+}
+
+Status FilePageStore::FlushDirtyBatch(
+    const std::vector<PageWriteRequest>& reqs) {
+  if (reqs.empty()) return Status::OK();
+  {
+    std::shared_lock lock(mu_);  // liveness vector is not resized here
+    for (const auto& r : reqs) {
+      if (!IsLiveLocked(r.id)) {
+        return Status::InvalidArgument("FlushDirtyBatch of non-live page");
+      }
+    }
+    const auto order = SortById(reqs);
+    BURTREE_RETURN_IF_ERROR(ForEachContiguousRun(
+        order, [&](size_t i, size_t run) -> Status {
+          const off_t off = OffsetOf(order[i]->id);
+          if (direct_) {
+            AlignedBuffer buf(run * page_size());
+            if (buf.data == nullptr) {
+              return Status::IoError("posix_memalign");
+            }
+            for (size_t k = 0; k < run; ++k) {
+              std::memcpy(buf.data + k * page_size(), order[i + k]->data,
+                          page_size());
+            }
+            return PwriteFully(buf.data, run * page_size(), off);
+          }
+          std::vector<struct iovec> iov(run);
+          for (size_t k = 0; k < run; ++k) {
+            iov[k].iov_base = const_cast<uint8_t*>(order[i + k]->data);
+            iov[k].iov_len = page_size();
+          }
+          return VectoredIo(std::move(iov), off, /*write=*/true);
+        }));
+    // Durability point: every pwrite of the batch is issued above, and
+    // with the policy on the batch is on the device before we return.
+    if (options_.fsync_on_flush) BURTREE_RETURN_IF_ERROR(SyncLocked());
+  }
+  CountWrites(reqs.size());
+  return Status::OK();
+}
+
+size_t FilePageStore::live_pages() const {
+  std::shared_lock lock(mu_);
+  return live_.size() - free_list_.size();
+}
+
+size_t FilePageStore::allocated_slots() const {
+  std::shared_lock lock(mu_);
+  return live_.size();
+}
+
+Status FilePageStore::Sync() {
+  std::shared_lock lock(mu_);
+  return SyncLocked();
+}
+
+Status FilePageStore::SyncLocked() const {
+  if (::fdatasync(fd_) != 0) return Errno("fdatasync");
+  return Status::OK();
+}
+
+bool FilePageStore::IsLiveLocked(PageId id) const {
+  return id < live_.size() && live_[id];
+}
+
+Status FilePageStore::PreadFully(uint8_t* buf, size_t len, off_t off) const {
+  while (len > 0) {
+    const ssize_t r = ::pread(fd_, buf, len, off);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Errno("pread");
+    }
+    if (r == 0) return Status::IoError("pread: unexpected EOF");
+    buf += r;
+    len -= static_cast<size_t>(r);
+    off += r;
+  }
+  return Status::OK();
+}
+
+Status FilePageStore::VectoredIo(std::vector<struct iovec> iov, off_t off,
+                                 bool write) const {
+  // One resume loop for both directions: issue up to kMaxIov iovecs per
+  // syscall and advance through partially transferred entries.
+  size_t v = 0;
+  while (v < iov.size()) {
+    const int cnt = static_cast<int>(std::min(iov.size() - v, kMaxIov));
+    const ssize_t r = write ? ::pwritev(fd_, &iov[v], cnt, off)
+                            : ::preadv(fd_, &iov[v], cnt, off);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Errno(write ? "pwritev" : "preadv");
+    }
+    if (r == 0) {
+      return Status::IoError(write ? "pwritev: wrote nothing"
+                                   : "preadv: unexpected EOF");
+    }
+    off += r;
+    size_t n = static_cast<size_t>(r);
+    while (n > 0) {
+      if (n >= iov[v].iov_len) {
+        n -= iov[v].iov_len;
+        ++v;
+      } else {
+        iov[v].iov_base = static_cast<uint8_t*>(iov[v].iov_base) + n;
+        iov[v].iov_len -= n;
+        n = 0;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status FilePageStore::PwriteFully(const uint8_t* buf, size_t len,
+                                  off_t off) const {
+  while (len > 0) {
+    const ssize_t r = ::pwrite(fd_, buf, len, off);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Errno("pwrite");
+    }
+    buf += r;
+    len -= static_cast<size_t>(r);
+    off += r;
+  }
+  return Status::OK();
+}
+
+Status FilePageStore::DirectReadPage(PageId id, uint8_t* out) const {
+  AlignedBuffer buf(page_size());
+  if (buf.data == nullptr) return Status::IoError("posix_memalign");
+  BURTREE_RETURN_IF_ERROR(PreadFully(buf.data, page_size(), OffsetOf(id)));
+  std::memcpy(out, buf.data, page_size());
+  return Status::OK();
+}
+
+Status FilePageStore::DirectWritePage(PageId id, const uint8_t* in) const {
+  AlignedBuffer buf(page_size());
+  if (buf.data == nullptr) return Status::IoError("posix_memalign");
+  std::memcpy(buf.data, in, page_size());
+  return PwriteFully(buf.data, page_size(), OffsetOf(id));
+}
+
+Status FilePageStore::ZeroPageLocked(PageId id) {
+  if (direct_) {
+    AlignedBuffer buf(page_size());
+    if (buf.data == nullptr) return Status::IoError("posix_memalign");
+    std::memset(buf.data, 0, page_size());
+    return PwriteFully(buf.data, page_size(), OffsetOf(id));
+  }
+  std::vector<uint8_t> zeros(page_size(), 0);
+  return PwriteFully(zeros.data(), page_size(), OffsetOf(id));
+}
+
+}  // namespace burtree

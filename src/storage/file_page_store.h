@@ -1,0 +1,123 @@
+// FilePageStore: the real-file PageStore — POSIX pread/pwrite against a
+// backing file, with preadv/pwritev batching for the group read and
+// write-back paths, an fsync-on-flush durability policy, and best-effort
+// O_DIRECT. Lets the same buffer pool and benches run against a real
+// device (or tmpfs) instead of the simulated in-memory disk; contract
+// and backend-choice guidance in docs/STORAGE.md.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include <sys/uio.h>
+
+#include "storage/page_store.h"
+
+namespace burtree {
+
+struct FilePageStoreOptions {
+  /// Backing file path; created if absent.
+  std::string path;
+
+  size_t page_size = 1024;
+
+  /// true: start from an empty file (O_TRUNC). false: adopt an existing
+  /// file — every `size / page_size` slot becomes a live page (the store
+  /// keeps no persistent allocation metadata; see docs/STORAGE.md).
+  bool truncate = true;
+
+  /// fdatasync after every write-back call (Write / FlushDirtyBatch), so
+  /// each flush is a durability point: all pwrites of the batch land
+  /// before the sync, and the call does not return until the device
+  /// acknowledged them.
+  bool fsync_on_flush = false;
+
+  /// Try O_DIRECT. Falls back to buffered I/O (direct_io_active() ==
+  /// false) when the filesystem rejects it (e.g. tmpfs) or page_size is
+  /// not a multiple of 4096 (the bounce-buffer alignment, which also
+  /// covers 4Kn-device logical blocks — a looser check would pass
+  /// open() and then fail every pread at runtime).
+  bool direct_io = false;
+
+  /// Unlink the path right after opening: the file becomes anonymous
+  /// scratch space the kernel reclaims when the store closes (used by
+  /// MakePageStore so bench runs leave nothing behind).
+  bool unlink_after_open = false;
+};
+
+/// Real-file page store. Pages live at byte offset `id * page_size`.
+/// Allocation bookkeeping (liveness, free list) is in memory only, as in
+/// PageFile: a freshly opened store with truncate=false treats every
+/// slot of the file as live.
+///
+/// Thread-safety: fully thread-safe. A shared_mutex guards the liveness
+/// vector and free list (Allocate/Free exclusive; Read/Write shared),
+/// and the data path uses positioned I/O (pread/pwrite), which is safe
+/// from any number of threads on one file descriptor. I/O on distinct
+/// pages proceeds concurrently; IoStats counters are atomic.
+class FilePageStore final : public PageStore {
+ public:
+  /// Opens (creating if needed) the backing file. Fails with IoError on
+  /// open/stat problems, InvalidArgument if an adopted file's size is
+  /// not a multiple of page_size.
+  static StatusOr<std::unique_ptr<FilePageStore>> Open(
+      const FilePageStoreOptions& options);
+
+  ~FilePageStore() override;
+
+  PageId Allocate() override;
+  Status Free(PageId id) override;
+  Status Read(PageId id, uint8_t* out) override;
+  Status Write(PageId id, const uint8_t* in) override;
+  Status ReadPages(const std::vector<PageReadRequest>& reqs) override;
+  Status FlushDirtyBatch(const std::vector<PageWriteRequest>& reqs) override;
+  size_t live_pages() const override;
+  size_t allocated_slots() const override;
+
+  /// Forces everything down to the device (fdatasync), regardless of the
+  /// fsync_on_flush policy.
+  Status Sync();
+
+  const std::string& path() const { return options_.path; }
+  /// Whether O_DIRECT is actually in effect (false after a fallback).
+  bool direct_io_active() const { return direct_; }
+
+ private:
+  FilePageStore(FilePageStoreOptions options, int fd, bool direct,
+                size_t existing_pages);
+
+  bool IsLiveLocked(PageId id) const;
+  off_t OffsetOf(PageId id) const {
+    return static_cast<off_t>(id) * static_cast<off_t>(page_size());
+  }
+  /// Loops pread until `len` bytes landed in `buf` (EOF is an error:
+  /// every live page lies within the ftruncate-extended file).
+  Status PreadFully(uint8_t* buf, size_t len, off_t off) const;
+  Status PwriteFully(const uint8_t* buf, size_t len, off_t off) const;
+  /// One preadv/pwritev resume loop for both batched directions,
+  /// advancing through partially transferred iovecs.
+  Status VectoredIo(std::vector<struct iovec> iov, off_t off,
+                    bool write) const;
+  /// pread/pwrite one page through an O_DIRECT-aligned bounce buffer.
+  Status DirectReadPage(PageId id, uint8_t* out) const;
+  Status DirectWritePage(PageId id, const uint8_t* in) const;
+  /// Zeroes a reused slot on disk (uncounted: allocation is not I/O).
+  Status ZeroPageLocked(PageId id);
+  Status SyncLocked() const;
+
+  FilePageStoreOptions options_;
+  int fd_ = -1;
+  bool direct_ = false;
+  mutable std::shared_mutex mu_;
+  std::vector<bool> live_;
+  std::vector<PageId> free_list_;
+  /// Slots the file currently extends to (≥ live_.size(): Allocate
+  /// grows the file geometrically; the destructor trims the slack).
+  size_t file_pages_ = 0;
+};
+
+}  // namespace burtree

@@ -1,33 +1,23 @@
 #include "storage/page_file.h"
 
-#include <chrono>
 #include <cstring>
-#include <thread>
 
 namespace burtree {
 
-namespace {
-thread_local uint64_t tls_io_count = 0;
-}  // namespace
-
-uint64_t PageFile::thread_io() { return tls_io_count; }
-void PageFile::ResetThreadIo() { tls_io_count = 0; }
-void PageFile::AddThreadIo(uint64_t n) { tls_io_count += n; }
-
-PageFile::PageFile(size_t page_size) : page_size_(page_size) {}
+PageFile::PageFile(size_t page_size) : PageStore(page_size) {}
 
 PageId PageFile::Allocate() {
   std::unique_lock lock(mu_);
   if (!free_list_.empty()) {
     PageId id = free_list_.back();
     free_list_.pop_back();
-    std::memset(slots_[id].get(), 0, page_size_);
+    std::memset(slots_[id].get(), 0, page_size());
     live_[id] = true;
     return id;
   }
   PageId id = static_cast<PageId>(slots_.size());
-  slots_.emplace_back(new uint8_t[page_size_]);
-  std::memset(slots_[id].get(), 0, page_size_);
+  slots_.emplace_back(new uint8_t[page_size()]);
+  std::memset(slots_[id].get(), 0, page_size());
   live_.push_back(true);
   return id;
 }
@@ -48,11 +38,9 @@ Status PageFile::Read(PageId id, uint8_t* out) {
     if (!IsLiveLocked(id)) {
       return Status::InvalidArgument("Read of non-live page");
     }
-    std::memcpy(out, slots_[id].get(), page_size_);
+    std::memcpy(out, slots_[id].get(), page_size());
   }
-  stats_.RecordRead();
-  ++tls_io_count;
-  ChargeLatency();
+  CountRead();
   return Status::OK();
 }
 
@@ -62,11 +50,9 @@ Status PageFile::Write(PageId id, const uint8_t* in) {
     if (!IsLiveLocked(id)) {
       return Status::InvalidArgument("Write of non-live page");
     }
-    std::memcpy(slots_[id].get(), in, page_size_);
+    std::memcpy(slots_[id].get(), in, page_size());
   }
-  stats_.RecordWrite();
-  ++tls_io_count;
-  ChargeLatency();
+  CountWrite();
   return Status::OK();
 }
 
@@ -80,12 +66,10 @@ Status PageFile::ReadPages(const std::vector<PageReadRequest>& reqs) {
       }
     }
     for (const auto& r : reqs) {
-      std::memcpy(r.out, slots_[r.id].get(), page_size_);
+      std::memcpy(r.out, slots_[r.id].get(), page_size());
     }
   }
-  stats_.RecordReads(reqs.size());
-  tls_io_count += reqs.size();
-  ChargeLatency();  // once per batch: the group read amortizes the seek
+  CountReads(reqs.size());
   return Status::OK();
 }
 
@@ -99,12 +83,10 @@ Status PageFile::FlushDirtyBatch(const std::vector<PageWriteRequest>& reqs) {
       }
     }
     for (const auto& r : reqs) {
-      std::memcpy(slots_[r.id].get(), r.data, page_size_);
+      std::memcpy(slots_[r.id].get(), r.data, page_size());
     }
   }
-  stats_.RecordWrites(reqs.size());
-  tls_io_count += reqs.size();
-  ChargeLatency();  // once per batch: the group write amortizes the seek
+  CountWrites(reqs.size());
   return Status::OK();
 }
 
@@ -120,24 +102,6 @@ size_t PageFile::allocated_slots() const {
 
 bool PageFile::IsLiveLocked(PageId id) const {
   return id < slots_.size() && live_[id];
-}
-
-void PageFile::ChargeLatency() const {
-  if (io_latency_ns_ == 0) return;
-  if (io_latency_model_ == IoLatencyModel::kSleep) {
-    // Blocking model: the caller (typically a buffer-pool shard holding
-    // its latch across a miss) yields the CPU, so independent work on
-    // other shards proceeds during the simulated disk access.
-    std::this_thread::sleep_for(std::chrono::nanoseconds(io_latency_ns_));
-    return;
-  }
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::nanoseconds(io_latency_ns_);
-  // Busy-wait: sleep granularity on Linux (~50us) is coarser than typical
-  // simulated latencies, and the throughput bench needs the delay to be
-  // incurred on the calling thread.
-  while (std::chrono::steady_clock::now() < deadline) {
-  }
 }
 
 }  // namespace burtree

@@ -1,7 +1,8 @@
-// PageFile: the "disk". Pages live in RAM, but every Read/Write call is
-// counted in IoStats — the paper's metric is the number of disk accesses,
-// not their latency (see DESIGN.md §1). Thread-safe: the concurrent
-// throughput experiment drives one PageFile from 50 threads.
+// PageFile: the in-memory PageStore — the "disk" of the paper's
+// experiments. Pages live in RAM, but every Read/Write call is counted
+// in IoStats: the paper's metric is the number of disk accesses, not
+// their latency (contract in docs/STORAGE.md). Thread-safe: the
+// concurrent throughput experiment drives one PageFile from 50 threads.
 #pragma once
 
 #include <cstdint>
@@ -10,115 +11,40 @@
 #include <shared_mutex>
 #include <vector>
 
-#include "common/metrics.h"
-#include "common/status.h"
-#include "common/types.h"
+#include "storage/page_store.h"
 
 namespace burtree {
 
-/// One page of a batched read: the destination buffer must hold
-/// page_size() bytes.
-struct PageReadRequest {
-  PageId id = kInvalidPageId;
-  uint8_t* out = nullptr;
-};
-
-/// One page of a batched write-back.
-struct PageWriteRequest {
-  PageId id = kInvalidPageId;
-  const uint8_t* data = nullptr;
-};
-
-/// The simulated disk: a latched slot vector of fixed-size pages.
+/// The simulated disk: a latched slot vector of fixed-size pages. The
+/// default PageStore backend, and byte-identical to the pre-PageStore
+/// PageFile (pinned by tests/page_file_test.cc and the reference-LRU
+/// equivalence test).
 ///
 /// Thread-safety: fully thread-safe. A shared_mutex guards the slot
 /// vector (Allocate/Free exclusive; Read/Write shared — slots are never
 /// resized by I/O), and IoStats counters are atomic. The concurrent
 /// throughput experiment drives one PageFile from 50 threads.
-class PageFile {
+class PageFile final : public PageStore {
  public:
   /// Creates an empty file of `page_size`-byte pages.
   explicit PageFile(size_t page_size);
 
-  PageFile(const PageFile&) = delete;
-  PageFile& operator=(const PageFile&) = delete;
-
-  size_t page_size() const { return page_size_; }
-
-  /// Allocates a fresh zeroed page (reusing freed slots first) and returns
-  /// its id. Does not count as an I/O; the subsequent write does.
-  PageId Allocate();
-
-  /// Returns a page to the free list. Reading a freed page is an error.
-  Status Free(PageId id);
-
-  /// Copies the page's current content into `out` (must be page_size
-  /// bytes). Counts one disk read.
-  Status Read(PageId id, uint8_t* out);
-
-  /// Overwrites the page content from `in` (page_size bytes). Counts one
-  /// disk write.
-  Status Write(PageId id, const uint8_t* in);
-
-  /// Batched read: copies every requested page under a single lock
-  /// acquisition. Counts one disk read *per page* (the paper's metric is
-  /// access count) but charges the simulated latency only once per batch —
-  /// a group read amortizes the seek, not the transfers. Fails before
-  /// copying anything if any id is not live.
-  Status ReadPages(const std::vector<PageReadRequest>& reqs);
-
-  /// Batched write-back of dirty frames: the group-write counterpart of
-  /// ReadPages. One lock acquisition and one latency charge for the whole
-  /// batch; IoStats still counts one write per page. Fails before writing
-  /// anything if any id is not live.
-  Status FlushDirtyBatch(const std::vector<PageWriteRequest>& reqs);
-
-  /// Number of pages ever allocated and still live (excludes freed).
-  size_t live_pages() const;
-
-  /// Total slots including freed ones (the "file size").
-  size_t allocated_slots() const;
-
-  IoStats& io_stats() { return stats_; }
-  const IoStats& io_stats() const { return stats_; }
-
-  /// Disk accesses performed by the *calling thread* across all PageFiles
-  /// since the last ResetThreadIo(). The concurrent throughput driver uses
-  /// this to charge simulated latency outside of latches.
-  static uint64_t thread_io();
-  static void ResetThreadIo();
-  /// Adds synthetic accesses to the calling thread's counter (used by
-  /// cost-model charges that bypass the physical page path).
-  static void AddThreadIo(uint64_t n);
-
-  /// How synthetic latency is incurred. kBusyWait burns the calling
-  /// thread's CPU (the throughput experiment charges latency outside all
-  /// latches and needs the delay on-thread even at sub-sleep-granularity
-  /// scales). kSleep blocks the thread, letting other threads run — the
-  /// right model when the caller holds a latch across the I/O, as the
-  /// buffer pool's miss path does: a sleeping miss stalls only its shard.
-  enum class IoLatencyModel { kBusyWait, kSleep };
-
-  /// Optional synthetic latency charged per read/write, in nanoseconds.
-  /// Used by the throughput experiment to make tps I/O-bound like the
-  /// paper's disk-resident setting. 0 disables it.
-  void set_io_latency_ns(uint64_t ns) { io_latency_ns_ = ns; }
-  uint64_t io_latency_ns() const { return io_latency_ns_; }
-  void set_io_latency_model(IoLatencyModel m) { io_latency_model_ = m; }
-  IoLatencyModel io_latency_model() const { return io_latency_model_; }
+  PageId Allocate() override;
+  Status Free(PageId id) override;
+  Status Read(PageId id, uint8_t* out) override;
+  Status Write(PageId id, const uint8_t* in) override;
+  Status ReadPages(const std::vector<PageReadRequest>& reqs) override;
+  Status FlushDirtyBatch(const std::vector<PageWriteRequest>& reqs) override;
+  size_t live_pages() const override;
+  size_t allocated_slots() const override;
 
  private:
   bool IsLiveLocked(PageId id) const;
-  void ChargeLatency() const;
 
-  const size_t page_size_;
   mutable std::shared_mutex mu_;
   std::vector<std::unique_ptr<uint8_t[]>> slots_;
   std::vector<bool> live_;
   std::vector<PageId> free_list_;
-  IoStats stats_;
-  uint64_t io_latency_ns_ = 0;
-  IoLatencyModel io_latency_model_ = IoLatencyModel::kBusyWait;
 };
 
 }  // namespace burtree

@@ -4,7 +4,7 @@ namespace burtree {
 
 IndexSystem::IndexSystem(const IndexSystemOptions& options)
     : options_(options) {
-  file_ = std::make_unique<PageFile>(options_.tree.page_size);
+  file_ = MustMakePageStore(options_.storage, options_.tree.page_size);
   pool_ = std::make_unique<BufferPool>(file_.get(), options_.buffer_pages,
                                        options_.buffer_shards);
   tree_ = std::make_unique<RTree>(pool_.get(), options_.tree);

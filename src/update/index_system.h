@@ -24,6 +24,9 @@ struct IndexSystemOptions {
   size_t buffer_pages = 0;
   /// LRU shard count for the tree buffer pool (1 = classic single latch).
   size_t buffer_shards = 1;
+  /// Storage backend for the tree's page file (mem = the paper's counted
+  /// in-memory disk; file = real pread/pwrite I/O — see docs/STORAGE.md).
+  StorageOptions storage;
   /// Attach the disk-resident oid hash index (needed by LBU/GBU; TD runs
   /// without one, exactly as in the paper).
   bool enable_oid_index = false;
@@ -31,7 +34,7 @@ struct IndexSystemOptions {
   bool enable_summary = false;
   /// Secondary-index configuration. Default mirrors the paper: the table
   /// is memory-resident; each lookup is charged the cost model's one
-  /// disk read; maintenance is free (see DESIGN.md).
+  /// disk read; maintenance is free (I/O accounting in docs/STORAGE.md).
   HashIndexOptions hash = HashIndexOptions::MemoryResident();
 };
 
@@ -41,7 +44,7 @@ class IndexSystem {
 
   RTree& tree() { return *tree_; }
   BufferPool& buffer() { return *pool_; }
-  PageFile& file() { return *file_; }
+  PageStore& file() { return *file_; }
   HashIndex* oid_index() { return oid_index_.get(); }
   SummaryStructure* summary() { return summary_.get(); }
   const IndexSystemOptions& options() const { return options_; }
@@ -75,7 +78,7 @@ class IndexSystem {
 
  private:
   IndexSystemOptions options_;
-  std::unique_ptr<PageFile> file_;
+  std::unique_ptr<PageStore> file_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<RTree> tree_;
   std::unique_ptr<HashIndex> oid_index_;

@@ -13,6 +13,7 @@
 #include "buffer/buffer_pool.h"
 #include "buffer/page_guard.h"
 #include "common/random.h"
+#include "storage/page_file.h"
 
 namespace burtree {
 namespace {

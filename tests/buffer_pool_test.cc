@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "buffer/page_guard.h"
+#include "storage/page_file.h"
 
 namespace burtree {
 namespace {

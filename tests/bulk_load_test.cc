@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/random.h"
+#include "storage/page_file.h"
 
 namespace burtree {
 namespace {

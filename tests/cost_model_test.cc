@@ -4,6 +4,7 @@
 
 #include "common/random.h"
 #include "harness/experiment.h"
+#include "storage/page_file.h"
 
 namespace burtree {
 namespace {

@@ -7,6 +7,7 @@
 #include "oid_index/memory_index.h"
 #include "rtree/rtree.h"
 #include "summary/summary.h"
+#include "storage/page_file.h"
 
 namespace burtree {
 namespace {

@@ -6,6 +6,7 @@
 #include "oid_index/hash_index.h"
 #include "oid_index/memory_index.h"
 #include "rtree/rtree.h"
+#include "storage/page_file.h"
 
 namespace burtree {
 namespace {

@@ -7,6 +7,7 @@
 
 #include "common/random.h"
 #include "rtree/rtree.h"
+#include "storage/page_file.h"
 
 namespace burtree {
 namespace {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "storage/page_file.h"
 
 namespace burtree {
 namespace {
