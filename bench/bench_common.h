@@ -63,9 +63,10 @@ struct BenchArgs {
     a.buffer_shards = static_cast<size_t>(cli.GetInt("shards", 1));
     const std::string lm = cli.GetString("latch-mode", "global");
     if (!ParseLatchMode(lm, &a.latch_mode)) {
-      std::fprintf(stderr,
-                   "unknown --latch-mode '%s' (want global|subtree)\n",
-                   lm.c_str());
+      std::fprintf(
+          stderr,
+          "unknown --latch-mode '%s' (want global|subtree|coupled)\n",
+          lm.c_str());
       std::exit(2);
     }
     const std::string backend = cli.GetString("backend", "mem");

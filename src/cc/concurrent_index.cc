@@ -35,12 +35,53 @@ class ReaderHooks final : public TraversalLatchHooks {
   PageLatchSet* set_;
 };
 
+/// ExclusiveLatchHooks over a PageLatchSet for the coupled insert
+/// descent; remembers the page whose stripe last collided so the retry
+/// loop can wait for exactly that stripe (holding nothing) and restart.
+class CoupledWriterHooks final : public ExclusiveLatchHooks {
+ public:
+  explicit CoupledWriterHooks(PageLatchSet* set) : set_(set) {}
+  void AcquireExclusive(PageId page) override {
+    set_->AcquireExclusive(page);
+  }
+  bool TryAcquireExclusive(PageId page) override {
+    if (set_->TryExtendExclusive(page)) return true;
+    last_contended_ = page;
+    return false;
+  }
+  void ReleaseExclusive(PageId page) override {
+    set_->ReleaseExclusive(page);
+  }
+  PageId last_contended() const { return last_contended_; }
+
+ private:
+  PageLatchSet* set_;
+  PageId last_contended_ = kInvalidPageId;
+};
+
+/// DGL acquisition with release-and-retry backoff, shared by
+/// Update/Insert/Query: wait-die aborts and timeouts release everything
+/// and retry with exponential backoff up to a fixed budget.
+template <typename AcquireFn>
+Status AcquireDglWithRetry(LockManager* lm, uint64_t ts,
+                           AcquireFn acquire) {
+  for (int attempt = 0;; ++attempt) {
+    Status s = acquire();
+    if (s.ok()) return s;
+    lm->ReleaseAll(ts);
+    if (attempt > 64) return s;
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(50u << (attempt & 7)));
+  }
+}
+
 }  // namespace
 
 const char* LatchModeName(LatchMode mode) {
   switch (mode) {
     case LatchMode::kGlobal: return "global";
     case LatchMode::kSubtree: return "subtree";
+    case LatchMode::kCoupled: return "coupled";
   }
   return "?";
 }
@@ -52,6 +93,10 @@ bool ParseLatchMode(const std::string& s, LatchMode* out) {
   }
   if (s == "subtree") {
     *out = LatchMode::kSubtree;
+    return true;
+  }
+  if (s == "coupled") {
+    *out = LatchMode::kCoupled;
     return true;
   }
   return false;
@@ -82,6 +127,13 @@ LatchModeStats ConcurrentIndex::latch_stats() const {
   s.escalated_updates = escalated_updates_.load(std::memory_order_relaxed);
   s.coupled_queries = coupled_queries_.load(std::memory_order_relaxed);
   s.escalated_queries = escalated_queries_.load(std::memory_order_relaxed);
+  s.coupled_escalations =
+      coupled_escalations_.load(std::memory_order_relaxed);
+  s.coupled_inserts = coupled_inserts_.load(std::memory_order_relaxed);
+  s.compound_smos = compound_smos_.load(std::memory_order_relaxed);
+  s.split_unsafe_plans =
+      split_unsafe_plans_.load(std::memory_order_relaxed);
+  s.descent_restarts = descent_restarts_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -101,6 +153,28 @@ Status ConcurrentIndex::UpdateGlobal(ObjectId oid, const Point& from,
   return result.status();
 }
 
+bool ConcurrentIndex::TryScopedUpdate(const UpdatePlan& plan, ObjectId oid,
+                                      const Point& from, const Point& to,
+                                      Status* out) {
+  if (!plan.split_safe) {
+    split_unsafe_plans_.fetch_add(1, std::memory_order_relaxed);
+  }
+  PageLatchSet latches(&latch_table_);
+  std::vector<PageId> pages{plan.leaf};
+  if (plan.parent != kInvalidPageId) pages.push_back(plan.parent);
+  latches.AcquireExclusive(pages);
+  WriterScope scope(&latches);
+  auto result = strategy_->UpdateScoped(scope, plan, oid, from, to);
+  if (result.status().code() == StatusCode::kLatchContention) {
+    // UpdateScoped mutates nothing before returning LatchContention, so
+    // the caller's escalation starts from a clean slate.
+    return false;
+  }
+  scoped_updates_.fetch_add(1, std::memory_order_relaxed);
+  *out = result.status();
+  return true;
+}
+
 Status ConcurrentIndex::UpdateSubtree(ObjectId oid, const Point& from,
                                       const Point& to, uint64_t* ios) {
   PageStore::ResetThreadIo();
@@ -111,20 +185,10 @@ Status ConcurrentIndex::UpdateSubtree(ObjectId oid, const Point& from,
     // mutexes) — no tree pages — so it cannot race page writers.
     const UpdatePlan plan = strategy_->PlanUpdate(oid, from, to);
     if (plan.leaf_local) {
-      {
-        PageLatchSet latches(&latch_table_);
-        std::vector<PageId> pages{plan.leaf};
-        if (plan.parent != kInvalidPageId) pages.push_back(plan.parent);
-        latches.AcquireExclusive(pages);
-        WriterScope scope(&latches);
-        auto result = strategy_->UpdateScoped(scope, plan, oid, from, to);
-        if (result.status().code() != StatusCode::kLatchContention) {
-          scoped_updates_.fetch_add(1, std::memory_order_relaxed);
-          *ios = PageStore::thread_io();
-          return result.status();
-        }
-        // UpdateScoped mutates nothing before returning LatchContention,
-        // so the tree-exclusive re-run below starts from a clean slate.
+      Status scoped_status;
+      if (TryScopedUpdate(plan, oid, from, to, &scoped_status)) {
+        *ios = PageStore::thread_io();
+        return scoped_status;
       }
       // Escalation warming, step 1: predict the page the re-run will
       // stall on. The probe uses a fresh try-only latch scope (released
@@ -151,22 +215,201 @@ Status ConcurrentIndex::UpdateSubtree(ObjectId oid, const Point& from,
   return result.status();
 }
 
+Status ConcurrentIndex::InsertCoupledWithRetry(ObjectId oid,
+                                               const Rect& rect) {
+  // Generous budget: with 4096 stripes a descent's try-latches rarely
+  // collide, and each retry first drains the stripe it collided on while
+  // holding nothing, so the loop makes progress instead of spinning.
+  constexpr int kAttempts = 64;
+  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+    PageId contended = kInvalidPageId;
+    {
+      PageLatchSet latches(&latch_table_);
+      CoupledWriterHooks hooks(&latches);
+      const Status st = system_->tree().InsertCoupled(oid, rect, &hooks);
+      if (st.code() != StatusCode::kLatchContention) {
+        if (st.ok()) {
+          coupled_inserts_.fetch_add(1, std::memory_order_relaxed);
+        }
+        return st;
+      }
+      contended = hooks.last_contended();
+    }
+    descent_restarts_.fetch_add(1, std::memory_order_relaxed);
+    if (contended != kInvalidPageId) {
+      latch_table_.WaitForStripe(contended);
+    }
+  }
+  return Status::LatchContention("coupled insert starved");
+}
+
+Status ConcurrentIndex::CoupledEscalatedUpdate(ObjectId oid,
+                                               const Point& from,
+                                               const Point& to,
+                                               CompoundNeed* needs) {
+  (void)from;
+  *needs = CompoundNeed::kNone;
+  RTree& tree = system_->tree();
+  const Rect new_rect = IndexSystem::PointRect(to);
+
+  // Phase 1: bottom-up removal at the indexed leaf, its latch held. The
+  // blocking single-page acquisition is safe (holding nothing); the
+  // object may have been relocated between the index probe and the
+  // latch, in which case re-probe.
+  constexpr int kRemoveAttempts = 32;
+  bool removed = false;
+  for (int attempt = 0; attempt < kRemoveAttempts && !removed; ++attempt) {
+    auto leaf_or = system_->oid_index()->Lookup(oid);
+    if (!leaf_or.ok()) {
+      if (leaf_or.status().code() == StatusCode::kNotFound) {
+        // A concurrent split or sibling shift publishes its oid-index
+        // move as remove-then-add (two stripe-mutex sections), so an
+        // unlatched probe can land in the gap and miss an object that
+        // is firmly in the tree. Transient by construction: yield and
+        // re-probe; a persistent miss falls through to the compound
+        // path, whose exclusive gate makes the lookup authoritative.
+        std::this_thread::yield();
+        continue;
+      }
+      return leaf_or.status();
+    }
+    const PageId leaf_id = leaf_or.value();
+    PageLatchSet latches(&latch_table_);
+    latches.AcquireExclusive(leaf_id);
+    PageGuard g = PageGuard::Fetch(tree.pool(), leaf_id);
+    NodeView v(g.data(), tree.options().page_size,
+               tree.options().parent_pointers);
+    if (!v.is_leaf() || v.FindOidSlot(oid) < 0) continue;  // moved: retry
+    if (leaf_id != tree.root() &&
+        v.count() <= tree.MinFill(/*leaf=*/true)) {
+      // Removal would underflow: condense-with-reinserts touches an
+      // unboundable page set — the one genuinely compound case.
+      *needs = CompoundNeed::kFullUpdate;
+      return Status::OK();
+    }
+    g.Release();
+    BURTREE_RETURN_IF_ERROR(tree.RemoveFromLeafNoCondense(leaf_id, oid));
+    removed = true;
+  }
+  if (!removed) {
+    *needs = CompoundNeed::kFullUpdate;  // livelocked: drain and re-run
+    return Status::OK();
+  }
+
+  // Phase 2: latch-coupled re-insert from the root. Object already
+  // removed, so a starved insert must still complete under the gate.
+  const Status st = InsertCoupledWithRetry(oid, new_rect);
+  if (st.code() == StatusCode::kLatchContention) {
+    *needs = CompoundNeed::kInsertOnly;
+    return Status::OK();
+  }
+  if (st.ok()) strategy_->RecordEscalatedPath(UpdatePath::kRootInsert);
+  return st;
+}
+
+Status ConcurrentIndex::UpdateCoupled(ObjectId oid, const Point& from,
+                                      const Point& to, uint64_t* ios) {
+  PageStore::ResetThreadIo();
+  CompoundNeed needs = CompoundNeed::kFullUpdate;
+  {
+    std::shared_lock<DrainGate> gate(smo_gate_);
+    const UpdatePlan plan = strategy_->PlanUpdate(oid, from, to);
+    if (plan.leaf_local) {
+      Status scoped_status;
+      if (TryScopedUpdate(plan, oid, from, to, &scoped_status)) {
+        *ios = PageStore::thread_io();
+        return scoped_status;
+      }
+    }
+    // Escalation without any tree-wide latch. No warming probe here:
+    // the re-run overlaps its I/O under page latches, so there is no
+    // exclusive section to shorten.
+    if (strategy_->SupportsCoupledEscalation()) {
+      coupled_escalations_.fetch_add(1, std::memory_order_relaxed);
+      Status st = CoupledEscalatedUpdate(oid, from, to, &needs);
+      if (needs == CompoundNeed::kNone) {
+        *ios = PageStore::thread_io();
+        return st;
+      }
+    }
+  }
+  // Compound structure modification: drain all coupled traffic (every
+  // coupled operation holds the gate shared), then run the stock
+  // single-threaded code.
+  compound_smos_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<DrainGate> xgate(smo_gate_);
+  if (needs == CompoundNeed::kInsertOnly) {
+    const Status st =
+        system_->tree().Insert(oid, IndexSystem::PointRect(to));
+    if (st.ok()) strategy_->RecordEscalatedPath(UpdatePath::kRootInsert);
+    *ios = PageStore::thread_io();
+    return st;
+  }
+  auto result = strategy_->Update(oid, from, to);
+  *ios = PageStore::thread_io();
+  return result.status();
+}
+
 Status ConcurrentIndex::Update(ObjectId oid, const Point& from,
                                const Point& to) {
   const uint64_t ts = NextTs();
-  for (int attempt = 0;; ++attempt) {
-    Status s = AcquireUpdateLocks(&lock_manager_, granules_, ts, from, to);
-    if (s.ok()) break;
-    lock_manager_.ReleaseAll(ts);
-    if (attempt > 64) return s;
-    std::this_thread::sleep_for(std::chrono::microseconds(50u << (attempt & 7)));
-  }
+  BURTREE_RETURN_IF_ERROR(AcquireDglWithRetry(&lock_manager_, ts, [&]() {
+    return AcquireUpdateLocks(&lock_manager_, granules_, ts, from, to);
+  }));
 
   uint64_t ios = 0;
-  Status op_status = options_.latch_mode == LatchMode::kGlobal
-                         ? UpdateGlobal(oid, from, to, &ios)
-                         : UpdateSubtree(oid, from, to, &ios);
+  Status op_status;
+  switch (options_.latch_mode) {
+    case LatchMode::kGlobal:
+      op_status = UpdateGlobal(oid, from, to, &ios);
+      break;
+    case LatchMode::kSubtree:
+      op_status = UpdateSubtree(oid, from, to, &ios);
+      break;
+    case LatchMode::kCoupled:
+      op_status = UpdateCoupled(oid, from, to, &ios);
+      break;
+  }
   ChargeIoLatency(ios);
+  lock_manager_.ReleaseAll(ts);
+  return op_status;
+}
+
+Status ConcurrentIndex::Insert(ObjectId oid, const Point& pos) {
+  const uint64_t ts = NextTs();
+  BURTREE_RETURN_IF_ERROR(AcquireDglWithRetry(&lock_manager_, ts, [&]() {
+    return AcquireInsertLocks(&lock_manager_, granules_, ts, pos);
+  }));
+
+  PageStore::ResetThreadIo();
+  Status op_status;
+  switch (options_.latch_mode) {
+    case LatchMode::kGlobal: {
+      std::unique_lock latch(latch_);
+      op_status = system_->Insert(oid, pos);
+      break;
+    }
+    case LatchMode::kSubtree: {
+      // An insert is a structure modification; subtree mode escalates.
+      escalated_updates_.fetch_add(1, std::memory_order_relaxed);
+      std::unique_lock latch(latch_);
+      op_status = system_->Insert(oid, pos);
+      break;
+    }
+    case LatchMode::kCoupled: {
+      std::shared_lock<DrainGate> gate(smo_gate_);
+      op_status =
+          InsertCoupledWithRetry(oid, IndexSystem::PointRect(pos));
+      if (op_status.code() == StatusCode::kLatchContention) {
+        gate.unlock();
+        compound_smos_.fetch_add(1, std::memory_order_relaxed);
+        std::unique_lock<DrainGate> xgate(smo_gate_);
+        op_status = system_->Insert(oid, pos);
+      }
+      break;
+    }
+  }
+  ChargeIoLatency(PageStore::thread_io());
   lock_manager_.ReleaseAll(ts);
   return op_status;
 }
@@ -202,20 +445,51 @@ StatusOr<size_t> ConcurrentIndex::QuerySubtree(const Rect& window,
   return result;
 }
 
+StatusOr<size_t> ConcurrentIndex::QueryCoupled(const Rect& window,
+                                               uint64_t* ios) {
+  PageStore::ResetThreadIo();
+  {
+    std::shared_lock<DrainGate> gate(smo_gate_);
+    constexpr int kAttempts = 64;
+    for (int attempt = 0; attempt < kAttempts; ++attempt) {
+      if (attempt > 0) {
+        descent_restarts_.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(1u << std::min(attempt, 7)));
+      }
+      PageLatchSet latches(&latch_table_);
+      ReaderHooks hooks(&latches);
+      StatusOr<size_t> result = executor_->QueryCoupled(window, &hooks);
+      if (result.status().code() != StatusCode::kLatchContention) {
+        coupled_queries_.fetch_add(1, std::memory_order_relaxed);
+        *ios = PageStore::thread_io();
+        return result;
+      }
+    }
+  }
+  // Starved past the retry budget: drain and run single-threaded.
+  compound_smos_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<DrainGate> xgate(smo_gate_);
+  StatusOr<size_t> result = executor_->Query(window);
+  *ios = PageStore::thread_io();  // includes the aborted coupled attempts
+  return result;
+}
+
 StatusOr<size_t> ConcurrentIndex::Query(const Rect& window) {
   const uint64_t ts = NextTs();
-  for (int attempt = 0;; ++attempt) {
-    Status s = AcquireQueryLocks(&lock_manager_, granules_, ts, window);
-    if (s.ok()) break;
-    lock_manager_.ReleaseAll(ts);
-    if (attempt > 64) return s;
-    std::this_thread::sleep_for(std::chrono::microseconds(50u << (attempt & 7)));
-  }
+  BURTREE_RETURN_IF_ERROR(AcquireDglWithRetry(&lock_manager_, ts, [&]() {
+    return AcquireQueryLocks(&lock_manager_, granules_, ts, window);
+  }));
 
   uint64_t ios = 0;
-  StatusOr<size_t> result = options_.latch_mode == LatchMode::kGlobal
-                                ? QueryGlobal(window, &ios)
-                                : QuerySubtree(window, &ios);
+  StatusOr<size_t> result = [&]() -> StatusOr<size_t> {
+    switch (options_.latch_mode) {
+      case LatchMode::kGlobal: return QueryGlobal(window, &ios);
+      case LatchMode::kSubtree: return QuerySubtree(window, &ios);
+      case LatchMode::kCoupled: return QueryCoupled(window, &ios);
+    }
+    return Status::InvalidArgument("unknown latch mode");
+  }();
   ChargeIoLatency(ios);
   lock_manager_.ReleaseAll(ts);
   return result;

@@ -5,7 +5,7 @@
 //   1. acquire the DGL lock set (sorted granules => deadlock-free; the
 //      lock manager's wait-die/timeout is a backstop),
 //   2. run the logical operation under tree latching — RAM-speed
-//      critical sections — in one of two latch modes:
+//      critical sections — in one of three latch modes:
 //        * kGlobal: one tree-wide latch (updates exclusive, queries
 //          shared) — the original pipeline, bit-for-bit,
 //        * kSubtree: bottom-up updates X-latch only their planned leaf /
@@ -13,6 +13,19 @@
 //          try-latch); window queries couple shared latches over level-1
 //          nodes and leaves; anything needing structure modification
 //          escalates to the tree-wide exclusive latch and retries,
+//        * kCoupled: the tree-wide latch is never taken. Leaf-local
+//          updates run exactly as in subtree mode; escalations
+//          (splits, deep ascents, root inserts) decompose into a
+//          latched bottom-up removal plus RTree::InsertCoupled — a
+//          top-down X-latch-coupled descent that releases ancestors as
+//          soon as the child is split-safe; queries couple shared
+//          latches over every level. The only serialization left is the
+//          compound-SMO drain gate (a writer-priority DrainGate all
+//          coupled operations hold shared), taken exclusively for the rare
+//          operations whose write set cannot be latched up front:
+//          underflow condense with re-insertion, TD's top-down
+//          delete+insert, and starved retries. The split/ascent/insert
+//          machinery itself never drains anyone.
 //   3. release the latches, then charge the simulated disk latency for
 //      the page I/Os the operation performed *while still holding the
 //      DGL locks* — so conflicting operations serialize their I/O time
@@ -42,6 +55,7 @@
 #include "cc/dgl.h"
 #include "cc/latch_table.h"
 #include "cc/lock_manager.h"
+#include "common/drain_gate.h"
 #include "update/query_executor.h"
 #include "update/strategy.h"
 
@@ -51,12 +65,13 @@ namespace burtree {
 enum class LatchMode {
   kGlobal,   ///< one tree-wide latch (original behavior)
   kSubtree,  ///< per-subtree page latches with tree-wide escalation
+  kCoupled,  ///< top-down latch-coupled descents; no tree-wide latch
 };
 
 const char* LatchModeName(LatchMode mode);
 
-/// Parses "global" / "subtree" (case-sensitive); returns false and
-/// leaves `out` untouched on anything else.
+/// Parses "global" / "subtree" / "coupled" (case-sensitive); returns
+/// false and leaves `out` untouched on anything else.
 bool ParseLatchMode(const std::string& s, LatchMode* out);
 
 struct ConcurrencyOptions {
@@ -74,12 +89,31 @@ struct ConcurrencyOptions {
   LockManagerOptions lock;
 };
 
-/// Counters of subtree-mode control flow (testing / benches).
+/// Counters of subtree-/coupled-mode control flow (testing / benches).
+/// In coupled mode `escalated_updates`/`escalated_queries` stay 0 by
+/// construction — the tree-wide latch is never taken; the coupling
+/// torture tests assert exactly that.
 struct LatchModeStats {
   uint64_t scoped_updates = 0;     ///< updates completed under page latches
   uint64_t escalated_updates = 0;  ///< updates re-run tree-exclusive
   uint64_t coupled_queries = 0;    ///< queries completed under coupling
   uint64_t escalated_queries = 0;  ///< queries re-run tree-exclusive
+  /// Coupled mode: updates that left the scoped fast path and ran as a
+  /// latched bottom-up removal + latch-coupled insert descent.
+  uint64_t coupled_escalations = 0;
+  /// Coupled mode: inserts completed through RTree::InsertCoupled
+  /// (ConcurrentIndex::Insert plus escalation re-inserts).
+  uint64_t coupled_inserts = 0;
+  /// Coupled mode: operations that fell through to the exclusive
+  /// compound-SMO drain gate (underflow condense, TD updates, starved
+  /// retries). The one remaining serialization point.
+  uint64_t compound_smos = 0;
+  /// Leaf-local plans whose strategy reported the leaf full
+  /// (UpdatePlan::split_safe == false with a fullness bit vector).
+  uint64_t split_unsafe_plans = 0;
+  /// Latch-coupled descent attempts that hit a try-latch collision and
+  /// restarted (updates, inserts, and queries combined).
+  uint64_t descent_restarts = 0;
 };
 
 class ConcurrentIndex {
@@ -91,12 +125,19 @@ class ConcurrentIndex {
   /// Thread-safe update of one object.
   Status Update(ObjectId oid, const Point& from, const Point& to);
 
+  /// Thread-safe insert of a new object (the split-storm workload).
+  /// Global/subtree modes take the tree-wide exclusive latch (an insert
+  /// is a structure modification); coupled mode runs the latch-coupled
+  /// descent and never serializes tree-wide.
+  Status Insert(ObjectId oid, const Point& pos);
+
   /// Thread-safe window query; returns the match count.
   StatusOr<size_t> Query(const Rect& window);
 
   LockManager& lock_manager() { return lock_manager_; }
   const ConcurrencyOptions& options() const { return options_; }
   LatchModeStats latch_stats() const;
+  LatchTableStats latch_table_stats() const { return latch_table_.stats(); }
 
  private:
   uint64_t NextTs() { return ts_.fetch_add(1, std::memory_order_relaxed); }
@@ -104,10 +145,35 @@ class ConcurrentIndex {
 
   Status UpdateGlobal(ObjectId oid, const Point& from, const Point& to,
                       uint64_t* ios);
+  /// Shared leaf-local fast path of the subtree and coupled modes:
+  /// X-latch the plan's pages in sorted order, run UpdateScoped. True
+  /// with `*out` set when the update completed (or failed for real);
+  /// false on LatchContention — nothing mutated, caller escalates.
+  bool TryScopedUpdate(const UpdatePlan& plan, ObjectId oid,
+                       const Point& from, const Point& to, Status* out);
   Status UpdateSubtree(ObjectId oid, const Point& from, const Point& to,
+                       uint64_t* ios);
+  Status UpdateCoupled(ObjectId oid, const Point& from, const Point& to,
                        uint64_t* ios);
   StatusOr<size_t> QueryGlobal(const Rect& window, uint64_t* ios);
   StatusOr<size_t> QuerySubtree(const Rect& window, uint64_t* ios);
+  StatusOr<size_t> QueryCoupled(const Rect& window, uint64_t* ios);
+
+  /// Coupled-mode escalation body: latched bottom-up removal at the
+  /// indexed leaf, then a latch-coupled root insert. Runs under the
+  /// shared drain gate. `*needs_compound` is set when the operation must
+  /// fall through to the exclusive gate: kNone (done — return the
+  /// status), kFullUpdate (nothing mutated yet; re-run the strategy), or
+  /// kInsertOnly (the entry was removed but the coupled re-insert
+  /// starved; re-insert under the gate, losing no object).
+  enum class CompoundNeed { kNone, kFullUpdate, kInsertOnly };
+  Status CoupledEscalatedUpdate(ObjectId oid, const Point& from,
+                                const Point& to, CompoundNeed* needs);
+
+  /// Latch-coupled insert with restart/backoff: retries
+  /// RTree::InsertCoupled until it commits or the attempt budget runs
+  /// out (Status::LatchContention — the caller goes compound).
+  Status InsertCoupledWithRetry(ObjectId oid, const Rect& rect);
 
   IndexSystem* system_;
   UpdateStrategy* strategy_;
@@ -117,14 +183,31 @@ class ConcurrentIndex {
   SpatialGranules granules_;
   /// Tree-wide latch. Global mode: updates exclusive, queries shared.
   /// Subtree mode: leaf-local updates and coupled queries shared (page
-  /// latches underneath), escalated operations exclusive.
+  /// latches underneath), escalated operations exclusive. Untouched in
+  /// coupled mode.
   std::shared_mutex latch_;
+  /// Coupled mode's compound-SMO drain gate: every coupled-mode
+  /// operation holds it shared for its page-latched phase; the rare
+  /// compound operations (underflow condense, TD updates, starved
+  /// retries) take it exclusively, which — because all other traffic is
+  /// inside shared sections — grants them the single-threaded tree the
+  /// stock strategy code assumes. Writer-priority (DrainGate): a plain
+  /// shared_mutex would let a saturated shared stream starve the
+  /// compound operation indefinitely. Lock order: DGL locks -> gate ->
+  /// page latches; the gate is never acquired while holding a page
+  /// latch.
+  DrainGate smo_gate_;
   LatchTable latch_table_;
   std::atomic<uint64_t> ts_{1};
   std::atomic<uint64_t> scoped_updates_{0};
   std::atomic<uint64_t> escalated_updates_{0};
   std::atomic<uint64_t> coupled_queries_{0};
   std::atomic<uint64_t> escalated_queries_{0};
+  std::atomic<uint64_t> coupled_escalations_{0};
+  std::atomic<uint64_t> coupled_inserts_{0};
+  std::atomic<uint64_t> compound_smos_{0};
+  std::atomic<uint64_t> split_unsafe_plans_{0};
+  std::atomic<uint64_t> descent_restarts_{0};
 };
 
 }  // namespace burtree

@@ -49,6 +49,11 @@ Status AcquireUpdateLocks(LockManager* lm, const SpatialGranules& granules,
   return Status::OK();
 }
 
+Status AcquireInsertLocks(LockManager* lm, const SpatialGranules& granules,
+                          uint64_t txn, const Point& pos) {
+  return AcquireUpdateLocks(lm, granules, txn, pos, pos);
+}
+
 Status AcquireQueryLocks(LockManager* lm, const SpatialGranules& granules,
                          uint64_t txn, const Rect& window) {
   BURTREE_RETURN_IF_ERROR(

@@ -40,13 +40,28 @@ class SpatialGranules {
   uint32_t grid_size_;
 };
 
+// Acquisition-order contract (the striped LockManager depends on it):
+// every lock set below is taken in one deterministic global order — the
+// root intention granule first (IS/IX are mutually compatible, so it can
+// never block), then data cells in ascending granule id. With the lock
+// table striped across buckets this is what keeps blocking waits
+// cycle-free: all conflicting waits happen along the ascending cell
+// order regardless of which bucket a cell hashes to.
+
 /// Acquires the DGL lock set for an update of an object moving
 /// `from` -> `to`: IX on the root granule, X on both cells (sorted).
 Status AcquireUpdateLocks(LockManager* lm, const SpatialGranules& granules,
                           uint64_t txn, const Point& from, const Point& to);
 
+/// Acquires the DGL lock set for inserting a brand-new object at `pos`:
+/// IX on the root granule, X on the destination cell — an update whose
+/// source and destination coincide. Phantom protection carries over: a
+/// query holding S on the cell blocks the insert until it finishes.
+Status AcquireInsertLocks(LockManager* lm, const SpatialGranules& granules,
+                          uint64_t txn, const Point& pos);
+
 /// Acquires the DGL lock set for a window query: IS on the root granule,
-/// S on every overlapping cell.
+/// S on every overlapping cell (row-major emission: already ascending).
 Status AcquireQueryLocks(LockManager* lm, const SpatialGranules& granules,
                          uint64_t txn, const Rect& window);
 

@@ -2,17 +2,10 @@
 
 #include <algorithm>
 
+#include "common/bits.h"
 #include "common/logging.h"
 
 namespace burtree {
-
-namespace {
-size_t RoundUpPow2(size_t v) {
-  size_t p = 1;
-  while (p < v) p <<= 1;
-  return p;
-}
-}  // namespace
 
 LatchTable::LatchTable(size_t stripes) {
   const size_t n = RoundUpPow2(std::max<size_t>(1, stripes));
@@ -24,12 +17,24 @@ LatchTable::LatchTable(size_t stripes) {
 }
 
 size_t LatchTable::StripeOf(PageId id) const {
-  // SplitMix64 finalizer: page ids are sequential, so adjacent tree nodes
-  // must not land on adjacent stripes systematically.
-  uint64_t z = static_cast<uint64_t>(id) + 0x9E3779B97F4A7C15ULL;
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-  return static_cast<size_t>((z ^ (z >> 31)) & mask_);
+  // Mix64: page ids are sequential, so adjacent tree nodes must not
+  // land on adjacent stripes systematically.
+  return static_cast<size_t>(Mix64(id) & mask_);
+}
+
+void LatchTable::WaitForStripe(PageId id) {
+  DrainGate& mu = stripe(StripeOf(id));
+  mu.lock();
+  mu.unlock();
+}
+
+LatchTableStats LatchTable::stats() const {
+  LatchTableStats s;
+  s.exclusive_acquires = exclusive_acquires_.load(std::memory_order_relaxed);
+  s.shared_acquires = shared_acquires_.load(std::memory_order_relaxed);
+  s.try_acquires = try_acquires_.load(std::memory_order_relaxed);
+  s.try_failures = try_failures_.load(std::memory_order_relaxed);
+  return s;
 }
 
 PageLatchSet::Held* PageLatchSet::Find(size_t stripe) {
@@ -55,8 +60,20 @@ void PageLatchSet::AcquireExclusive(const std::vector<PageId>& pages) {
   stripes.erase(std::unique(stripes.begin(), stripes.end()), stripes.end());
   for (size_t s : stripes) {
     table_->stripe(s).lock();
+    table_->exclusive_acquires_.fetch_add(1, std::memory_order_relaxed);
     held_.push_back(Held{s, /*exclusive=*/true, 1});
   }
+}
+
+void PageLatchSet::AcquireExclusive(PageId page) {
+  // Blocking single-page acquisition is only safe while holding nothing:
+  // a writer that waits while holding could form a wait cycle with the
+  // sorted up-front acquisitions of other writers.
+  BURTREE_CHECK(held_.empty());
+  const size_t s = table_->StripeOf(page);
+  table_->stripe(s).lock();
+  table_->exclusive_acquires_.fetch_add(1, std::memory_order_relaxed);
+  held_.push_back(Held{s, /*exclusive=*/true, 1});
 }
 
 bool PageLatchSet::Covers(PageId page) const {
@@ -65,13 +82,28 @@ bool PageLatchSet::Covers(PageId page) const {
 
 bool PageLatchSet::TryExtendExclusive(PageId page) {
   const size_t s = table_->StripeOf(page);
+  table_->try_acquires_.fetch_add(1, std::memory_order_relaxed);
   if (Held* h = Find(s)) {
     BURTREE_CHECK(h->exclusive);  // no mode mixing within one set
+    ++h->refs;
     return true;
   }
-  if (!table_->stripe(s).try_lock()) return false;
+  if (!table_->stripe(s).try_lock()) {
+    table_->try_failures_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   held_.push_back(Held{s, /*exclusive=*/true, 1});
   return true;
+}
+
+void PageLatchSet::ReleaseExclusive(PageId page) {
+  const size_t s = table_->StripeOf(page);
+  Held* h = Find(s);
+  BURTREE_CHECK(h != nullptr && h->exclusive && h->refs > 0);
+  if (--h->refs == 0) {
+    table_->stripe(s).unlock();
+    held_.erase(held_.begin() + (h - held_.data()));
+  }
 }
 
 void PageLatchSet::AcquireShared(PageId page) {
@@ -80,17 +112,22 @@ void PageLatchSet::AcquireShared(PageId page) {
   BURTREE_CHECK(held_.empty());
   const size_t s = table_->StripeOf(page);
   table_->stripe(s).lock_shared();
+  table_->shared_acquires_.fetch_add(1, std::memory_order_relaxed);
   held_.push_back(Held{s, /*exclusive=*/false, 1});
 }
 
 bool PageLatchSet::TryAcquireShared(PageId page) {
   const size_t s = table_->StripeOf(page);
+  table_->try_acquires_.fetch_add(1, std::memory_order_relaxed);
   if (Held* h = Find(s)) {
     BURTREE_CHECK(!h->exclusive);
     ++h->refs;
     return true;
   }
-  if (!table_->stripe(s).try_lock_shared()) return false;
+  if (!table_->stripe(s).try_lock_shared()) {
+    table_->try_failures_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   held_.push_back(Held{s, /*exclusive=*/false, 1});
   return true;
 }

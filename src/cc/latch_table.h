@@ -1,10 +1,11 @@
-// Page-latch table for per-subtree concurrency on the Figure-8 path.
+// Page-latch table for per-subtree and latch-coupled concurrency on the
+// Figure-8 path.
 //
 // A LatchTable is a striped pool of reader/writer latches keyed by page
 // id: pages hash onto a fixed power-of-two number of stripes, each owning
-// one std::shared_mutex. Two pages that collide onto a stripe share a
-// latch — safe (strictly more exclusion) and bounded-memory, which is why
-// striped storage beats a true per-page map here.
+// one writer-priority DrainGate. Two pages that collide onto a stripe
+// share a latch — safe (strictly more exclusion) and bounded-memory,
+// which is why striped storage beats a true per-page map here.
 //
 // PageLatchSet is the RAII holder through which every latch is acquired.
 // It enforces the deadlock-freedom protocol of the cc layer (see
@@ -18,7 +19,14 @@
 //   * Any latch needed beyond the declared set (a sibling chosen during
 //     the operation, LBU's parent discovered from the leaf page) must go
 //     through TryExtendExclusive, which never blocks. Failure means the
-//     caller escalates to the tree-wide latch instead of waiting.
+//     caller escalates (subtree mode: to the tree-wide latch; coupled
+//     mode: release everything and restart the descent).
+//   * Exclusive *coupling* (the coupled insert descent) starts with the
+//     single-page AcquireExclusive(page) — blocking, allowed only while
+//     the set holds nothing — and grows strictly by TryExtendExclusive.
+//     ReleaseExclusive(page) drops one hold so the descent can release
+//     split-safe ancestors; exclusive holds are reference-counted because
+//     a parent and child may collide onto one stripe.
 //   * Readers latch-couple: AcquireShared may block only while the set
 //     holds nothing else; every further shared latch must go through
 //     TryAcquireShared (non-blocking). A reader therefore never waits
@@ -29,14 +37,24 @@
 // cycle-free, so the table is deadlock-free by construction.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <vector>
 
+#include "common/drain_gate.h"
 #include "common/types.h"
 
 namespace burtree {
+
+/// Aggregate counters of latch-table traffic (relaxed atomics; exposed
+/// for the benches and the coupling torture tests).
+struct LatchTableStats {
+  uint64_t exclusive_acquires = 0;  ///< blocking X acquisitions (sets+roots)
+  uint64_t shared_acquires = 0;     ///< blocking S acquisitions (roots)
+  uint64_t try_acquires = 0;        ///< try-latch attempts, either mode
+  uint64_t try_failures = 0;        ///< try-latch collisions (restarts)
+};
 
 /// Striped reader/writer latch storage keyed by page id.
 ///
@@ -62,23 +80,42 @@ class LatchTable {
   /// Stripe index serving `id` (exposed for tests and sorted acquisition).
   size_t StripeOf(PageId id) const;
 
-  std::shared_mutex& stripe(size_t s) { return stripes_[s]->mu; }
+  /// Stripes are writer-priority DrainGates, not plain shared_mutexes:
+  /// coupled queries keep hot stripes (the root's above all)
+  /// continuously S-latched, and glibc's reader preference would starve
+  /// the coupled insert's blocking X acquisition on them indefinitely.
+  DrainGate& stripe(size_t s) { return stripes_[s]->mu; }
+
+  /// Blocking acquire+release of `id`'s stripe while holding nothing —
+  /// the coupled descent's "wait for the contended stripe to drain, then
+  /// restart" step. Never deadlocks: the caller holds no latch.
+  void WaitForStripe(PageId id);
+
+  LatchTableStats stats() const;
 
  private:
+  friend class PageLatchSet;
+
   struct Stripe {
-    std::shared_mutex mu;
+    DrainGate mu;
   };
   std::vector<std::unique_ptr<Stripe>> stripes_;
   size_t mask_ = 0;
+
+  std::atomic<uint64_t> exclusive_acquires_{0};
+  std::atomic<uint64_t> shared_acquires_{0};
+  std::atomic<uint64_t> try_acquires_{0};
+  std::atomic<uint64_t> try_failures_{0};
 };
 
 /// RAII owner of a set of latches from one LatchTable. Move-only; the
 /// destructor releases everything still held. One PageLatchSet belongs to
 /// one operation on one thread.
 ///
-/// A set is either a *writer* set (AcquireExclusive / TryExtendExclusive)
-/// or a *reader* set (AcquireShared / TryAcquireShared / ReleaseShared);
-/// mixing modes in one set is a protocol violation and asserts.
+/// A set is either a *writer* set (AcquireExclusive / TryExtendExclusive
+/// / ReleaseExclusive) or a *reader* set (AcquireShared / TryAcquireShared
+/// / ReleaseShared); mixing modes in one set is a protocol violation and
+/// asserts.
 class PageLatchSet {
  public:
   explicit PageLatchSet(LatchTable* table) : table_(table) {}
@@ -92,14 +129,27 @@ class PageLatchSet {
   /// acquisition (asserts if anything is already held).
   void AcquireExclusive(const std::vector<PageId>& pages);
 
+  /// Blocking exclusive acquisition of a single page — the coupled
+  /// descent's root step. Allowed only while the set holds nothing
+  /// (asserts otherwise): a blocking wait with empty hands cannot be an
+  /// interior node of a wait cycle.
+  void AcquireExclusive(PageId page);
+
   /// True when `page`'s stripe is already held by this set (in either
   /// mode) — the page is safe to read/write under the set's protection.
   bool Covers(PageId page) const;
 
   /// Non-blocking exclusive acquisition of one more page. Returns true
-  /// when the stripe is now (or already was) held exclusively. Never
-  /// blocks; a false return means the caller must escalate.
+  /// when the stripe is now (or already was) held exclusively — already
+  /// held bumps the hold's reference count, so coupling release stays
+  /// balanced when parent and child collide onto one stripe. Never
+  /// blocks; a false return means the caller must escalate or restart.
   bool TryExtendExclusive(PageId page);
+
+  /// Drops one exclusive hold on `page`'s stripe (the latch is released
+  /// when the last reference goes) — the coupled descent's release of a
+  /// split-safe ancestor.
+  void ReleaseExclusive(PageId page);
 
   /// Blocking shared acquisition; allowed only while the set holds
   /// nothing (the coupling root). Asserts otherwise.

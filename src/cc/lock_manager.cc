@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/bits.h"
+
 namespace burtree {
 
 bool LockCompatible(LockMode held, LockMode requested) {
@@ -27,7 +29,26 @@ const char* LockModeName(LockMode m) {
 }
 
 LockManager::LockManager(const LockManagerOptions& options)
-    : options_(options) {}
+    : options_(options) {
+  const size_t n = RoundUpPow2(std::max<size_t>(1, options_.buckets));
+  buckets_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    buckets_.push_back(std::make_unique<Bucket>());
+  }
+  bucket_mask_ = n - 1;
+  txn_shards_.reserve(kTxnShards);
+  for (size_t i = 0; i < kTxnShards; ++i) {
+    txn_shards_.push_back(std::make_unique<TxnShard>());
+  }
+}
+
+size_t LockManager::BucketOf(uint64_t granule) const {
+  return static_cast<size_t>(Mix64(granule)) & bucket_mask_;
+}
+
+LockManager::TxnShard& LockManager::ShardOf(uint64_t txn) const {
+  return *txn_shards_[static_cast<size_t>(Mix64(txn)) & (kTxnShards - 1)];
+}
 
 bool LockManager::ModeCovers(LockMode held, LockMode requested) {
   if (held == requested) return true;
@@ -59,93 +80,118 @@ bool LockManager::ConflictsWithOlderLocked(const Granule& g, uint64_t txn,
 }
 
 Status LockManager::Acquire(uint64_t txn, uint64_t granule, LockMode mode) {
-  std::unique_lock lock(mu_);
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::milliseconds(options_.timeout_ms);
-  bool waited = false;
-  while (true) {
-    // The granule entry must be re-fetched after every wait: releases may
-    // erase it (and map growth may rehash) while the mutex is dropped.
-    Granule& g = granules_[granule];
+  Bucket& b = *buckets_[BucketOf(granule)];
+  bool granted = false;
+  bool upgraded = false;
+  {
+    std::unique_lock lock(b.mu);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(options_.timeout_ms);
+    bool waited = false;
+    while (true) {
+      // The granule entry must be re-fetched after every wait: releases
+      // may erase it (and map growth may rehash) while the mutex is
+      // dropped.
+      Granule& g = b.granules[granule];
 
-    // Already holding an equal-or-stronger mode?
-    for (const Holder& h : g.holders) {
-      if (h.txn == txn && ModeCovers(h.mode, mode)) return Status::OK();
-    }
-
-    if (CanGrantLocked(g, txn, mode)) {
-      if (waited) ++stats_.waits;
-      // Upgrade in place when the txn already holds a weaker mode.
-      for (Holder& h : g.holders) {
-        if (h.txn == txn) {
-          h.mode = mode;
-          ++stats_.acquisitions;
-          return Status::OK();
-        }
+      // Already holding an equal-or-stronger mode?
+      for (const Holder& h : g.holders) {
+        if (h.txn == txn && ModeCovers(h.mode, mode)) return Status::OK();
       }
-      g.holders.push_back(Holder{txn, mode});
-      held_by_txn_[txn].push_back(granule);
-      ++stats_.acquisitions;
-      return Status::OK();
-    }
 
-    if (options_.wait_die && ConflictsWithOlderLocked(g, txn, mode)) {
-      ++stats_.aborts;
-      return Status::Aborted("wait-die: younger transaction dies");
-    }
-    waited = true;
-    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
-      ++stats_.timeouts;
-      return Status::Aborted("lock wait timeout");
+      if (CanGrantLocked(g, txn, mode)) {
+        if (waited) ++b.stats.waits;
+        // Upgrade in place when the txn already holds a weaker mode.
+        for (Holder& h : g.holders) {
+          if (h.txn == txn) {
+            h.mode = mode;
+            upgraded = true;
+            break;
+          }
+        }
+        if (!upgraded) g.holders.push_back(Holder{txn, mode});
+        ++b.stats.acquisitions;
+        granted = true;
+        break;
+      }
+
+      if (options_.wait_die && ConflictsWithOlderLocked(g, txn, mode)) {
+        ++b.stats.aborts;
+        return Status::Aborted("wait-die: younger transaction dies");
+      }
+      waited = true;
+      if (b.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+        ++b.stats.timeouts;
+        return Status::Aborted("lock wait timeout");
+      }
     }
   }
+  // Record the hold outside the bucket mutex (the two layers never
+  // nest). A txn's entry is only mutated from its own thread, so the
+  // grant above cannot race its own bookkeeping.
+  if (granted && !upgraded) {
+    TxnShard& shard = ShardOf(txn);
+    std::lock_guard lock(shard.mu);
+    shard.held[txn].push_back(granule);
+  }
+  return Status::OK();
 }
 
-void LockManager::Release(uint64_t txn, uint64_t granule) {
-  std::unique_lock lock(mu_);
-  auto it = granules_.find(granule);
-  if (it == granules_.end()) return;
+void LockManager::ReleaseInBucket(uint64_t txn, uint64_t granule) {
+  Bucket& b = *buckets_[BucketOf(granule)];
+  std::lock_guard lock(b.mu);
+  auto it = b.granules.find(granule);
+  if (it == b.granules.end()) return;
   auto& holders = it->second.holders;
   holders.erase(std::remove_if(holders.begin(), holders.end(),
                                [&](const Holder& h) { return h.txn == txn; }),
                 holders.end());
-  if (holders.empty()) granules_.erase(it);
-  auto ht = held_by_txn_.find(txn);
-  if (ht != held_by_txn_.end()) {
+  if (holders.empty()) b.granules.erase(it);
+  b.cv.notify_all();
+}
+
+void LockManager::Release(uint64_t txn, uint64_t granule) {
+  ReleaseInBucket(txn, granule);
+  TxnShard& shard = ShardOf(txn);
+  std::lock_guard lock(shard.mu);
+  auto ht = shard.held.find(txn);
+  if (ht != shard.held.end()) {
     auto& v = ht->second;
     v.erase(std::remove(v.begin(), v.end(), granule), v.end());
-    if (v.empty()) held_by_txn_.erase(ht);
+    if (v.empty()) shard.held.erase(ht);
   }
-  cv_.notify_all();
 }
 
 void LockManager::ReleaseAll(uint64_t txn) {
-  std::unique_lock lock(mu_);
-  auto ht = held_by_txn_.find(txn);
-  if (ht == held_by_txn_.end()) return;
-  for (uint64_t granule : ht->second) {
-    auto it = granules_.find(granule);
-    if (it == granules_.end()) continue;
-    auto& holders = it->second.holders;
-    holders.erase(
-        std::remove_if(holders.begin(), holders.end(),
-                       [&](const Holder& h) { return h.txn == txn; }),
-        holders.end());
-    if (holders.empty()) granules_.erase(it);
+  std::vector<uint64_t> granules;
+  {
+    TxnShard& shard = ShardOf(txn);
+    std::lock_guard lock(shard.mu);
+    auto ht = shard.held.find(txn);
+    if (ht == shard.held.end()) return;
+    granules = std::move(ht->second);
+    shard.held.erase(ht);
   }
-  held_by_txn_.erase(ht);
-  cv_.notify_all();
+  for (uint64_t granule : granules) ReleaseInBucket(txn, granule);
 }
 
 size_t LockManager::HeldCount(uint64_t txn) const {
-  std::lock_guard lock(mu_);
-  auto it = held_by_txn_.find(txn);
-  return it == held_by_txn_.end() ? 0 : it->second.size();
+  TxnShard& shard = ShardOf(txn);
+  std::lock_guard lock(shard.mu);
+  auto it = shard.held.find(txn);
+  return it == shard.held.end() ? 0 : it->second.size();
 }
 
 LockStats LockManager::stats() const {
-  std::lock_guard lock(mu_);
-  return stats_;
+  LockStats total;
+  for (const auto& b : buckets_) {
+    std::lock_guard lock(b->mu);
+    total.acquisitions += b->stats.acquisitions;
+    total.waits += b->stats.waits;
+    total.aborts += b->stats.aborts;
+    total.timeouts += b->stats.timeouts;
+  }
+  return total;
 }
 
 }  // namespace burtree

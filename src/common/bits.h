@@ -1,0 +1,30 @@
+// Small bit-twiddling helpers shared by the striped containers.
+//
+// Mix64 (the SplitMix64 finalizer) turns dense sequential ids — page
+// ids, grid-cell granules, oids — into well-avalanched hashes so that
+// neighboring ids never land on neighboring stripes/buckets
+// systematically. RoundUpPow2 sizes stripe/bucket arrays so `& (n - 1)`
+// masking works.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace burtree {
+
+/// SplitMix64 finalizer (Steele/Lea/Flood): strong avalanche, cheap.
+inline uint64_t Mix64(uint64_t z) {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Smallest power of two >= max(v, 1).
+inline size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace burtree

@@ -1,0 +1,76 @@
+// Writer-priority reader/writer gate.
+//
+// std::shared_mutex on glibc prefers readers: while readers keep
+// arriving, a writer blocked in lock() can starve *indefinitely* — a
+// livelock the hash-index striping torture test reproduces on one core
+// (six readers probing in a loop keep the directory latch shared
+// forever, so the bucket split never runs and the writers never
+// finish). DrainGate wraps a shared_mutex with a waiter counter:
+// lock() announces itself first, and lock_shared() yields while any
+// writer is waiting, so the in-flight readers drain and the writer gets
+// in within a bounded number of reader sections.
+//
+// Used where a rare exclusive section must drain a stream of shared
+// holders: the linear-hash bucket split (oid_index/hash_index), the
+// coupled latch mode's compound-SMO gate (cc/concurrent_index), and
+// every page-latch stripe (cc/latch_table — coupled queries keep the
+// root stripe continuously S-latched, which would otherwise starve a
+// coupled insert's X acquisition the same way).
+//
+// Deadlock safety: a thread spinning in lock_shared() holds nothing the
+// exclusive section needs (callers acquire this gate before any latch
+// the guarded code uses, never the other way around), so announcing
+// writers always make progress. Meets the BasicLockable /
+// SharedLockable requirements used by std::unique_lock /
+// std::shared_lock construction and explicit unlock().
+#pragma once
+
+#include <atomic>
+#include <shared_mutex>
+#include <thread>
+
+namespace burtree {
+
+class DrainGate {
+ public:
+  DrainGate() = default;
+  DrainGate(const DrainGate&) = delete;
+  DrainGate& operator=(const DrainGate&) = delete;
+
+  void lock() {
+    writers_waiting_.fetch_add(1, std::memory_order_acq_rel);
+    mu_.lock();
+    writers_waiting_.fetch_sub(1, std::memory_order_release);
+  }
+  void unlock() { mu_.unlock(); }
+
+  /// Non-blocking variants for try-latch protocols (the page-latch
+  /// table's coupling steps). try_lock needs no announcement — it never
+  /// waits. try_lock_shared also defers to announced writers: glibc
+  /// would happily grant it while a writer waits, which is exactly the
+  /// admission that starves the writer; failing instead makes the
+  /// try-latching reader release everything and retry, draining the
+  /// stripe.
+  bool try_lock() { return mu_.try_lock(); }
+  bool try_lock_shared() {
+    if (writers_waiting_.load(std::memory_order_acquire) > 0) return false;
+    return mu_.try_lock_shared();
+  }
+
+  void lock_shared() {
+    // Defer to announced writers; a straggler that passes the check
+    // just as a writer announces is fine — the writer only needs the
+    // *current* shared holders to drain, and no new ones pile up.
+    while (writers_waiting_.load(std::memory_order_acquire) > 0) {
+      std::this_thread::yield();
+    }
+    mu_.lock_shared();
+  }
+  void unlock_shared() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+  std::atomic<int> writers_waiting_{0};
+};
+
+}  // namespace burtree

@@ -43,8 +43,10 @@ struct ExperimentConfig {
   /// real pread/pwrite I/O. See docs/STORAGE.md for how to choose.
   StorageOptions storage;
   /// Tree-latch mode for the concurrent (Figure-8) path: kGlobal is one
-  /// tree-wide latch, kSubtree latches per leaf/parent subtree. Ignored
-  /// by the single-threaded pipeline; RunThroughput copies it into the
+  /// tree-wide latch, kSubtree latches per leaf/parent subtree with
+  /// tree-wide escalation, kCoupled replaces escalation with top-down
+  /// latch-coupled descents (no tree-wide latch at all). Ignored by the
+  /// single-threaded pipeline; RunThroughput copies it into the
   /// ConcurrencyOptions it builds the ConcurrentIndex with.
   LatchMode latch_mode = LatchMode::kGlobal;
   size_t page_size = 1024;
@@ -112,7 +114,7 @@ struct ThroughputResult {
   uint64_t total_ops = 0;
   double elapsed_s = 0.0;
   LockStats lock_stats;
-  LatchModeStats latch_stats;  ///< subtree-mode escalation counters
+  LatchModeStats latch_stats;  ///< subtree/coupled-mode escalation counters
 };
 
 /// Figure-8 style run: N threads over a DGL-locked ConcurrentIndex with

@@ -1,7 +1,9 @@
 #include "oid_index/hash_index.h"
 
+#include <algorithm>
 #include <cstring>
 
+#include "common/bits.h"
 #include "common/logging.h"
 
 namespace burtree {
@@ -31,6 +33,13 @@ HashIndex::HashIndex(const HashIndexOptions& options)
       pool_(file_.get(), options.buffer_pages, options.buffer_shards) {
   BURTREE_CHECK((options_.initial_buckets &
                  (options_.initial_buckets - 1)) == 0);
+  const size_t stripes =
+      RoundUpPow2(std::max<size_t>(1, options_.lock_stripes));
+  stripe_mus_.reserve(stripes);
+  for (size_t i = 0; i < stripes; ++i) {
+    stripe_mus_.push_back(std::make_unique<std::mutex>());
+  }
+  stripe_mask_ = stripes - 1;
   base_buckets_ = options_.initial_buckets;
   buckets_.reserve(base_buckets_);
   for (uint32_t i = 0; i < base_buckets_; ++i) {
@@ -45,11 +54,8 @@ HashIndex::HashIndex(const HashIndexOptions& options)
 HashIndex::~HashIndex() = default;
 
 uint64_t HashIndex::HashOid(ObjectId oid) {
-  // SplitMix64 finalizer: strong avalanche for sequential oids.
-  uint64_t z = oid + 0x9E3779B97F4A7C15ULL;
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-  return z ^ (z >> 31);
+  // Mix64: strong avalanche for sequential oids.
+  return Mix64(oid);
 }
 
 uint32_t HashIndex::BucketFor(uint64_t h) const {
@@ -60,15 +66,22 @@ uint32_t HashIndex::BucketFor(uint64_t h) const {
   return idx;
 }
 
+double HashIndex::LoadFactor() const {
+  return static_cast<double>(entries_.load(std::memory_order_relaxed)) /
+         (static_cast<double>(buckets_.size()) * BucketCapacity());
+}
+
 StatusOr<PageId> HashIndex::Lookup(ObjectId oid) {
-  std::lock_guard lock(mu_);
+  std::shared_lock<DrainGate> dir(dir_mu_);
   if (options_.charge_unit_read) {
     // Cost-model charge: one disk access per secondary-index probe, even
     // when the table is memory-resident (see HashIndexOptions).
     file_->io_stats().RecordRead();
     PageStore::AddThreadIo(1);
   }
-  PageId page = buckets_[BucketFor(HashOid(oid))];
+  const uint32_t idx = BucketFor(HashOid(oid));
+  std::lock_guard chain(StripeFor(idx));
+  PageId page = buckets_[idx];
   while (page != kInvalidPageId) {
     PageGuard g = PageGuard::Fetch(&pool_, page);
     const uint8_t* d = g.data();
@@ -83,27 +96,38 @@ StatusOr<PageId> HashIndex::Lookup(ObjectId oid) {
 }
 
 size_t HashIndex::size() const {
-  std::lock_guard lock(mu_);
-  return entries_;
+  return entries_.load(std::memory_order_relaxed);
 }
 
 uint32_t HashIndex::bucket_count() const {
-  std::lock_guard lock(mu_);
+  std::shared_lock<DrainGate> dir(dir_mu_);
   return static_cast<uint32_t>(buckets_.size());
 }
 
 void HashIndex::OnLeafEntryAdded(ObjectId oid, PageId leaf) {
-  std::lock_guard lock(mu_);
-  UpsertLocked(oid, leaf);
+  bool want_split = false;
+  {
+    std::shared_lock<DrainGate> dir(dir_mu_);
+    const uint32_t idx = BucketFor(HashOid(oid));
+    std::lock_guard chain(StripeFor(idx));
+    want_split = UpsertChain(idx, oid, leaf);
+  }
+  // Splits run under the exclusive directory latch, which cannot be
+  // upgraded to — so re-enter after dropping the shared hold. Rare and
+  // amortized; a racing competitor splitting first is fine (MaybeSplit
+  // re-checks the load factor under the exclusive latch).
+  if (want_split) MaybeSplit();
 }
 
 void HashIndex::OnLeafEntryRemoved(ObjectId oid, PageId leaf) {
-  std::lock_guard lock(mu_);
-  RemoveLocked(oid, leaf);
+  std::shared_lock<DrainGate> dir(dir_mu_);
+  const uint32_t idx = BucketFor(HashOid(oid));
+  std::lock_guard chain(StripeFor(idx));
+  RemoveChain(idx, oid, leaf);
 }
 
-void HashIndex::UpsertLocked(ObjectId oid, PageId leaf) {
-  const PageId head = buckets_[BucketFor(HashOid(oid))];
+bool HashIndex::UpsertChain(uint32_t idx, ObjectId oid, PageId leaf) {
+  const PageId head = buckets_[idx];
 
   // Pass 1: update in place when the oid is already mapped.
   PageId page = head;
@@ -116,23 +140,19 @@ void HashIndex::UpsertLocked(ObjectId oid, PageId leaf) {
       if (LoadU64(e) == oid) {
         StoreU32(e + 8, leaf);
         g.MarkDirty();
-        return;
+        return false;
       }
     }
     page = LoadU32(d + 4);
   }
 
   AppendToChainLocked(head, oid, leaf);
-  ++entries_;
-
-  const double load = static_cast<double>(entries_) /
-                      (static_cast<double>(buckets_.size()) *
-                       BucketCapacity());
-  if (load > options_.max_load_factor) SplitOneBucketLocked();
+  entries_.fetch_add(1, std::memory_order_relaxed);
+  return LoadFactor() > options_.max_load_factor;
 }
 
-void HashIndex::RemoveLocked(ObjectId oid, PageId leaf) {
-  PageId page = buckets_[BucketFor(HashOid(oid))];
+void HashIndex::RemoveChain(uint32_t idx, ObjectId oid, PageId leaf) {
+  PageId page = buckets_[idx];
   while (page != kInvalidPageId) {
     PageGuard g = PageGuard::Fetch(&pool_, page);
     uint8_t* d = g.data();
@@ -147,7 +167,7 @@ void HashIndex::RemoveLocked(ObjectId oid, PageId leaf) {
         }
         StoreU32(d, last);
         g.MarkDirty();
-        --entries_;
+        entries_.fetch_sub(1, std::memory_order_relaxed);
         return;
       }
     }
@@ -216,6 +236,13 @@ void HashIndex::DrainChainLocked(
     first = false;
     page = next;
   }
+}
+
+void HashIndex::MaybeSplit() {
+  std::unique_lock<DrainGate> dir(dir_mu_);
+  // The exclusive directory latch excludes every chain operation (they
+  // all hold it shared), so the split may touch any chain freely.
+  while (LoadFactor() > options_.max_load_factor) SplitOneBucketLocked();
 }
 
 void HashIndex::SplitOneBucketLocked() {

@@ -6,15 +6,34 @@
 // Bucket page layout:
 //   u32 count | u32 overflow_page (kInvalidPageId = none) |
 //   entries { u64 oid; u32 leaf } * capacity
+//
+// Concurrency: the old single global mutex serialized every probe once
+// the tree latch stopped being the bottleneck (coupled latch mode). The
+// table is now guarded by two layers:
+//   * a directory latch (a writer-priority DrainGate — a plain
+//     shared_mutex lets glibc's reader preference starve the split
+//     forever under a continuous probe stream) over the linear-hashing
+//     address state (bucket vector, base_buckets_, split pointer) —
+//     held shared by every chain operation so addresses cannot move
+//     under it, exclusive only while a bucket splits;
+//   * a fixed power-of-two array of chain mutexes ("sharded bucket mutex
+//     array"); a chain operation locks stripe[bucket & mask], so probes
+//     of different buckets run in parallel.
+// Lock order is directory -> stripe; splits take only the exclusive
+// directory latch (which excludes all stripe holders), so the pair can
+// never deadlock. The entry count is a relaxed atomic.
 #pragma once
 
+#include <atomic>
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <vector>
 
 #include "buffer/buffer_pool.h"
 #include "buffer/page_guard.h"
+#include "common/drain_gate.h"
 #include "oid_index/oid_index.h"
 
 namespace burtree {
@@ -36,6 +55,9 @@ struct HashIndexOptions {
   double max_load_factor = 0.75;
   /// Initial number of primary buckets (power of two).
   uint32_t initial_buckets = 8;
+  /// Chain-mutex stripes (rounded up to a power of two). Buckets map to
+  /// stripes by index, so probes of different buckets run concurrently.
+  size_t lock_stripes = 64;
 
   /// The configuration the experiments use, mirroring the paper: the
   /// table itself is memory-resident (1M objects need ~12 MB, trivially
@@ -69,6 +91,8 @@ class HashIndex final : public OidIndex {
   uint32_t bucket_count() const;
   /// Total pages including overflow pages.
   size_t page_count() const { return file_->live_pages(); }
+  /// Chain-mutex stripes (testing).
+  size_t lock_stripe_count() const { return stripe_mask_ + 1; }
 
  private:
   static constexpr size_t kHeaderSize = 8;
@@ -80,29 +104,50 @@ class HashIndex final : public OidIndex {
   }
   static uint64_t HashOid(ObjectId oid);
   /// Maps a hash to a primary-bucket index under the current level/split
-  /// pointer (classic linear hashing address computation).
+  /// pointer (classic linear hashing address computation). Requires the
+  /// directory latch (either mode).
   uint32_t BucketFor(uint64_t h) const;
 
-  /// Inserts or updates (oid -> leaf) in the bucket chain.
-  void UpsertLocked(ObjectId oid, PageId leaf);
-  /// Removes oid if present *and* mapped to `leaf`.
-  void RemoveLocked(ObjectId oid, PageId leaf);
+  /// Current load factor. Requires the directory latch (either mode).
+  double LoadFactor() const;
+  /// Splits buckets (exclusive directory latch inside) until the load
+  /// factor is back under the threshold.
+  void MaybeSplit();
+
+  /// Inserts or updates (oid -> leaf) in bucket `idx`'s chain. Requires
+  /// shared directory + the bucket's stripe mutex. Returns true when the
+  /// post-insert load factor calls for a split.
+  bool UpsertChain(uint32_t idx, ObjectId oid, PageId leaf);
+  /// Removes oid from bucket `idx`'s chain if present *and* mapped to
+  /// `leaf`. Same latching as UpsertChain.
+  void RemoveChain(uint32_t idx, ObjectId oid, PageId leaf);
   /// Splits the bucket at the split pointer, redistributing its chain.
+  /// Requires the exclusive directory latch.
   void SplitOneBucketLocked();
   /// Collects every entry of a bucket chain and frees overflow pages.
+  /// Requires exclusive access to the chain (split path).
   void DrainChainLocked(PageId head,
                         std::vector<std::pair<ObjectId, PageId>>* out);
   /// Appends an entry to a chain, adding overflow pages as needed.
+  /// Requires exclusive access to the chain (stripe mutex or split).
   void AppendToChainLocked(PageId head, ObjectId oid, PageId leaf);
+
+  std::mutex& StripeFor(uint32_t bucket_idx) const {
+    return *stripe_mus_[bucket_idx & stripe_mask_];
+  }
 
   HashIndexOptions options_;
   std::unique_ptr<PageStore> file_;
   BufferPool pool_;
-  mutable std::mutex mu_;
+  /// Directory latch: linear-hashing address state (see file comment).
+  mutable DrainGate dir_mu_;
+  /// Chain mutexes, keyed by primary-bucket index & stripe_mask_.
+  mutable std::vector<std::unique_ptr<std::mutex>> stripe_mus_;
+  size_t stripe_mask_ = 0;
   std::vector<PageId> buckets_;  // in-memory directory of primary buckets
   uint32_t base_buckets_;        // N: buckets at level start (power of 2)
   uint32_t split_next_ = 0;      // next bucket to split
-  size_t entries_ = 0;
+  std::atomic<size_t> entries_{0};
 };
 
 }  // namespace burtree

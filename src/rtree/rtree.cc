@@ -16,6 +16,30 @@ TreeObserver* NoopObserver() {
   static TreeObserver noop;
   return &noop;
 }
+
+/// Per-thread context of an in-flight coupled insert. While set, the
+/// split machinery consumes pre-allocated (and pre-latched) page ids
+/// instead of allocating, skips forced re-insertion, and leaves the
+/// shared forced-reinsert bookkeeping untouched — the three things that
+/// would otherwise race or escape the latched path.
+struct CoupledInsertCtx {
+  const std::vector<PageId>* prealloc = nullptr;
+  size_t next = 0;
+};
+thread_local CoupledInsertCtx* t_coupled_ctx = nullptr;
+
+/// New node page: pre-reserved id under a coupled insert (stripe already
+/// latched by the descent), fresh allocation otherwise.
+PageGuard AllocNodePage(BufferPool* pool) {
+  if (t_coupled_ctx != nullptr) {
+    BURTREE_CHECK(t_coupled_ctx->next < t_coupled_ctx->prealloc->size());
+    PageGuard g = PageGuard::Fetch(
+        pool, (*t_coupled_ctx->prealloc)[t_coupled_ctx->next++]);
+    g.MarkDirty();
+    return g;
+  }
+  return PageGuard::New(pool);
+}
 }  // namespace
 
 RTree::RTree(BufferPool* pool, const TreeOptions& options)
@@ -41,7 +65,7 @@ uint32_t RTree::MinFill(bool leaf) const {
 }
 
 Rect RTree::ReadRootMbr() {
-  PageGuard g = PageGuard::Fetch(pool_, root_);
+  PageGuard g = PageGuard::Fetch(pool_, root());
   return View(g).mbr();
 }
 
@@ -96,30 +120,32 @@ Status RTree::DescendChooseSubtree(std::vector<PageId>* path,
 }
 
 Status RTree::Insert(ObjectId oid, const Rect& rect) {
-  std::vector<PageId> path{root_};
+  std::vector<PageId> path{root()};
   BURTREE_RETURN_IF_ERROR(DescendChooseSubtree(&path, rect, /*target=*/0));
   BURTREE_RETURN_IF_ERROR(InsertEntryAlongPath(path, rect, oid));
-  ++stats_.inserts;
+  stats_.inserts.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 Status RTree::InsertDescendingFrom(std::vector<PageId> path_from_root,
                                    ObjectId oid, const Rect& rect) {
   BURTREE_CHECK(!path_from_root.empty());
-  BURTREE_DCHECK(path_from_root.front() == root_);
+  BURTREE_DCHECK(path_from_root.front() == root());
   BURTREE_RETURN_IF_ERROR(
       DescendChooseSubtree(&path_from_root, rect, /*target=*/0));
   BURTREE_RETURN_IF_ERROR(InsertEntryAlongPath(path_from_root, rect, oid));
-  ++stats_.inserts;
+  stats_.inserts.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 namespace {
 /// Clears the per-operation forced-reinsert level flags when the
-/// outermost InsertEntryAlongPath call unwinds.
+/// outermost InsertEntryAlongPath call unwinds. Inactive (touching
+/// nothing) under a coupled insert: that path never force-reinserts, and
+/// the flags are shared state only the serialized paths may mutate.
 struct InsertOpScope {
-  InsertOpScope(bool* flag, std::vector<bool>* levels)
-      : flag_(flag), levels_(levels), top_(!*flag) {
+  InsertOpScope(bool active, bool* flag, std::vector<bool>* levels)
+      : flag_(flag), levels_(levels), top_(active && !*flag) {
     if (top_) {
       *flag_ = true;
       levels_->assign(levels_->size(), false);
@@ -136,7 +162,8 @@ struct InsertOpScope {
 
 Status RTree::InsertEntryAlongPath(const std::vector<PageId>& path,
                                    const Rect& rect, uint64_t payload) {
-  InsertOpScope op_scope(&in_insert_op_, &levels_reinserted_);
+  InsertOpScope op_scope(t_coupled_ctx == nullptr, &in_insert_op_,
+                         &levels_reinserted_);
   std::optional<PendingSplit> pending;
   Rect cur_rect = rect;
   uint64_t cur_payload = payload;
@@ -188,11 +215,14 @@ Status RTree::InsertEntryAlongPath(const std::vector<PageId>& path,
     }
 
     // Overflow. R*-style forced re-insertion takes precedence over a
-    // split, once per level per operation, never at the root.
+    // split, once per level per operation, never at the root — and never
+    // under a coupled insert, whose latch set covers only the retained
+    // path plus reserved split pages (re-insertion re-enters from the
+    // root and re-tightens released ancestors).
     const Level lvl = v.level();
-    if (options_.forced_reinsert && i > 0) {
+    if (options_.forced_reinsert && i > 0 && t_coupled_ctx == nullptr) {
       if (lvl >= levels_reinserted_.size()) {
-        levels_reinserted_.resize(root_level_ + 1, false);
+        levels_reinserted_.resize(root_level() + 1, false);
       }
       if (lvl < levels_reinserted_.size() && !levels_reinserted_[lvl]) {
         levels_reinserted_[lvl] = true;
@@ -205,7 +235,7 @@ Status RTree::InsertEntryAlongPath(const std::vector<PageId>& path,
   // The split propagated past the top of the supplied path; that can only
   // be the root.
   BURTREE_CHECK(pending.has_value());
-  BURTREE_CHECK(path.front() == root_);
+  BURTREE_CHECK(path.front() == root());
   GrowRoot(pending->original_mbr, pending->promoted);
   return Status::OK();
 }
@@ -234,7 +264,7 @@ RTree::PendingSplit RTree::SplitNode(PageGuard& node_guard,
 
   const SplitResult sr = SplitEntries(all, MinFill(leaf), options_.split);
 
-  PageGuard new_guard = PageGuard::New(pool_);
+  PageGuard new_guard = AllocNodePage(pool_);
   NodeView nv = View(new_guard);
   nv.Format(level);
   const PageId new_id = new_guard.id();
@@ -281,7 +311,7 @@ RTree::PendingSplit RTree::SplitNode(PageGuard& node_guard,
     }
     NotifyLeafOccupancy(node_id, v);
     NotifyLeafOccupancy(new_id, nv);
-    ++stats_.leaf_splits;
+    stats_.leaf_splits.fetch_add(1, std::memory_order_relaxed);
   } else {
     for (uint32_t idx : sr.group_b) {
       const PageId child = static_cast<PageId>(all[idx].payload);
@@ -294,7 +324,7 @@ RTree::PendingSplit RTree::SplitNode(PageGuard& node_guard,
       observer_->OnChildLinked(node_id, child);
       SetParentPointer(child, node_id);
     }
-    ++stats_.internal_splits;
+    stats_.internal_splits.fetch_add(1, std::memory_order_relaxed);
   }
   observer_->OnNodeMbrChanged(node_id, level, mbr_a);
   observer_->OnNodeMbrChanged(new_id, level, mbr_b);
@@ -396,37 +426,40 @@ Status RTree::ForcedReinsertOverflow(const std::vector<PageId>& path, int i,
   // The level flag set by the caller turns any further overflow at this
   // level into a split, so the recursion terminates.
   for (const SplitEntry& e : removed) {
-    std::vector<PageId> p{root_};
+    std::vector<PageId> p{root()};
     BURTREE_RETURN_IF_ERROR(DescendChooseSubtree(&p, e.rect, level));
     BURTREE_RETURN_IF_ERROR(InsertEntryAlongPath(p, e.rect, e.payload));
-    ++stats_.forced_reinserts;
+    stats_.forced_reinserts.fetch_add(1, std::memory_order_relaxed);
   }
   return Status::OK();
 }
 
 void RTree::GrowRoot(const Rect& old_root_mbr,
                      const InternalEntry& promoted) {
-  PageGuard g = PageGuard::New(pool_);
+  const PageId old_root = root();
+  PageGuard g = AllocNodePage(pool_);
   NodeView v = View(g);
-  const Level new_level = root_level_ + 1;
+  const Level new_level = root_level() + 1;
   v.Format(new_level);
-  v.AppendInternalEntry(InternalEntry{old_root_mbr, root_});
+  v.AppendInternalEntry(InternalEntry{old_root_mbr, old_root});
   v.AppendInternalEntry(promoted);
   const Rect cover = old_root_mbr.UnionWith(promoted.rect);
   v.set_mbr(cover);
 
   const PageId new_root = g.id();
   observer_->OnNodeCreated(new_root, new_level);
-  observer_->OnChildLinked(new_root, root_);
+  observer_->OnChildLinked(new_root, old_root);
   observer_->OnChildLinked(new_root, promoted.child);
   observer_->OnNodeMbrChanged(new_root, new_level, cover);
-  SetParentPointer(root_, new_root);
+  SetParentPointer(old_root, new_root);
   SetParentPointer(promoted.child, new_root);
 
-  root_ = new_root;
-  root_level_ = new_level;
-  ++stats_.root_grows;
-  observer_->OnRootChanged(root_, root_level_);
+  // Publish the new root last: concurrent coupled descents that latched
+  // the old root re-check root() after latching and restart on mismatch.
+  root_.store(new_root, std::memory_order_relaxed);
+  root_level_.store(new_level, std::memory_order_relaxed);
+  stats_.root_grows.fetch_add(1, std::memory_order_relaxed);
+  observer_->OnRootChanged(new_root, new_level);
 }
 
 void RTree::AdjustAncestors(const std::vector<PageId>& path, int upto,
@@ -474,7 +507,7 @@ StatusOr<std::vector<PageId>> RTree::FindLeafPath(ObjectId oid,
   // Iterative DFS with explicit backtracking: overlap may force multiple
   // partial root-to-leaf probes, exactly the top-down cost the paper
   // describes.
-  std::vector<PageId> path{root_};
+  std::vector<PageId> path{root()};
   std::vector<uint32_t> cursor{0};
 
   while (!path.empty()) {
@@ -530,7 +563,7 @@ Status RTree::DeleteAtLeaf(const std::vector<PageId>& path_from_root,
     NotifyLeafOccupancy(leaf, v);
   }
   BURTREE_RETURN_IF_ERROR(CondenseTree(path_from_root));
-  ++stats_.deletes;
+  stats_.deletes.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -595,7 +628,7 @@ Status RTree::CondenseTree(const std::vector<PageId>& path) {
       observer_->OnNodeFreed(node_id, v.level());
       g.Release();
       BURTREE_RETURN_IF_ERROR(pool_->DeletePage(node_id));
-      ++stats_.underflow_condenses;
+      stats_.underflow_condenses.fetch_add(1, std::memory_order_relaxed);
     } else {
       // Keep the node; tighten its covering rect and the parent's routing
       // entry (top-down deletes re-tighten; deliberate bottom-up looseness
@@ -620,54 +653,54 @@ Status RTree::CondenseTree(const std::vector<PageId>& path) {
 
   // Tighten the root's own cover.
   {
-    PageGuard g = PageGuard::Fetch(pool_, root_);
+    PageGuard g = PageGuard::Fetch(pool_, root());
     NodeView v = View(g);
     const Rect tight = v.ComputeMbr();
     if (!(tight == v.mbr())) {
       v.set_mbr(tight);
       g.MarkDirty();
-      observer_->OnNodeMbrChanged(root_, v.level(), tight);
+      observer_->OnNodeMbrChanged(root(), v.level(), tight);
     }
   }
 
   // Shrink the root while it is an internal node with a single child.
   while (true) {
-    PageGuard g = PageGuard::Fetch(pool_, root_);
+    PageGuard g = PageGuard::Fetch(pool_, root());
     NodeView v = View(g);
     if (v.is_leaf() || v.count() != 1) break;
     const PageId child = v.internal_entry(0).child;
-    const PageId old_root = root_;
-    const Level old_level = root_level_;
+    const PageId old_root = root();
+    const Level old_level = root_level();
     g.Release();
     observer_->OnChildUnlinked(old_root, child);
     observer_->OnNodeFreed(old_root, old_level);
     BURTREE_RETURN_IF_ERROR(pool_->DeletePage(old_root));
-    root_ = child;
-    root_level_ = old_level - 1;
+    root_.store(child, std::memory_order_relaxed);
+    root_level_.store(old_level - 1, std::memory_order_relaxed);
     SetParentPointer(child, kInvalidPageId);
-    ++stats_.root_shrinks;
-    observer_->OnRootChanged(root_, root_level_);
+    stats_.root_shrinks.fetch_add(1, std::memory_order_relaxed);
+    observer_->OnRootChanged(root(), root_level());
   }
 
   // Re-insert orphaned entries at their original levels.
   for (const Orphan& o : orphans) {
     for (const SplitEntry& e : o.entries) {
       if (o.node_level == 0) {
-        std::vector<PageId> p{root_};
+        std::vector<PageId> p{root()};
         BURTREE_RETURN_IF_ERROR(DescendChooseSubtree(&p, e.rect, 0));
         BURTREE_RETURN_IF_ERROR(InsertEntryAlongPath(p, e.rect, e.payload));
-        ++stats_.reinserted_entries;
-      } else if (root_level_ < o.node_level) {
+        stats_.reinserted_entries.fetch_add(1, std::memory_order_relaxed);
+      } else if (root_level() < o.node_level) {
         // The tree shrank below the orphan's home level: dismantle the
         // orphaned subtree into data entries.
         BURTREE_RETURN_IF_ERROR(DismantleAndReinsert(
             static_cast<PageId>(e.payload), o.node_level - 1));
       } else {
-        std::vector<PageId> p{root_};
+        std::vector<PageId> p{root()};
         BURTREE_RETURN_IF_ERROR(
             DescendChooseSubtree(&p, e.rect, o.node_level));
         BURTREE_RETURN_IF_ERROR(InsertEntryAlongPath(p, e.rect, e.payload));
-        ++stats_.reinserted_entries;
+        stats_.reinserted_entries.fetch_add(1, std::memory_order_relaxed);
       }
     }
   }
@@ -701,10 +734,10 @@ Status RTree::DismantleAndReinsert(PageId subtree, Level subtree_level) {
     BURTREE_RETURN_IF_ERROR(pool_->DeletePage(page));
   }
   for (const LeafEntry& e : data) {
-    std::vector<PageId> p{root_};
+    std::vector<PageId> p{root()};
     BURTREE_RETURN_IF_ERROR(DescendChooseSubtree(&p, e.rect, 0));
     BURTREE_RETURN_IF_ERROR(InsertEntryAlongPath(p, e.rect, e.oid));
-    ++stats_.reinserted_entries;
+    stats_.reinserted_entries.fetch_add(1, std::memory_order_relaxed);
   }
   return Status::OK();
 }
@@ -724,7 +757,7 @@ StatusOr<std::vector<RTree::Neighbor>> RTree::NearestNeighbors(
   };
   std::priority_queue<NodeRef, std::vector<NodeRef>, std::greater<>>
       frontier;
-  frontier.push(NodeRef{0.0, root_});
+  frontier.push(NodeRef{0.0, root()});
 
   // Max-heap of the current best k, keyed by distance.
   auto worse = [](const Neighbor& a, const Neighbor& b) {
@@ -770,7 +803,7 @@ StatusOr<std::vector<RTree::Neighbor>> RTree::NearestNeighbors(
 }
 
 Status RTree::Query(const Rect& window, const QueryCallback& cb) {
-  std::vector<PageId> stack{root_};
+  std::vector<PageId> stack{root()};
   while (!stack.empty()) {
     const PageId page = stack.back();
     stack.pop_back();
@@ -844,6 +877,191 @@ Status RTree::QuerySubtreeCoupled(PageId page, const Rect& window,
   return Status::LatchContention("query subtree starved");
 }
 
+// ---------------------------------------------------------------------------
+// Coupled latch mode (no tree-wide latch at all)
+// ---------------------------------------------------------------------------
+
+Status RTree::InsertCoupled(ObjectId oid, const Rect& rect,
+                            ExclusiveLatchHooks* hooks) {
+  BURTREE_CHECK(hooks != nullptr);
+  BURTREE_CHECK(t_coupled_ctx == nullptr);  // no nesting
+
+  // Root step: the only blocking acquisition, issued while holding
+  // nothing, then validated — a concurrent grow may have published a new
+  // root between the load and the latch.
+  const PageId r = root();
+  hooks->AcquireExclusive(r);
+  if (root() != r) {
+    hooks->ReleaseExclusive(r);
+    return Status::LatchContention("root changed during latch");
+  }
+
+  // Descend, X-latch-coupling. A freshly latched child is *split-safe*
+  // when it has a free slot AND its routing entry already contains the
+  // new rect: no promoted entry and no MBR growth can then propagate
+  // above it, so every retained ancestor is released. Each node is
+  // fetched exactly once; fullness is remembered for the reservation.
+  struct Retained {
+    PageId page;
+    bool full;
+    bool leaf;
+  };
+  std::vector<Retained> retained;
+  {
+    PageId cur = r;
+    PageGuard g = PageGuard::Fetch(pool_, cur);
+    NodeView v = View(g);
+    while (true) {
+      retained.push_back(Retained{cur, v.full(), v.is_leaf()});
+      if (v.is_leaf()) break;
+      BURTREE_CHECK(v.count() > 0);  // internal nodes are never empty
+      // Guttman ChooseLeaf: least enlargement, ties by smaller area.
+      uint32_t best = 0;
+      double best_enl = std::numeric_limits<double>::infinity();
+      double best_area = std::numeric_limits<double>::infinity();
+      for (uint32_t i = 0; i < v.count(); ++i) {
+        const Rect er = v.entry_rect(i);
+        const double enl = er.Enlargement(rect);
+        const double area = er.Area();
+        if (enl < best_enl || (enl == best_enl && area < best_area)) {
+          best_enl = enl;
+          best_area = area;
+          best = i;
+        }
+      }
+      const InternalEntry chosen = v.internal_entry(best);
+      g.Release();
+      if (!hooks->TryAcquireExclusive(chosen.child)) {
+        return Status::LatchContention("descent latch contended");
+      }
+      g = PageGuard::Fetch(pool_, chosen.child);
+      v = View(g);
+      if (!v.full() && chosen.rect.Contains(rect)) {
+        for (const Retained& a : retained) hooks->ReleaseExclusive(a.page);
+        retained.clear();
+      }
+      cur = chosen.child;
+    }
+  }
+
+  // Reservation, still pre-mutation: the maximal suffix of full retained
+  // nodes is exactly the split chain (the leaf overflows, each full
+  // ancestor absorbs a promoted entry by splitting in turn). Allocate
+  // one sibling per splitting node — plus a fresh root when the chain
+  // consumes the whole path, which can only happen at the real root: a
+  // non-root retained top was latched under the split-safe release rule
+  // and is therefore not full. Every reserved page is try-latched so the
+  // mutation below never needs a latch it does not already hold.
+  size_t first_split = retained.size();
+  while (first_split > 0 && retained[first_split - 1].full) --first_split;
+  const bool grows_root = first_split == 0;
+  if (grows_root) BURTREE_CHECK(retained.front().page == r && r == root());
+
+  std::vector<PageId> prealloc;
+  auto abort_reservation = [&](const char* what) {
+    for (PageId p : prealloc) BURTREE_CHECK(pool_->DeletePage(p).ok());
+    return Status::LatchContention(what);
+  };
+  for (size_t i = retained.size(); i-- > first_split;) {
+    PageId sibling;
+    {
+      PageGuard ng = PageGuard::New(pool_);
+      sibling = ng.id();
+    }
+    if (!hooks->TryAcquireExclusive(sibling)) {
+      BURTREE_CHECK(pool_->DeletePage(sibling).ok());
+      return abort_reservation("sibling stripe contended");
+    }
+    prealloc.push_back(sibling);
+    if (!retained[i].leaf && options_.parent_pointers) {
+      // The split rewrites the parent pointer of every child that moves
+      // to the sibling; which half moves is the split algorithm's choice,
+      // so reserve all of them.
+      PageGuard pg = PageGuard::Fetch(pool_, retained[i].page);
+      NodeView pv = View(pg);
+      for (uint32_t k = 0; k < pv.count(); ++k) {
+        if (!hooks->TryAcquireExclusive(pv.internal_entry(k).child)) {
+          return abort_reservation("child reparent stripe contended");
+        }
+      }
+    }
+  }
+  if (grows_root) {
+    PageId new_root;
+    {
+      PageGuard ng = PageGuard::New(pool_);
+      new_root = ng.id();
+    }
+    if (!hooks->TryAcquireExclusive(new_root)) {
+      BURTREE_CHECK(pool_->DeletePage(new_root).ok());
+      return abort_reservation("new-root stripe contended");
+    }
+    prealloc.push_back(new_root);
+  }
+
+  // Mutation: the stock insert machinery over the retained path. Every
+  // page it touches — the path, the reserved siblings (consumed by
+  // SplitNode / GrowRoot through the thread-local context), reparented
+  // children — is latched; no further acquisition can happen.
+  std::vector<PageId> path;
+  path.reserve(retained.size());
+  for (const Retained& a : retained) path.push_back(a.page);
+  CoupledInsertCtx ctx{&prealloc, 0};
+  t_coupled_ctx = &ctx;
+  Status st = InsertEntryAlongPath(path, rect, oid);
+  t_coupled_ctx = nullptr;
+  BURTREE_CHECK(!st.ok() || ctx.next == prealloc.size());
+  if (st.ok()) stats_.inserts.fetch_add(1, std::memory_order_relaxed);
+  return st;
+}
+
+Status RTree::QueryCoupledNode(PageId page, const Rect& window,
+                               TraversalLatchHooks* hooks,
+                               std::vector<LeafEntry>* out) {
+  PageGuard g = PageGuard::Fetch(pool_, page);
+  NodeView v = View(g);
+  if (v.is_leaf()) {
+    for (uint32_t i = 0; i < v.count(); ++i) {
+      const LeafEntry e = v.leaf_entry(i);
+      if (e.rect.Intersects(window)) out->push_back(e);
+    }
+    return Status::OK();
+  }
+  for (uint32_t i = 0; i < v.count(); ++i) {
+    const InternalEntry e = v.internal_entry(i);
+    if (!e.rect.Intersects(window)) continue;
+    // Couple: the child is try-latched while this node's latch is held,
+    // so a split cannot move entries between the link read and the child
+    // read. Never blocks while holding — contention restarts the query.
+    if (!hooks->TryAcquireShared(e.child)) {
+      return Status::LatchContention("query descent contended");
+    }
+    const Status st = QueryCoupledNode(e.child, window, hooks, out);
+    hooks->ReleaseShared(e.child);
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+Status RTree::QueryCoupled(const Rect& window, const QueryCallback& cb,
+                           TraversalLatchHooks* hooks) {
+  if (hooks == nullptr) return Query(window, cb);
+  const PageId r = root();
+  hooks->AcquireShared(r);
+  if (root() != r) {
+    hooks->ReleaseShared(r);
+    return Status::LatchContention("root changed during latch");
+  }
+  std::vector<LeafEntry> matches;
+  const Status st = QueryCoupledNode(r, window, hooks, &matches);
+  hooks->ReleaseShared(r);
+  BURTREE_RETURN_IF_ERROR(st);  // nothing emitted: the retry starts clean
+  if (cb) {
+    for (const LeafEntry& e : matches) cb(e.oid, e.rect);
+  }
+  return Status::OK();
+}
+
 Status RTree::Query(const Rect& window, const QueryCallback& cb,
                     TraversalLatchHooks* hooks) {
   if (hooks == nullptr) return Query(window, cb);
@@ -851,7 +1069,7 @@ Status RTree::Query(const Rect& window, const QueryCallback& cb,
     PageId page;
     Level level;
   };
-  std::vector<Ref> stack{{root_, root_level_}};
+  std::vector<Ref> stack{{root(), root_level()}};
   std::vector<LeafEntry> matches;
   while (!stack.empty()) {
     const Ref ref = stack.back();

@@ -11,6 +11,7 @@
 // covering rects; deletes and splits re-tighten them.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -25,7 +26,9 @@
 
 namespace burtree {
 
-/// Operation counters for experiments and tests.
+/// Operation counters for experiments and tests (a plain snapshot;
+/// RTree keeps the live counters as relaxed atomics so concurrent
+/// coupled inserts can bump them without a data race).
 struct RTreeStats {
   uint64_t inserts = 0;
   uint64_t deletes = 0;
@@ -78,6 +81,30 @@ class TraversalLatchHooks {
   virtual void ReleaseShared(PageId page) = 0;
 };
 
+/// Exclusive latch hooks for the latch-coupled insert descent (coupled
+/// latch mode; implemented by the cc layer over its striped page-latch
+/// table).
+///
+/// Contract (mirrors PageLatchSet's writer rules): AcquireExclusive may
+/// block but is only invoked while the descent holds nothing — the root
+/// step. Every further latch goes through TryAcquireExclusive, which must
+/// never block; a false return makes InsertCoupled abort *before any
+/// mutation* with Status::LatchContention so the caller can release
+/// everything and restart the descent. ReleaseExclusive drops one hold
+/// (reference-counted underneath: parent and child may share a stripe).
+class ExclusiveLatchHooks {
+ public:
+  virtual ~ExclusiveLatchHooks() = default;
+
+  /// Blocking exclusive acquisition of `page` (the descent root).
+  virtual void AcquireExclusive(PageId page) = 0;
+
+  /// Non-blocking exclusive acquisition while other latches are held.
+  virtual bool TryAcquireExclusive(PageId page) = 0;
+
+  virtual void ReleaseExclusive(PageId page) = 0;
+};
+
 class RTree {
  public:
   RTree(BufferPool* pool, const TreeOptions& options);
@@ -87,14 +114,21 @@ class RTree {
 
   // ---- Metadata ----
 
-  PageId root() const { return root_; }
-  Level root_level() const { return root_level_; }
+  /// Root page id / level. Plain loads (relaxed): stable in
+  /// single-threaded use; on the concurrent coupled path the value is
+  /// only *trusted* after latching the root's stripe and re-checking
+  /// (validate-after-latch), since a concurrent root grow may publish a
+  /// new root at any time.
+  PageId root() const { return root_.load(std::memory_order_relaxed); }
+  Level root_level() const {
+    return root_level_.load(std::memory_order_relaxed);
+  }
   /// Number of levels (a single-leaf tree has height 1).
-  uint32_t height() const { return root_level_ + 1; }
+  uint32_t height() const { return root_level() + 1; }
   const TreeOptions& options() const { return options_; }
   BufferPool* pool() const { return pool_; }
-  const RTreeStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = RTreeStats{}; }
+  RTreeStats stats() const { return stats_.Snapshot(); }
+  void ResetStats() { stats_.Reset(); }
 
   /// Subscribes structural-change observers (oid index, summary).
   /// Passing nullptr resets to a no-op observer.
@@ -129,6 +163,37 @@ class RTree {
   /// `window`.
   using QueryCallback = std::function<void(ObjectId, const Rect&)>;
   Status Query(const Rect& window, const QueryCallback& cb);
+
+  /// One attempt at a latch-coupled insert (coupled latch mode): descend
+  /// from the root X-latch-coupling node pages through `hooks`, releasing
+  /// every retained ancestor as soon as the freshly latched child is
+  /// known *split-safe* (it has a free slot AND the routing entry already
+  /// contains `rect`, so neither a promoted entry nor an MBR expansion
+  /// can propagate above it). On reaching the leaf, the pages any split
+  /// will need — one sibling per full node on the retained path, the
+  /// children of splitting internal nodes when parent pointers are on,
+  /// and a fresh root when the split chain reaches a full root — are
+  /// allocated and try-latched *before* the first byte is mutated; any
+  /// try-latch failure (descent or reservation) returns
+  /// Status::LatchContention with the tree untouched, and the caller
+  /// releases all latches and retries. Forced re-insertion is skipped on
+  /// this path (it re-tightens released ancestors and re-enters from the
+  /// root); overflow always splits. Never takes any tree-wide latch.
+  Status InsertCoupled(ObjectId oid, const Rect& rect,
+                       ExclusiveLatchHooks* hooks);
+
+  /// One attempt at a fully latch-coupled window query (coupled latch
+  /// mode): S-latch the root (blocking, holding nothing), then couple
+  /// try-S latches down every overlapping branch, holding at most the
+  /// current root-to-node path. Matches are buffered and emitted only on
+  /// a complete consistent pass; any try-latch failure returns
+  /// Status::LatchContention (nothing emitted) and the caller restarts.
+  /// Unlike the subtree-mode Query(hooks) overload, *every* level is
+  /// latched — in coupled mode internal nodes are mutated under page
+  /// latches, not under a tree-wide latch, so latch-free upper levels
+  /// would race concurrent splits.
+  Status QueryCoupled(const Rect& window, const QueryCallback& cb,
+                      TraversalLatchHooks* hooks);
 
   /// Window query with shared latch-coupling (subtree latch mode).
   /// Levels >= 2 are traversed latch-free — they are only mutated under
@@ -217,6 +282,47 @@ class RTree {
  private:
   friend class BulkLoader;
 
+  /// Live operation counters: relaxed atomics so concurrent coupled
+  /// inserts (each holding only page latches) can bump them racelessly.
+  struct AtomicTreeStats {
+    std::atomic<uint64_t> inserts{0};
+    std::atomic<uint64_t> deletes{0};
+    std::atomic<uint64_t> leaf_splits{0};
+    std::atomic<uint64_t> internal_splits{0};
+    std::atomic<uint64_t> underflow_condenses{0};
+    std::atomic<uint64_t> reinserted_entries{0};
+    std::atomic<uint64_t> forced_reinserts{0};
+    std::atomic<uint64_t> root_grows{0};
+    std::atomic<uint64_t> root_shrinks{0};
+
+    RTreeStats Snapshot() const {
+      RTreeStats s;
+      s.inserts = inserts.load(std::memory_order_relaxed);
+      s.deletes = deletes.load(std::memory_order_relaxed);
+      s.leaf_splits = leaf_splits.load(std::memory_order_relaxed);
+      s.internal_splits = internal_splits.load(std::memory_order_relaxed);
+      s.underflow_condenses =
+          underflow_condenses.load(std::memory_order_relaxed);
+      s.reinserted_entries =
+          reinserted_entries.load(std::memory_order_relaxed);
+      s.forced_reinserts = forced_reinserts.load(std::memory_order_relaxed);
+      s.root_grows = root_grows.load(std::memory_order_relaxed);
+      s.root_shrinks = root_shrinks.load(std::memory_order_relaxed);
+      return s;
+    }
+    void Reset() {
+      inserts = 0;
+      deletes = 0;
+      leaf_splits = 0;
+      internal_splits = 0;
+      underflow_condenses = 0;
+      reinserted_entries = 0;
+      forced_reinserts = 0;
+      root_grows = 0;
+      root_shrinks = 0;
+    }
+  };
+
   struct PendingSplit {
     Rect original_mbr;      // tightened covering rect of the split node
     InternalEntry promoted; // entry for the newly created sibling
@@ -277,12 +383,22 @@ class RTree {
                       std::optional<Rect> parent_cover, PageId parent,
                       bool check_min_fill, uint64_t* data_entries);
 
+  /// Recursive helper of QueryCoupled: `page` is already S-latched by
+  /// the caller; children are try-S-latched while the parent latch is
+  /// held and released after their subtree completes.
+  Status QueryCoupledNode(PageId page, const Rect& window,
+                          TraversalLatchHooks* hooks,
+                          std::vector<LeafEntry>* out);
+
   BufferPool* pool_;
   TreeOptions options_;
   TreeObserver* observer_ = nullptr;
-  PageId root_ = kInvalidPageId;
-  Level root_level_ = 0;
-  RTreeStats stats_;
+  /// Atomic so coupled-mode descents can read the current root without a
+  /// tree-wide latch; writers (GrowRoot / root shrink) publish while
+  /// holding the old root's stripe or the compound-SMO drain gate.
+  std::atomic<PageId> root_{kInvalidPageId};
+  std::atomic<Level> root_level_{0};
+  AtomicTreeStats stats_;
 
   // Forced-reinsertion bookkeeping for the current top-level operation
   // (guarded by the caller's exclusive latch in concurrent settings, like

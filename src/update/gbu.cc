@@ -446,6 +446,8 @@ UpdatePlan GeneralizedBottomUpStrategy::PlanUpdate(ObjectId oid,
   plan.leaf_local = true;
   plan.leaf = leaf_or.value();
   plan.parent = summary->ParentOf(plan.leaf);  // zero I/O (§3.2)
+  // Split-safety straight from the fullness bit vector, also zero I/O.
+  plan.split_safe = !summary->LeafIsFull(plan.leaf);
   return plan;
 }
 

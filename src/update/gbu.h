@@ -50,6 +50,11 @@ class GeneralizedBottomUpStrategy final : public UpdateStrategy {
                                const Point& old_pos,
                                const Point& new_pos) override;
 
+  /// Escalations (deep ascents, root inserts) are a bottom-up removal
+  /// plus a root insert, which the coupled latch mode runs under page
+  /// latches instead of the tree-wide latch.
+  bool SupportsCoupledEscalation() const override { return true; }
+
   const char* name() const override { return "GBU"; }
 
   const GbuOptions& options() const { return options_; }

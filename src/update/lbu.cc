@@ -118,6 +118,9 @@ UpdatePlan LocalizedBottomUpStrategy::PlanUpdate(ObjectId oid,
   UpdatePlan plan;
   plan.leaf_local = true;
   plan.leaf = leaf_or.value();
+  // LBU keeps no fullness bit vector (the paper's stated drawback), so
+  // the plan cannot promise split-safety without reading the leaf.
+  plan.split_safe = false;
   return plan;
 }
 

@@ -36,6 +36,10 @@ class LocalizedBottomUpStrategy final : public UpdateStrategy {
                                       const Point& old_pos,
                                       const Point& new_pos) override;
 
+  /// Escalations are a bottom-up removal plus a root insert (case 5),
+  /// which the coupled latch mode runs under page latches.
+  bool SupportsCoupledEscalation() const override { return true; }
+
   const char* name() const override { return "LBU"; }
 
  private:

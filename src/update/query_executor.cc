@@ -7,6 +7,27 @@ QueryExecutor::QueryExecutor(IndexSystem* system, bool use_summary)
   if (use_summary_) BURTREE_CHECK(system_->summary() != nullptr);
 }
 
+StatusOr<size_t> QueryExecutor::QueryCoupled(const Rect& window,
+                                             TraversalLatchHooks* hooks,
+                                             const RTree::QueryCallback& cb) {
+  // Coupled latch mode deliberately skips the summary pruning the other
+  // paths use: the in-memory plan is only stable while internal nodes
+  // cannot split, which the shared tree latch guaranteed — in coupled
+  // mode a concurrent insert may split a planned level-1 node between
+  // the plan and the scan, silently dropping the leaves that moved to
+  // the new sibling. The root-anchored coupled descent reads every link
+  // under its parent's latch instead, so it sees each split either fully
+  // applied or not at all.
+  RTree& tree = system_->tree();
+  size_t matches = 0;
+  auto count_cb = [&](ObjectId oid, const Rect& r) {
+    ++matches;
+    if (cb) cb(oid, r);
+  };
+  BURTREE_RETURN_IF_ERROR(tree.QueryCoupled(window, count_cb, hooks));
+  return matches;
+}
+
 StatusOr<size_t> QueryExecutor::Query(const Rect& window,
                                       const RTree::QueryCallback& cb,
                                       TraversalLatchHooks* hooks) {

@@ -25,6 +25,16 @@ class QueryExecutor {
                          const RTree::QueryCallback& cb = nullptr,
                          TraversalLatchHooks* hooks = nullptr);
 
+  /// One attempt at a fully latch-coupled query (coupled latch mode):
+  /// every level is traversed under coupled shared latches and summary
+  /// pruning is skipped — internal nodes may split under page latches in
+  /// this mode, so a summary plan could go stale mid-query. Returns
+  /// Status::LatchContention when a try-latch collides; the caller
+  /// releases everything and retries.
+  StatusOr<size_t> QueryCoupled(const Rect& window,
+                                TraversalLatchHooks* hooks,
+                                const RTree::QueryCallback& cb = nullptr);
+
   bool use_summary() const { return use_summary_; }
 
  private:

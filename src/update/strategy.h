@@ -74,6 +74,15 @@ struct UpdatePlan {
   /// it from the summary structure); kInvalidPageId when unknown (LBU
   /// discovers it from the latched leaf page and try-extends).
   PageId parent = kInvalidPageId;
+  /// Split-safety of the planned leaf: true when the strategy knows (at
+  /// zero I/O — GBU reads the summary's fullness bit vector) that the
+  /// leaf still has a free entry slot, so no arm of the scoped update
+  /// can overflow it. False means unknown or full (LBU has no bit
+  /// vector and always reports false). The cc layer uses it in coupled
+  /// mode to skip the escalation-warming probe — a split-risky update
+  /// that escalates re-runs under page latches anyway — and surfaces it
+  /// as the split_unsafe_plans counter.
+  bool split_safe = false;
 };
 
 /// Page-latch scope a subtree-mode update runs under. Implemented by the
@@ -165,7 +174,19 @@ class UpdateStrategy {
     return kInvalidPageId;
   }
 
+  /// True when the strategy's escalated update decomposes into a
+  /// bottom-up removal at the indexed leaf plus a root insert — the shape
+  /// the coupled latch mode runs under page latches (bottom-up strategies
+  /// with an oid index). False (TD) routes escalations through the
+  /// serialized compound-SMO path instead.
+  virtual bool SupportsCoupledEscalation() const { return false; }
+
   virtual const char* name() const = 0;
+
+  /// Path bookkeeping for updates the cc layer completed on the
+  /// strategy's behalf (the coupled remove+insert escalation, which never
+  /// re-enters Update()).
+  void RecordEscalatedPath(UpdatePath p) { RecordPath(p); }
 
   UpdatePathCounts path_counts() const {
     std::lock_guard lock(counts_mu_);

@@ -20,27 +20,13 @@
 #include <tuple>
 #include <vector>
 
+#include "concurrency_test_util.h"
 #include "harness/experiment.h"
 
 namespace burtree {
 namespace {
 
-/// Every oid's hash-index entry must point to the leaf that contains it.
-void ExpectOidIndexConsistent(IndexSystem& sys, uint64_t num_objects) {
-  HashIndex* oidx = sys.oid_index();
-  ASSERT_NE(oidx, nullptr);
-  RTree& tree = sys.tree();
-  for (ObjectId oid = 0; oid < num_objects; ++oid) {
-    auto leaf_or = oidx->Lookup(oid);
-    ASSERT_TRUE(leaf_or.ok()) << "oid " << oid << " missing from index";
-    PageGuard g = PageGuard::Fetch(tree.pool(), leaf_or.value());
-    NodeView v(g.data(), tree.options().page_size,
-               tree.options().parent_pointers);
-    ASSERT_TRUE(v.is_leaf());
-    EXPECT_GE(v.FindOidSlot(oid), 0)
-        << "oid " << oid << " not in its indexed leaf " << leaf_or.value();
-  }
-}
+using testutil::ExpectOidIndexConsistent;
 
 class InvariantStressTest
     : public ::testing::TestWithParam<std::tuple<StrategyKind, LatchMode>> {
@@ -121,10 +107,14 @@ TEST_P(InvariantStressTest, UpdateQueryStressKeepsInvariants) {
                   .ok());
   EXPECT_EQ(count, n);  // nothing lost, nothing duplicated
 
-  if (mode == LatchMode::kSubtree &&
-      kind != StrategyKind::kTopDown) {
+  if (mode != LatchMode::kGlobal && kind != StrategyKind::kTopDown) {
     // The workload's short hops must actually exercise the scoped path.
     EXPECT_GT(index.latch_stats().scoped_updates, 0u);
+  }
+  if (mode == LatchMode::kCoupled) {
+    // Coupled mode never takes the tree-wide latch, whatever happens.
+    EXPECT_EQ(index.latch_stats().escalated_updates, 0u);
+    EXPECT_EQ(index.latch_stats().escalated_queries, 0u);
   }
 }
 
@@ -134,7 +124,8 @@ INSTANTIATE_TEST_SUITE_P(
                                          StrategyKind::kLocalizedBottomUp,
                                          StrategyKind::kGeneralizedBottomUp),
                        ::testing::Values(LatchMode::kGlobal,
-                                         LatchMode::kSubtree)),
+                                         LatchMode::kSubtree,
+                                         LatchMode::kCoupled)),
     [](const auto& info) {
       return std::string(StrategyName(std::get<0>(info.param))) + "_" +
              LatchModeName(std::get<1>(info.param));

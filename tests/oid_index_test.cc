@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "common/random.h"
 #include "oid_index/hash_index.h"
@@ -207,6 +210,123 @@ INSTANTIATE_TEST_SUITE_P(Impl, OidIndexTreeIntegrationTest,
                          [](const auto& info) {
                            return info.param ? "HashIndex" : "MemoryIndex";
                          });
+
+// ---------------------------------------------------------------------------
+// Sharded-mutex HashIndex: the single global mutex is gone; chain
+// operations lock a directory shared latch plus one stripe of a bucket
+// mutex array, so probes of different buckets run in parallel — and
+// bucket splits (exclusive directory latch) interleave with them.
+// ---------------------------------------------------------------------------
+
+TEST(HashIndexStripingTest, SixteenThreadMixedInsertLookupErase) {
+  HashIndexOptions opts;
+  opts.initial_buckets = 4;  // force many concurrent bucket splits
+  opts.lock_stripes = 64;
+  HashIndex idx(opts);
+  EXPECT_EQ(idx.lock_stripe_count(), 64u);
+
+  constexpr int kThreads = 16;
+  constexpr uint64_t kPerThread = 3000;
+  std::vector<std::thread> threads;
+  std::atomic<bool> ok{true};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      Rng rng(140 + t);
+      const uint64_t base = static_cast<uint64_t>(t) * 1000000;
+      // Phase pattern per key: insert, remap, randomly lookup own keys
+      // and foreign keys, erase every third key.
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        const ObjectId oid = base + i;
+        idx.OnLeafEntryAdded(oid, static_cast<PageId>(i % 997));
+        if (i % 2 == 0) {
+          idx.OnLeafEntryAdded(oid, static_cast<PageId>(i % 997 + 1));
+        }
+        if (i > 0 && rng.NextBool(0.5)) {
+          const ObjectId probe = base + rng.NextBelow(i);
+          (void)idx.Lookup(probe);  // may or may not still be mapped
+        }
+        if (rng.NextBool(0.3)) {
+          // Foreign-range probe: pure reader against other stripes.
+          const ObjectId other =
+              (static_cast<uint64_t>((t + 1) % kThreads)) * 1000000 +
+              rng.NextBelow(kPerThread);
+          (void)idx.Lookup(other);
+        }
+        if (i % 3 == 0) {
+          const PageId mapped =
+              static_cast<PageId>(i % 997 + (i % 2 == 0 ? 1 : 0));
+          idx.OnLeafEntryRemoved(oid, mapped);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  ASSERT_TRUE(ok.load());
+
+  // Exact surviving population: every oid except the i % 3 == 0 erasures,
+  // each mapped to its last written leaf.
+  uint64_t expected = 0;
+  for (uint64_t i = 0; i < kPerThread; ++i) expected += i % 3 != 0 ? 1 : 0;
+  EXPECT_EQ(idx.size(), expected * kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    const uint64_t base = static_cast<uint64_t>(t) * 1000000;
+    for (uint64_t i = 0; i < kPerThread; i += 7) {
+      auto leaf = idx.Lookup(base + i);
+      if (i % 3 == 0) {
+        EXPECT_FALSE(leaf.ok()) << "oid " << base + i;
+      } else {
+        ASSERT_TRUE(leaf.ok()) << "oid " << base + i;
+        EXPECT_EQ(leaf.value(),
+                  static_cast<PageId>(i % 997 + (i % 2 == 0 ? 1 : 0)));
+      }
+    }
+  }
+  // The load drove the table through many splits while threads probed.
+  EXPECT_GT(idx.bucket_count(), 64u);
+}
+
+TEST(HashIndexStripingTest, SplitsRaceConcurrentReaders) {
+  // Writers grow the table (continuous splits) while readers hammer
+  // already-inserted keys: every lookup must see its mapping despite the
+  // address space moving under the split pointer.
+  HashIndexOptions opts;
+  opts.initial_buckets = 4;
+  HashIndex idx(opts);
+  constexpr uint64_t kPreload = 2000;
+  for (ObjectId i = 0; i < kPreload; ++i) {
+    idx.OnLeafEntryAdded(i, static_cast<PageId>(i % 113));
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<bool> ok{true};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 6; ++t) {
+    readers.emplace_back([&, t]() {
+      Rng rng(9100 + t);
+      while (!stop) {
+        const ObjectId oid = rng.NextBelow(kPreload);
+        auto leaf = idx.Lookup(oid);
+        if (!leaf.ok() || leaf.value() != static_cast<PageId>(oid % 113)) {
+          ok = false;
+          return;
+        }
+      }
+    });
+  }
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&, t]() {
+      const uint64_t base = 1000000 + static_cast<uint64_t>(t) * 1000000;
+      for (uint64_t i = 0; i < 8000; ++i) {
+        idx.OnLeafEntryAdded(base + i, static_cast<PageId>(i % 251));
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  stop = true;
+  for (auto& th : readers) th.join();
+  ASSERT_TRUE(ok.load());
+  EXPECT_EQ(idx.size(), kPreload + 4 * 8000);
+}
 
 }  // namespace
 }  // namespace burtree
