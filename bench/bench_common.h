@@ -78,6 +78,12 @@ struct BenchArgs {
     }
     a.storage.fsync_on_flush = cli.GetBool("fsync", false);
     a.storage.direct_io = cli.GetBool("direct-io", false);
+    a.storage.wal.enabled = cli.GetBool("wal", false);
+    a.storage.wal.dir = cli.GetString("wal-dir", "");
+    a.storage.wal.group_commit_us =
+        static_cast<uint64_t>(cli.GetInt("group-commit-us", 200));
+    a.storage.wal.checkpoint_log_bytes =
+        static_cast<uint64_t>(cli.GetInt("wal-ckpt-mb", 64)) << 20;
     a.seed = static_cast<uint64_t>(cli.GetInt("seed", 20030901));
     a.csv = cli.GetBool("csv", false);
     ParseDistribution(cli.GetString("dist", "uniform"), &a.distribution);
@@ -126,6 +132,7 @@ inline void PrintHeader(const std::string& title, const BenchArgs& a) {
   std::printf("=== %s ===\n", title.c_str());
   std::string backend = StorageBackendName(a.storage.backend);
   if (!a.storage.file_dir.empty()) backend += ":" + a.storage.file_dir;
+  if (a.storage.wal.enabled) backend += "+wal";
   std::printf(
       "workload: %llu objects, %llu updates, %llu queries, max-move %.3f, "
       "buffer %.1f%% (%zu shard%s), latch %s, backend %s, dist %s, "

@@ -1,0 +1,271 @@
+// Durable update throughput: what crash safety costs on the file
+// backend. Reuses the leaf-touch update cell from bench_fig6_buffer
+// (fetch leaf page, mutate entry, unpin dirty — the page-access pattern
+// bottom-up updates reduce to; hot/cold skewed, 25% buffer) and sweeps
+// the durability configuration instead of the shard count:
+//
+//   mem          the paper's counted in-memory disk (no latency model) —
+//                the pure pool + memcpy ceiling, nothing durable
+//   file         real pread/pwrite against a scratch file, page cache
+//                absorbs the working set, nothing durable until close
+//   file+fsync   fsync_on_flush: one fdatasync per eviction write-back
+//                batch — the pre-WAL durable configuration
+//   file+wal     redo-only WAL with group commit: every op's page image
+//                logged before any flush, a committer thread batching
+//                appends into one pwrite + fdatasync per commit window —
+//                the durable configuration this bench exists to price
+//
+// The durable rows include their durability tail in the timed region
+// (final FlushAll for fsync, WaitDurable(appended_lsn) for wal), so each
+// ops/s figure is "everything recoverable by the time the clock stops".
+// --json emits the machine-readable BENCH_wal.json row set.
+#include <atomic>
+#include <cinttypes>
+#include <thread>
+#include <unistd.h>
+
+#include "bench_common.h"
+#include "buffer/page_guard.h"
+#include "common/random.h"
+#include "storage/wal/wal_manager.h"
+
+using namespace burtree;
+using namespace burtree::bench;
+
+namespace {
+
+struct CellConfig {
+  size_t pages = 2000;
+  double buffer_fraction = 0.25;
+  double hot_prob = 0.9;
+  double hot_fraction = 0.1;
+  size_t threads = 8;
+  size_t shards = 8;
+  uint64_t total_ops = 50000;
+  uint64_t seed = 20030901;
+  StorageOptions storage;  // per-row: backend + fsync/wal policy
+};
+
+struct CellResult {
+  double ops_per_sec = 0.0;
+  double hit_rate = 0.0;
+  WalStats wal;  // zeros for non-wal rows
+};
+
+// One durability configuration: T threads of leaf-touch updates, each op
+// bracketed in a WalOpScope (inert when the row has no WAL), clock
+// stopped only after the row's durability tail.
+CellResult RunCell(const CellConfig& cfg) {
+  std::unique_ptr<PageStore> store = MustMakePageStore(cfg.storage, 1024);
+  for (size_t i = 0; i < cfg.pages; ++i) store->Allocate();
+
+  std::unique_ptr<WalManager> wal;
+  if (cfg.storage.wal.enabled) {
+    WalManagerOptions wopts;
+    wopts.path = cfg.storage.wal.path;
+    wopts.page_size = store->page_size();
+    wopts.group_commit_us = cfg.storage.wal.group_commit_us;
+    wopts.checkpoint_log_bytes = cfg.storage.wal.checkpoint_log_bytes;
+    wopts.delete_on_close = true;  // scratch semantics, like the store
+    wal = WalManager::MustOpen(wopts);
+  }
+
+  const size_t capacity = std::max<size_t>(
+      1, static_cast<size_t>(static_cast<double>(cfg.pages) *
+                             cfg.buffer_fraction));
+  BufferPool pool(store.get(), capacity, cfg.shards);
+  if (wal != nullptr) {
+    pool.set_wal(wal.get());
+    // Auto-checkpoint (flush + sync + truncate the log) keeps the log
+    // bounded mid-run, exactly as IndexSystem wires it.
+    wal->SetCheckpointHooks(WalManager::CheckpointHooks{
+        [&pool] { return pool.FlushAll(); },
+        [&pool] { pool.WalCheckpointBeginSync(); },
+        [&store] { return store->Sync(); },
+        [&pool] { return pool.WalDirtyRecFloor(); }});
+    wal->SetFreeFn([&store](PageId id) { store->Free(id); });
+  }
+
+  std::vector<std::thread> workers;
+  std::atomic<bool> failed{false};
+  Stopwatch sw;
+  for (size_t t = 0; t < cfg.threads; ++t) {
+    workers.emplace_back([&, t]() {
+      Rng rng(cfg.seed * 6364136223846793005ULL + t);
+      const uint64_t ops = cfg.total_ops / cfg.threads;
+      const size_t hot_pages = std::max<size_t>(
+          1, static_cast<size_t>(static_cast<double>(cfg.pages) *
+                                 cfg.hot_fraction));
+      for (uint64_t i = 0; i < ops && !failed; ++i) {
+        const PageId id = static_cast<PageId>(
+            rng.NextBool(cfg.hot_prob) ? rng.NextBelow(hot_pages)
+                                       : rng.NextBelow(cfg.pages));
+        // One logical op per touch: the scope captures the dirty page's
+        // after-image and its destructor appends the one-image record.
+        WalOpScope scope(wal.get());
+        auto res = pool.FetchPage(id);
+        if (!res.ok()) {
+          failed = true;
+          break;
+        }
+        res.value()->data()[t % store->page_size()] ^= 0x5A;
+        pool.UnpinPage(id, /*dirty=*/true);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  bool durable_ok = true;
+  if (wal != nullptr) {
+    // Group commit's durability point: everything appended is on disk.
+    durable_ok = wal->WaitDurable(wal->appended_lsn()).ok();
+  } else if (cfg.storage.fsync_on_flush) {
+    // fsync-on-flush's durability point: every frame written back, each
+    // batch fdatasync'd by the store.
+    durable_ok = pool.FlushAll().ok();
+  }
+  const double elapsed = sw.ElapsedSeconds();
+  if (failed || !durable_ok || !pool.FlushAll().ok()) {
+    std::fprintf(stderr, "durability cell worker failed\n");
+    std::exit(1);
+  }
+
+  CellResult r;
+  const uint64_t done = (cfg.total_ops / cfg.threads) * cfg.threads;
+  r.ops_per_sec = elapsed > 0 ? static_cast<double>(done) / elapsed : 0.0;
+  r.hit_rate = pool.pool_stats().total().hit_rate();
+  if (wal != nullptr) {
+    r.wal = wal->stats();
+    // pool is declared after wal, so it dies first: stop auto-checkpoints
+    // from calling back into it.
+    wal->QuiesceCheckpoints();
+  }
+  return r;
+}
+
+struct RowSpec {
+  const char* name;
+  bool durable;
+};
+
+constexpr RowSpec kRows[] = {
+    {"mem", false},
+    {"file", false},
+    {"file+fsync", true},
+    {"file+wal", true},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs cli(argc, argv);
+  BenchArgs args = BenchArgs::FromCli(cli);
+  CellConfig cfg;
+  cfg.buffer_fraction = cli.GetDouble("cell-buffer", 0.25);
+  cfg.hot_prob = cli.GetDouble("hot-prob", 0.9);
+  cfg.hot_fraction = cli.GetDouble("hot-frac", 0.1);
+  cfg.threads = static_cast<size_t>(cli.GetInt("threads", 8));
+  cfg.shards = static_cast<size_t>(cli.GetInt("shards", 8));
+  cfg.total_ops =
+      CliArgs::Scaled(static_cast<uint64_t>(cli.GetInt("ops", 50000)));
+  cfg.seed = args.seed;
+  // Same database sizing as the fig6 sweep: one 1 KB leaf page per ~25
+  // objects (min 64 so tiny smoke runs still evict).
+  cfg.pages = std::max<size_t>(64, args.objects / 25);
+  const std::string json_path = cli.GetString("json", "");
+  cli.ExitIfHelpRequested(argv[0], BenchArgs::kScaleHelp);
+
+  PrintHeader("Durable leaf-update throughput: mem / file / file+fsync / "
+              "file+wal",
+              args);
+  std::printf(
+      "-- %" PRIu64 " ops, %zu pages, buffer %.0f%%, %zu threads, "
+      "%zu shards, group-commit %" PRIu64 " us --\n",
+      cfg.total_ops, cfg.pages, cfg.buffer_fraction * 100.0, cfg.threads,
+      cfg.shards, args.storage.wal.group_commit_us);
+
+  TablePrinter table({"config", "ops/s", "hit%", "durable", "wal fsyncs",
+                      "wal MB", "ckpts"});
+  std::vector<CellResult> results;
+  for (const RowSpec& row : kRows) {
+    CellConfig c = cfg;
+    c.storage = args.storage;  // carries --backend dir + --direct-io
+    c.storage.wal = WalOptions{};
+    c.storage.fsync_on_flush = false;
+    c.storage.file_path.clear();
+    const std::string name(row.name);
+    if (name == "mem") {
+      c.storage.backend = StorageBackend::kMem;
+    } else {
+      c.storage.backend = StorageBackend::kFile;
+      if (name == "file+fsync") c.storage.fsync_on_flush = true;
+      if (name == "file+wal") {
+        c.storage.wal = args.storage.wal;
+        c.storage.wal.enabled = true;
+        std::string dir = !c.storage.wal.dir.empty() ? c.storage.wal.dir
+                          : !c.storage.file_dir.empty()
+                              ? c.storage.file_dir
+                              : "/tmp";
+        c.storage.wal.path = dir + "/burtree-walbench-" +
+                             std::to_string(getpid()) + ".wal";
+      }
+    }
+    const CellResult r = RunCell(c);
+    results.push_back(r);
+    table.AddRow({name, TablePrinter::Fmt(r.ops_per_sec, 0),
+                  TablePrinter::Fmt(100.0 * r.hit_rate, 1),
+                  row.durable ? "yes" : "no",
+                  TablePrinter::FmtInt(r.wal.fsyncs),
+                  TablePrinter::Fmt(static_cast<double>(r.wal.appended_bytes) /
+                                        (1024.0 * 1024.0),
+                                    1),
+                  TablePrinter::FmtInt(r.wal.checkpoints)});
+  }
+  if (args.csv) {
+    table.PrintCsv(std::cout);
+  } else {
+    table.Print(std::cout);
+  }
+
+  if (!json_path.empty()) {
+    FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"bench_wal_durability\",\n"
+                 "  \"workload\": \"leaf-touch updates, hot/cold skew\",\n"
+                 "  \"ops\": %" PRIu64 ",\n"
+                 "  \"pages\": %zu,\n"
+                 "  \"buffer_fraction\": %.2f,\n"
+                 "  \"threads\": %zu,\n"
+                 "  \"shards\": %zu,\n"
+                 "  \"group_commit_us\": %" PRIu64 ",\n"
+                 "  \"rows\": [\n",
+                 cfg.total_ops, cfg.pages, cfg.buffer_fraction,
+                 cfg.threads, cfg.shards,
+                 args.storage.wal.group_commit_us);
+    for (size_t i = 0; i < results.size(); ++i) {
+      const CellResult& r = results[i];
+      std::fprintf(
+          f,
+          "    {\"config\": \"%s\", \"ops_per_sec\": %.0f, "
+          "\"hit_rate\": %.3f, \"durable\": %s, "
+          "\"wal_records\": %" PRIu64 ", \"wal_delta_images\": %" PRIu64 ", "
+          "\"wal_fsyncs\": %" PRIu64 ", "
+          "\"wal_appended_bytes\": %" PRIu64 ", "
+          "\"wal_checkpoints\": %" PRIu64 ", "
+          "\"wal_max_group_bytes\": %" PRIu64 "}%s\n",
+          kRows[i].name, r.ops_per_sec, r.hit_rate,
+          kRows[i].durable ? "true" : "false", r.wal.records,
+          r.wal.delta_images, r.wal.fsyncs,
+          r.wal.appended_bytes, r.wal.checkpoints, r.wal.max_group_bytes,
+          i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

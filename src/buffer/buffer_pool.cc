@@ -3,6 +3,7 @@
 #include <iterator>
 
 #include "common/logging.h"
+#include "storage/wal/wal_manager.h"
 
 namespace burtree {
 
@@ -98,6 +99,11 @@ StatusOr<Page*> BufferPool::FetchPage(PageId id) {
   if (!s.ok()) return s;
   f->page.set_page_id(id);
   f->page.set_dirty(false);
+  if (wal_ != nullptr) {
+    // Loaded bytes are some flushed — hence logged — state: a valid diff
+    // base, so cold pages get delta captures too.
+    f->page.CreateWalShadow(f->page.data());
+  }
   f->page.Pin();
   Page* page = &f->page;
   shard.frames.emplace(id, std::move(f));
@@ -120,13 +126,30 @@ Page* BufferPool::NewPage() {
 }
 
 void BufferPool::UnpinPage(PageId id, bool dirty) {
+  // A dirty unpin outside any WalOpScope (single-threaded build and
+  // maintenance paths) gets a pool-created one-page scope so the
+  // log-before-flush invariant holds for every mutation. Constructed
+  // before the shard latch (gate → shard order) and committed by its
+  // destructor after the latch drops.
+  WalOpScope auto_scope(
+      dirty && wal_ != nullptr && WalOpScope::Current() == nullptr ? wal_
+                                                                   : nullptr);
+  if (auto_scope.active()) auto_scope.MarkAuto();
   Shard& shard = ShardFor(id);
   std::unique_lock lock(shard.mu);
   auto it = shard.frames.find(id);
   BURTREE_CHECK(it != shard.frames.end());
   Frame* f = it->second.get();
   BURTREE_CHECK(f->page.pin_count() > 0);
-  if (dirty) f->page.set_dirty(true);
+  if (dirty) {
+    f->page.set_dirty(true);
+    if (wal_ != nullptr) {
+      WalOpScope* scope = WalOpScope::Current();
+      if (scope != nullptr && scope->active()) {
+        scope->CapturePage(this, &f->page);
+      }
+    }
+  }
   f->page.Unpin();
   if (f->page.pin_count() == 0) {
     BURTREE_DCHECK(!f->in_lru);
@@ -140,12 +163,40 @@ void BufferPool::UnpinPage(PageId id, bool dirty) {
 Status BufferPool::FlushPage(PageId id) {
   Shard& shard = ShardFor(id);
   std::unique_lock lock(shard.mu);
-  auto it = shard.frames.find(id);
-  if (it == shard.frames.end()) return Status::OK();
-  return FlushFrameLocked(shard, *it->second);
+  for (;;) {
+    auto it = shard.frames.find(id);
+    if (it == shard.frames.end()) return Status::OK();
+    Frame& f = *it->second;
+    if (wal_ == nullptr || !f.page.is_dirty()) {
+      return FlushFrameLocked(shard, f);
+    }
+    if (f.page.wal_pending() > 0) {
+      // The caller sits inside an open op scope for this page — writing
+      // it back now would flush bytes whose record is not even formed.
+      return Status::InvalidArgument(
+          "FlushPage of a page captured by an open WAL op scope");
+    }
+    const uint64_t lsn = f.page.wal_lsn();
+    if (lsn <= wal_->durable_lsn()) return FlushFrameLocked(shard, f);
+    // Log-before-flush: wait out the commit latch-free, then re-check —
+    // the frame can be re-dirtied (or evicted) while we slept.
+    lock.unlock();
+    BURTREE_RETURN_IF_ERROR(wal_->WaitDurable(lsn));
+    lock.lock();
+  }
 }
 
 Status BufferPool::FlushAll() {
+  // Log-before-flush: make everything appended so far durable up front
+  // (latch-free), so under quiescence no frame is skipped below. Frames
+  // dirtied by ops still running — LSN past the snapshot, or captured by
+  // an open scope (wal_pending) — are skipped; they reach disk on a
+  // later flush or eviction. Must not be called from inside a scope.
+  uint64_t durable = 0;
+  if (wal_ != nullptr) {
+    BURTREE_RETURN_IF_ERROR(wal_->WaitDurable(wal_->appended_lsn()));
+    durable = wal_->durable_lsn();
+  }
   for (auto& sp : shards_) {
     Shard& shard = *sp;
     std::unique_lock lock(shard.mu);
@@ -156,11 +207,18 @@ Status BufferPool::FlushAll() {
     std::vector<Frame*> dirty;
     for (auto& [id, f] : shard.frames) {
       if (!f->page.is_dirty()) continue;
+      if (wal_ != nullptr &&
+          (f->page.wal_pending() > 0 || f->page.wal_lsn() > durable)) {
+        continue;
+      }
       batch.push_back(PageWriteRequest{id, f->page.data()});
       dirty.push_back(f.get());
     }
     BURTREE_RETURN_IF_ERROR(file_->FlushDirtyBatch(batch));
-    for (Frame* f : dirty) f->page.set_dirty(false);
+    for (Frame* f : dirty) {
+      f->page.set_dirty(false);
+      NoteWalStoreWrite(f->page);
+    }
     shard.stats.flushes += dirty.size();
   }
   return Status::OK();
@@ -182,6 +240,20 @@ Status BufferPool::DeletePage(PageId id) {
     if (f->in_lru) shard.lru.erase(f->lru_it);
     shard.frames.erase(it);  // dirty content intentionally discarded
   }
+  if (wal_ != nullptr) {
+    // Defer the store-level Free until the freeing record is durable:
+    // Allocate() zeroes reused slots on disk, which would destroy bytes
+    // a replay of the pre-crash log still needs. Inside a scope the free
+    // rides the scope's record LSN; outside one, the current append
+    // horizon is a safe (conservative) release point.
+    WalOpScope* scope = WalOpScope::Current();
+    if (scope != nullptr && scope->active()) {
+      scope->DeferFree(id);
+    } else {
+      wal_->DeferFree(id, wal_->appended_lsn());
+    }
+    return Status::OK();
+  }
   return file_->Free(id);
 }
 
@@ -196,6 +268,16 @@ void BufferPool::Resize(size_t capacity) {
     std::unique_lock lock(shard.mu);
     shard.capacity = shard_capacity(i);
     EvictToCapacity(shard, lock);
+  }
+  if (wal_ != nullptr && resident_frames() > capacity) {
+    // Eviction skipped undurable victims. An explicit shrink should
+    // actually land: make the log durable and retry once.
+    if (wal_->WaitDurable(wal_->appended_lsn()).ok()) {
+      for (auto& sp : shards_) {
+        std::unique_lock lock(sp->mu);
+        EvictToCapacity(*sp, lock);
+      }
+    }
   }
 }
 
@@ -240,17 +322,47 @@ void BufferPool::EvictToCapacity(Shard& shard,
   // Detach LRU victims under the latch (clean ones die right here with
   // zero I/O); dirty ones park in the in-flight table so the group write
   // can run after the latch drops.
+  //
+  // Log-before-flush: a dirty victim inside an open op scope
+  // (wal_pending) or with an LSN past the durable horizon is *skipped* —
+  // rotated to the LRU front — never waited for, so eviction inside an
+  // op scope cannot deadlock against the committer or a checkpoint. The
+  // pass is bounded by the initial LRU length; if every victim is
+  // undurable the shard briefly runs over budget and a later eviction
+  // (by then the group commit has landed) reclaims it.
+  const uint64_t durable = wal_ != nullptr ? wal_->durable_lsn() : 0;
   std::vector<std::unique_ptr<Frame>> clean_victims;
   std::vector<PageWriteRequest> batch;
   std::vector<PageId> dirty_ids;
-  while (shard.frames.size() > shard.capacity && !shard.lru.empty()) {
+  size_t examined = 0;
+  const size_t max_examine = shard.lru.size();
+  while (shard.frames.size() > shard.capacity && !shard.lru.empty() &&
+         examined < max_examine) {
+    ++examined;
     const PageId victim = shard.lru.back();
     shard.lru.pop_back();
     auto it = shard.frames.find(victim);
     BURTREE_CHECK(it != shard.frames.end());
     Frame* f = it->second.get();
+    if (wal_ != nullptr && f->page.is_dirty() &&
+        (f->page.wal_pending() > 0 || f->page.wal_lsn() > durable)) {
+      shard.lru.push_front(victim);
+      f->lru_it = shard.lru.begin();
+      continue;
+    }
     f->in_lru = false;
     if (f->page.is_dirty()) {
+      // The frame dies once the write-back lands, so fold its recovery
+      // floor into the unsynced accumulator now (kept on the page too:
+      // the error path below re-adopts the frame still dirty).
+      const uint64_t rec = f->page.wal_rec_lsn();
+      if (wal_ != nullptr && rec != 0) {
+        uint64_t cur =
+            wal_unsynced_rec_floor_.load(std::memory_order_relaxed);
+        while (rec < cur && !wal_unsynced_rec_floor_.compare_exchange_weak(
+                                cur, rec, std::memory_order_relaxed)) {
+        }
+      }
       batch.push_back(PageWriteRequest{victim, f->page.data()});
       dirty_ids.push_back(victim);
       shard.writeback.emplace(victim, std::move(it->second));
@@ -297,12 +409,64 @@ void BufferPool::EvictToCapacity(Shard& shard,
   shard.writeback_cv.notify_all();
 }
 
+void BufferPool::StampWalLsn(Page* page, uint64_t lsn) {
+  Shard& shard = ShardFor(page->page_id());
+  std::unique_lock lock(shard.mu);
+  if (lsn > page->wal_lsn()) page->set_wal_lsn(lsn);
+  if (page->wal_pending() > 0) page->add_wal_pending(-1);
+}
+
 Status BufferPool::FlushFrameLocked(Shard& shard, Frame& f) {
   if (!f.page.is_dirty()) return Status::OK();
   BURTREE_RETURN_IF_ERROR(file_->Write(f.page.page_id(), f.page.data()));
   f.page.set_dirty(false);
+  NoteWalStoreWrite(f.page);
   ++shard.stats.flushes;
   return Status::OK();
+}
+
+void BufferPool::NoteWalStoreWrite(Page& page) {
+  if (wal_ == nullptr) return;
+  const uint64_t rec = page.wal_rec_lsn();
+  if (rec == 0) return;
+  page.set_wal_rec_lsn(0);
+  uint64_t cur = wal_unsynced_rec_floor_.load(std::memory_order_relaxed);
+  while (rec < cur && !wal_unsynced_rec_floor_.compare_exchange_weak(
+                          cur, rec, std::memory_order_relaxed)) {
+  }
+}
+
+void BufferPool::WalCheckpointBeginSync() {
+  // Reset first, then drain: an accumulator entry is discarded only if
+  // its write-back was already in flight here, and the drain below makes
+  // sure such a pwrite completes before the caller's store sync (an
+  // in-flight pwrite can miss a concurrent fsync). A detach racing this
+  // call lands in the fresh accumulator and stays conservative.
+  wal_unsynced_rec_floor_.store(UINT64_MAX, std::memory_order_relaxed);
+  for (auto& sp : shards_) {
+    std::unique_lock lock(sp->mu);
+    sp->writeback_cv.wait(lock, [&] { return sp->writeback.empty(); });
+  }
+}
+
+uint64_t BufferPool::WalDirtyRecFloor() const {
+  uint64_t floor = UINT64_MAX;
+  for (const auto& sp : shards_) {
+    std::unique_lock lock(sp->mu);
+    for (const auto& [id, f] : sp->frames) {
+      const uint64_t rec = f->page.wal_rec_lsn();
+      if (f->page.is_dirty() && rec != 0) floor = std::min(floor, rec);
+    }
+    // A frame dirtied before the checkpoint's FlushAll can be mid
+    // write-back right now; its bytes are unsynced like any other
+    // post-BeginSync store write.
+    for (const auto& [id, f] : sp->writeback) {
+      const uint64_t rec = f->page.wal_rec_lsn();
+      if (rec != 0) floor = std::min(floor, rec);
+    }
+  }
+  return std::min(
+      floor, wal_unsynced_rec_floor_.load(std::memory_order_relaxed));
 }
 
 }  // namespace burtree

@@ -20,6 +20,8 @@
 
 namespace burtree {
 
+class WalManager;
+
 /// N-way sharded buffer pool: pages hash to shards by page id, and each
 /// shard owns its own latch, frame table, LRU list, and BufferStats. The
 /// global capacity is split evenly across shards, so shard count 1 is
@@ -50,6 +52,18 @@ namespace burtree {
 ///   group write, then the table is cleared. Only a fetch/delete of a
 ///   page whose write-back is still in flight waits (it can never
 ///   observe stale disk bytes).
+///
+/// With a WalManager attached (set_wal), the pool additionally enforces
+/// the **log-before-flush** invariant: a dirty frame whose page LSN is
+/// not yet durable — or that an open WalOpScope has captured but not
+/// committed (wal_pending) — is never written back. Eviction *skips*
+/// such victims (rotating them to the LRU front, running over budget if
+/// need be) rather than blocking on the log, so no op scope ever waits
+/// on the committer; FlushAll/FlushPage instead wait for durability
+/// first and must therefore not be called from inside an op scope.
+/// Dirty unpins outside any scope get a pool-created single-page auto
+/// scope; DeletePage defers the store-level Free until the freeing
+/// record is durable. Protocol details in docs/STORAGE.md §WAL.
 class BufferPool {
  public:
   /// `capacity` is the maximum number of resident unpinned+pinned frames
@@ -106,6 +120,35 @@ class BufferPool {
 
   PageStore* file() { return file_; }
 
+  /// Attaches the write-ahead log (null detaches). Must be called before
+  /// any page traffic; the pool does not own the manager, and the
+  /// manager must outlive the pool (the destructor's FlushAll waits on
+  /// it).
+  void set_wal(WalManager* wal) { wal_ = wal; }
+  WalManager* wal() const { return wal_; }
+
+  /// Called by WalOpScope::Commit() after its record is appended: stamps
+  /// the frame's page LSN (monotone max) and releases one wal-pending
+  /// mark. Takes the Page pointer the scope captured — the frame cannot
+  /// have moved or been evicted while wal_pending > 0, and DeletePage
+  /// routes through WalOpScope::DeferFree which drops the scope's
+  /// pointer, so no frame-table lookup is needed here.
+  void StampWalLsn(Page* page, uint64_t lsn);
+
+  /// Fuzzy-checkpoint support (WalManager::Checkpoint runs concurrently
+  /// with operations; see the protocol there). BeginSync is called after
+  /// FlushAll and immediately before the store sync: it drains in-flight
+  /// eviction write-backs (their pwrites must precede the fsync they
+  /// rely on) and resets the unsynced-write floor accumulator — every
+  /// floor entry discarded here is covered by that upcoming sync.
+  void WalCheckpointBeginSync();
+  /// The pool's recovery floor: the minimum wal_rec_lsn over all dirty
+  /// frames (resident or mid-write-back) combined with the accumulator
+  /// of frames whose bytes were written to the store since BeginSync but
+  /// not yet synced. Truncating the log below this LSN can lose the only
+  /// durable copy of a page's changes. UINT64_MAX when nothing is owed.
+  uint64_t WalDirtyRecFloor() const;
+
  private:
   struct Frame {
     explicit Frame(size_t page_size) : page(page_size) {}
@@ -149,9 +192,19 @@ class BufferPool {
                      PageId id);
   // Assume the shard's mu is held.
   Status FlushFrameLocked(Shard& shard, Frame& f);
+  /// After a frame's bytes were written to the store in place (frame
+  /// stays resident): fold its recovery floor into the unsynced-write
+  /// accumulator and clear it. Shard latch held.
+  void NoteWalStoreWrite(Page& page);
   void RecomputeShardCapacities();
 
   PageStore* file_;
+  WalManager* wal_ = nullptr;
+  /// Min wal_rec_lsn of frames whose bytes reached the store (in-place
+  /// flush or eviction) since the last WalCheckpointBeginSync — writes
+  /// the next store sync has not yet made durable. CAS-min updated under
+  /// the owning shard's latch, read/reset by the checkpoint.
+  std::atomic<uint64_t> wal_unsynced_rec_floor_{UINT64_MAX};
   // Atomic so a concurrent Resize() never races capacity()/
   // shard_capacity() readers; shard budgets are updated under each
   // shard's latch and may transiently disagree with a mid-resize total.

@@ -4,6 +4,8 @@
 #include <thread>
 #include <vector>
 
+#include "storage/wal/wal_manager.h"
+
 namespace burtree {
 
 namespace {
@@ -147,6 +149,9 @@ void ConcurrentIndex::ChargeIoLatency(uint64_t ios) const {
 Status ConcurrentIndex::UpdateGlobal(ObjectId oid, const Point& from,
                                      const Point& to, uint64_t* ios) {
   std::unique_lock latch(latch_);
+  // One WAL record per logical update; the scope's destructor appends it
+  // before the tree latch releases. Inert when the system has no WAL.
+  WalOpScope wal_scope(system_->wal());
   PageStore::ResetThreadIo();
   auto result = strategy_->Update(oid, from, to);
   *ios = PageStore::thread_io();
@@ -159,12 +164,17 @@ bool ConcurrentIndex::TryScopedUpdate(const UpdatePlan& plan, ObjectId oid,
   if (!plan.split_safe) {
     split_unsafe_plans_.fetch_add(1, std::memory_order_relaxed);
   }
+  // The WAL scope opens before the page latches so every dirty unpin
+  // inside UpdateScoped is captured; the explicit Commit appends the
+  // record while the latches are still held (log-before-release).
+  WalOpScope wal_scope(system_->wal());
   PageLatchSet latches(&latch_table_);
   std::vector<PageId> pages{plan.leaf};
   if (plan.parent != kInvalidPageId) pages.push_back(plan.parent);
   latches.AcquireExclusive(pages);
   WriterScope scope(&latches);
   auto result = strategy_->UpdateScoped(scope, plan, oid, from, to);
+  wal_scope.Commit();
   if (result.status().code() == StatusCode::kLatchContention) {
     // UpdateScoped mutates nothing before returning LatchContention, so
     // the caller's escalation starts from a clean slate.
@@ -210,13 +220,15 @@ Status ConcurrentIndex::UpdateSubtree(ObjectId oid, const Point& from,
   }
   escalated_updates_.fetch_add(1, std::memory_order_relaxed);
   std::unique_lock tree_latch(latch_);
+  WalOpScope wal_scope(system_->wal());
   auto result = strategy_->Update(oid, from, to);
   *ios = PageStore::thread_io();
   return result.status();
 }
 
 Status ConcurrentIndex::InsertCoupledWithRetry(ObjectId oid,
-                                               const Rect& rect) {
+                                               const Rect& rect,
+                                               uint64_t pending_token) {
   // Generous budget: with 4096 stripes a descent's try-latches rarely
   // collide, and each retry first drains the stripe it collided on while
   // holding nothing, so the loop makes progress instead of spinning.
@@ -224,9 +236,17 @@ Status ConcurrentIndex::InsertCoupledWithRetry(ObjectId oid,
   for (int attempt = 0; attempt < kAttempts; ++attempt) {
     PageId contended = kInvalidPageId;
     {
+      WalOpScope wal_scope(system_->wal());
       PageLatchSet latches(&latch_table_);
       CoupledWriterHooks hooks(&latches);
       const Status st = system_->tree().InsertCoupled(oid, rect, &hooks);
+      // The completion marker rides the record only on success: an
+      // aborted attempt may still log images (its reserved-then-freed
+      // sibling pages), and recovery must keep re-inserting the object.
+      if (st.ok() && pending_token != 0) {
+        wal_scope.SetCompletedInsert(pending_token);
+      }
+      wal_scope.Commit();  // append before the page latches release
       if (st.code() != StatusCode::kLatchContention) {
         if (st.ok()) {
           coupled_inserts_.fetch_add(1, std::memory_order_relaxed);
@@ -246,9 +266,11 @@ Status ConcurrentIndex::InsertCoupledWithRetry(ObjectId oid,
 Status ConcurrentIndex::CoupledEscalatedUpdate(ObjectId oid,
                                                const Point& from,
                                                const Point& to,
-                                               CompoundNeed* needs) {
+                                               CompoundNeed* needs,
+                                               uint64_t* pending_token) {
   (void)from;
   *needs = CompoundNeed::kNone;
+  *pending_token = 0;
   RTree& tree = system_->tree();
   const Rect new_rect = IndexSystem::PointRect(to);
 
@@ -274,6 +296,7 @@ Status ConcurrentIndex::CoupledEscalatedUpdate(ObjectId oid,
       return leaf_or.status();
     }
     const PageId leaf_id = leaf_or.value();
+    WalOpScope wal_scope(system_->wal());
     PageLatchSet latches(&latch_table_);
     latches.AcquireExclusive(leaf_id);
     PageGuard g = PageGuard::Fetch(tree.pool(), leaf_id);
@@ -288,7 +311,16 @@ Status ConcurrentIndex::CoupledEscalatedUpdate(ObjectId oid,
       return Status::OK();
     }
     g.Release();
-    BURTREE_RETURN_IF_ERROR(tree.RemoveFromLeafNoCondense(leaf_id, oid));
+    // The removal record carries a pending-reinsert note: if the crash
+    // lands between the two phases, recovery re-inserts the object from
+    // the token's (oid, rect) rather than losing it.
+    if (wal_scope.active()) {
+      *pending_token = system_->wal()->NewToken();
+      wal_scope.SetPendingInsert(*pending_token, oid, new_rect);
+    }
+    const Status rs = tree.RemoveFromLeafNoCondense(leaf_id, oid);
+    wal_scope.Commit();  // append before the leaf latch releases
+    BURTREE_RETURN_IF_ERROR(rs);
     removed = true;
   }
   if (!removed) {
@@ -298,7 +330,7 @@ Status ConcurrentIndex::CoupledEscalatedUpdate(ObjectId oid,
 
   // Phase 2: latch-coupled re-insert from the root. Object already
   // removed, so a starved insert must still complete under the gate.
-  const Status st = InsertCoupledWithRetry(oid, new_rect);
+  const Status st = InsertCoupledWithRetry(oid, new_rect, *pending_token);
   if (st.code() == StatusCode::kLatchContention) {
     *needs = CompoundNeed::kInsertOnly;
     return Status::OK();
@@ -311,6 +343,7 @@ Status ConcurrentIndex::UpdateCoupled(ObjectId oid, const Point& from,
                                       const Point& to, uint64_t* ios) {
   PageStore::ResetThreadIo();
   CompoundNeed needs = CompoundNeed::kFullUpdate;
+  uint64_t pending_token = 0;
   {
     std::shared_lock<DrainGate> gate(smo_gate_);
     const UpdatePlan plan = strategy_->PlanUpdate(oid, from, to);
@@ -326,7 +359,8 @@ Status ConcurrentIndex::UpdateCoupled(ObjectId oid, const Point& from,
     // exclusive section to shorten.
     if (strategy_->SupportsCoupledEscalation()) {
       coupled_escalations_.fetch_add(1, std::memory_order_relaxed);
-      Status st = CoupledEscalatedUpdate(oid, from, to, &needs);
+      Status st =
+          CoupledEscalatedUpdate(oid, from, to, &needs, &pending_token);
       if (needs == CompoundNeed::kNone) {
         *ios = PageStore::thread_io();
         return st;
@@ -338,10 +372,15 @@ Status ConcurrentIndex::UpdateCoupled(ObjectId oid, const Point& from,
   // single-threaded code.
   compound_smos_.fetch_add(1, std::memory_order_relaxed);
   std::unique_lock<DrainGate> xgate(smo_gate_);
+  WalOpScope wal_scope(system_->wal());
   if (needs == CompoundNeed::kInsertOnly) {
     const Status st =
         system_->tree().Insert(oid, IndexSystem::PointRect(to));
-    if (st.ok()) strategy_->RecordEscalatedPath(UpdatePath::kRootInsert);
+    if (st.ok()) {
+      // Completes the phase-1 removal record's pending reinsert.
+      if (pending_token != 0) wal_scope.SetCompletedInsert(pending_token);
+      strategy_->RecordEscalatedPath(UpdatePath::kRootInsert);
+    }
     *ios = PageStore::thread_io();
     return st;
   }
@@ -386,6 +425,7 @@ Status ConcurrentIndex::Insert(ObjectId oid, const Point& pos) {
   switch (options_.latch_mode) {
     case LatchMode::kGlobal: {
       std::unique_lock latch(latch_);
+      WalOpScope wal_scope(system_->wal());
       op_status = system_->Insert(oid, pos);
       break;
     }
@@ -393,6 +433,7 @@ Status ConcurrentIndex::Insert(ObjectId oid, const Point& pos) {
       // An insert is a structure modification; subtree mode escalates.
       escalated_updates_.fetch_add(1, std::memory_order_relaxed);
       std::unique_lock latch(latch_);
+      WalOpScope wal_scope(system_->wal());
       op_status = system_->Insert(oid, pos);
       break;
     }
@@ -404,6 +445,7 @@ Status ConcurrentIndex::Insert(ObjectId oid, const Point& pos) {
         gate.unlock();
         compound_smos_.fetch_add(1, std::memory_order_relaxed);
         std::unique_lock<DrainGate> xgate(smo_gate_);
+        WalOpScope wal_scope(system_->wal());
         op_status = system_->Insert(oid, pos);
       }
       break;

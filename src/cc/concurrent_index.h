@@ -166,14 +166,21 @@ class ConcurrentIndex {
   /// status), kFullUpdate (nothing mutated yet; re-run the strategy), or
   /// kInsertOnly (the entry was removed but the coupled re-insert
   /// starved; re-insert under the gate, losing no object).
+  /// With a WAL, `*pending_token` carries the phase-1 removal record's
+  /// reinsert token out to the kInsertOnly compound path so its insert
+  /// can log the matching completion (0 = no pending record written).
   enum class CompoundNeed { kNone, kFullUpdate, kInsertOnly };
   Status CoupledEscalatedUpdate(ObjectId oid, const Point& from,
-                                const Point& to, CompoundNeed* needs);
+                                const Point& to, CompoundNeed* needs,
+                                uint64_t* pending_token);
 
   /// Latch-coupled insert with restart/backoff: retries
   /// RTree::InsertCoupled until it commits or the attempt budget runs
-  /// out (Status::LatchContention — the caller goes compound).
-  Status InsertCoupledWithRetry(ObjectId oid, const Rect& rect);
+  /// out (Status::LatchContention — the caller goes compound). A
+  /// nonzero `pending_token` marks the insert as the completion of a
+  /// WAL pending-reinsert record.
+  Status InsertCoupledWithRetry(ObjectId oid, const Rect& rect,
+                                uint64_t pending_token = 0);
 
   IndexSystem* system_;
   UpdateStrategy* strategy_;

@@ -17,6 +17,34 @@ enum class StorageBackend {
           ///< preadv/pwritev batching and optional fsync/O_DIRECT.
 };
 
+/// Write-ahead-log policy (storage/wal). Durability is per IndexSystem:
+/// when enabled, the system opens one redo-only log next to its tree
+/// page file, every mutation's page images are logged before any dirty
+/// frame reaches the store, and a committer thread group-commits the
+/// appends (see docs/STORAGE.md §WAL). Replaces fsync_on_flush as the
+/// durable configuration — one batched fdatasync per commit window
+/// instead of one per flush.
+struct WalOptions {
+  bool enabled = false;
+
+  /// Explicit log file path. Empty (the default): a unique scratch log
+  /// in `dir`, removed on clean close. Non-empty: the log persists for
+  /// recovery (WalManager::Replay).
+  std::string path;
+
+  /// Directory for scratch logs when `path` is empty; empty = the
+  /// storage file_dir, else the system temp dir.
+  std::string dir;
+
+  /// Group-commit window in microseconds: how long the committer batches
+  /// appends before one pwrite + fdatasync.
+  uint64_t group_commit_us = 200;
+
+  /// Auto-checkpoint (flush + sync all pages, truncate the log) once the
+  /// log file grows past this many bytes; 0 = manual checkpoints only.
+  uint64_t checkpoint_log_bytes = 64ull << 20;
+};
+
 /// Storage-backend selection and file-backend policy knobs. Threads from
 /// the benches' `--backend mem|file[:dir]` flag through ExperimentConfig
 /// and IndexSystemOptions/HashIndexOptions down to MakePageStore.
@@ -29,14 +57,25 @@ struct StorageOptions {
   /// measure a real device.
   std::string file_dir;
 
+  /// Explicit backing-file path for the file backend (tree store only —
+  /// the hash index always uses a scratch file). Non-empty: the file is
+  /// created at this path, NOT unlinked, and survives the process — the
+  /// crash-recovery path reopens it with truncate=false and replays the
+  /// WAL into it.
+  std::string file_path;
+
   /// File backend: fdatasync after every write-back call (Write and
   /// FlushDirtyBatch), making each flush a durability point. Off by
   /// default — the experiments measure access counts, not durability.
+  /// With wal.enabled the log already orders durability; leave this off
+  /// and let group commit amortize the fsyncs.
   bool fsync_on_flush = false;
 
   /// File backend: try O_DIRECT (falls back to buffered I/O where the
   /// filesystem or page size does not support it, e.g. tmpfs).
   bool direct_io = false;
+
+  WalOptions wal;
 };
 
 /// Node-split algorithm for the R-tree.

@@ -51,6 +51,13 @@ RTree::RTree(BufferPool* pool, const TreeOptions& options)
   root_level_ = 0;
 }
 
+RTree::RTree(BufferPool* pool, const TreeOptions& options, AdoptRoot,
+             PageId root, Level root_level)
+    : pool_(pool), options_(options), observer_(NoopObserver()) {
+  root_ = root;
+  root_level_ = root_level;
+}
+
 uint32_t RTree::Capacity(bool leaf) const {
   return NodeView::CapacityFor(options_.page_size, options_.parent_pointers,
                                leaf);

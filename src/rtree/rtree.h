@@ -109,6 +109,14 @@ class RTree {
  public:
   RTree(BufferPool* pool, const TreeOptions& options);
 
+  /// Adopts an existing tree: `root`/`root_level` must name a valid root
+  /// already present in the pool's page store (WAL crash recovery builds
+  /// the store via WalManager::Replay, then hands the recovered root
+  /// here). No page is allocated or touched.
+  struct AdoptRoot {};
+  RTree(BufferPool* pool, const TreeOptions& options, AdoptRoot, PageId root,
+        Level root_level);
+
   RTree(const RTree&) = delete;
   RTree& operator=(const RTree&) = delete;
 

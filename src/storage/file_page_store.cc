@@ -109,7 +109,10 @@ StatusOr<std::unique_ptr<FilePageStore>> FilePageStore::Open(
     }
     if (static_cast<size_t>(st.st_size) % options.page_size != 0) {
       ::close(fd);
-      return Status::InvalidArgument(
+      // A torn tail (crashed writer, partial pwrite) — an I/O-level
+      // defect of the file, not a caller mistake: serving the partial
+      // page would hand out garbage.
+      return Status::IoError(
           "file size is not a multiple of page_size: '" + options.path + "'");
     }
     existing_pages = static_cast<size_t>(st.st_size) / options.page_size;

@@ -62,8 +62,9 @@ struct FilePageStoreOptions {
 class FilePageStore final : public PageStore {
  public:
   /// Opens (creating if needed) the backing file. Fails with IoError on
-  /// open/stat problems, InvalidArgument if an adopted file's size is
-  /// not a multiple of page_size.
+  /// open/stat problems and when an adopted file's size is not a
+  /// multiple of page_size (a torn tail from a crashed writer — the
+  /// caller must not be served a partial page).
   static StatusOr<std::unique_ptr<FilePageStore>> Open(
       const FilePageStoreOptions& options);
 
@@ -80,7 +81,7 @@ class FilePageStore final : public PageStore {
 
   /// Forces everything down to the device (fdatasync), regardless of the
   /// fsync_on_flush policy.
-  Status Sync();
+  Status Sync() override;
 
   const std::string& path() const { return options_.path; }
   /// Whether O_DIRECT is actually in effect (false after a fallback).

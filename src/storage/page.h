@@ -40,6 +40,44 @@ class Page {
   bool is_dirty() const { return dirty_; }
   void set_dirty(bool d) { dirty_ = d; }
 
+  /// WAL bookkeeping (mutated under the owning shard's latch, like the
+  /// dirty bit). wal_lsn is the end LSN of the last log record holding
+  /// this page's image — the log-before-flush invariant forbids writing
+  /// the frame back until that LSN is durable. wal_pending counts open
+  /// WalOpScopes that captured this page but have not committed yet;
+  /// such a frame must not be flushed at all (its next image is still
+  /// being formed).
+  uint64_t wal_lsn() const { return wal_lsn_; }
+  void set_wal_lsn(uint64_t lsn) { wal_lsn_ = lsn; }
+  uint32_t wal_pending() const { return wal_pending_; }
+  void add_wal_pending(int delta) {
+    wal_pending_ = static_cast<uint32_t>(
+        static_cast<int64_t>(wal_pending_) + delta);
+  }
+
+  /// Recovery floor (ARIES recLSN): a conservative lower bound on the
+  /// start LSN of the first record covering this dirty epoch, 0 when
+  /// clean or unlogged. Set by the epoch's first capture, cleared when
+  /// the frame's bytes reach the page store; a fuzzy checkpoint never
+  /// truncates the log past the minimum over dirty frames. Mutated under
+  /// the shard latch, like the dirty bit.
+  uint64_t wal_rec_lsn() const { return wal_rec_lsn_; }
+  void set_wal_rec_lsn(uint64_t lsn) { wal_rec_lsn_ = lsn; }
+
+  /// Shadow copy of this page's last *logged* image — the diff base for
+  /// WAL delta captures. Filled from the disk bytes when a WAL-attached
+  /// pool loads the frame (any flushed state is a logged state), updated
+  /// by each capture, and deliberately absent on freshly allocated pages
+  /// (their first capture must be a full image so slot reuse wipes the
+  /// previous incarnation at replay). Mutated under the shard latch,
+  /// like the dirty bit.
+  const uint8_t* wal_shadow() const { return wal_shadow_.get(); }
+  uint8_t* wal_shadow() { return wal_shadow_.get(); }
+  void CreateWalShadow(const uint8_t* init) {
+    if (wal_shadow_ == nullptr) wal_shadow_.reset(new uint8_t[size_]);
+    std::memcpy(wal_shadow_.get(), init, size_);
+  }
+
   int pin_count() const {
     return pin_count_.load(std::memory_order_relaxed);
   }
@@ -51,6 +89,10 @@ class Page {
   std::unique_ptr<uint8_t[]> data_;
   PageId page_id_ = kInvalidPageId;
   bool dirty_ = false;
+  uint64_t wal_lsn_ = 0;
+  uint64_t wal_rec_lsn_ = 0;
+  uint32_t wal_pending_ = 0;
+  std::unique_ptr<uint8_t[]> wal_shadow_;
   std::atomic<int> pin_count_{0};
 };
 

@@ -108,16 +108,24 @@ StatusOr<std::unique_ptr<PageStore>> MakePageStore(const StorageOptions& opts,
   // one experiment (and parallel ctest runs) never collide.
   static std::atomic<uint64_t> counter{0};
   FilePageStoreOptions fopts;
-  fopts.path = dir + "/burtree-" + std::to_string(::getpid()) + "-" +
-               std::to_string(counter.fetch_add(1)) + ".pages";
   fopts.page_size = page_size;
   fopts.truncate = true;
   fopts.fsync_on_flush = opts.fsync_on_flush;
   fopts.direct_io = opts.direct_io;
-  // Scratch semantics: the name disappears immediately; the kernel frees
-  // the blocks when the store closes its descriptor, so an aborted bench
-  // leaves nothing behind.
-  fopts.unlink_after_open = true;
+  if (!opts.file_path.empty()) {
+    // Explicit persistent path (crash-recovery setups): the file keeps
+    // its name and survives the process, so a recovering run can reopen
+    // it with truncate=false and replay the WAL into it.
+    fopts.path = opts.file_path;
+    fopts.unlink_after_open = false;
+  } else {
+    fopts.path = dir + "/burtree-" + std::to_string(::getpid()) + "-" +
+                 std::to_string(counter.fetch_add(1)) + ".pages";
+    // Scratch semantics: the name disappears immediately; the kernel
+    // frees the blocks when the store closes its descriptor, so an
+    // aborted bench leaves nothing behind.
+    fopts.unlink_after_open = true;
+  }
   auto store = FilePageStore::Open(fopts);
   if (!store.ok()) return store.status();
   return std::unique_ptr<PageStore>(std::move(store).value());

@@ -87,6 +87,11 @@ class PageStore {
   /// Total slots including freed ones (the "file size" in pages).
   virtual size_t allocated_slots() const = 0;
 
+  /// Forces everything previously written down to the device. A no-op
+  /// for memory-backed stores; the file backend issues fdatasync. Used
+  /// by WAL checkpoints as the page-side durability point.
+  virtual Status Sync() { return Status::OK(); }
+
   IoStats& io_stats() { return stats_; }
   const IoStats& io_stats() const { return stats_; }
 

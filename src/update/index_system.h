@@ -13,6 +13,7 @@
 #include "oid_index/memory_index.h"
 #include "rtree/bulk_load.h"
 #include "rtree/rtree.h"
+#include "storage/wal/wal_manager.h"
 #include "summary/summary.h"
 
 namespace burtree {
@@ -42,12 +43,28 @@ class IndexSystem {
  public:
   explicit IndexSystem(const IndexSystemOptions& options);
 
+  /// Quiesces the WAL's checkpoints before members destruct: the
+  /// committer's auto-checkpoint calls back into pool_, which dies
+  /// before wal_ (see the member-order comment below).
+  ~IndexSystem() {
+    if (wal_ != nullptr) wal_->QuiesceCheckpoints();
+  }
+
   RTree& tree() { return *tree_; }
   BufferPool& buffer() { return *pool_; }
   PageStore& file() { return *file_; }
   HashIndex* oid_index() { return oid_index_.get(); }
   SummaryStructure* summary() { return summary_.get(); }
+  /// The tree store's write-ahead log; null unless storage.wal.enabled.
+  WalManager* wal() const { return wal_.get(); }
   const IndexSystemOptions& options() const { return options_; }
+
+  /// WAL checkpoint: makes the log durable, flushes + syncs every tree
+  /// page, truncates the log. No-op without a WAL. Must not be called
+  /// from inside a WalOpScope.
+  Status Checkpoint() {
+    return wal_ != nullptr ? wal_->Checkpoint() : Status::OK();
+  }
 
   /// Convenience: objects are points in the unit square.
   static Rect PointRect(const Point& p) { return Rect::FromPoint(p); }
@@ -77,12 +94,31 @@ class IndexSystem {
   void SetBufferFraction(double fraction);
 
  private:
+  /// Forwards root changes into the WAL so recovery knows which page to
+  /// adopt as the root (scoped ops note it on their record; unscoped
+  /// construction paths append a standalone root record).
+  class WalRootObserver : public TreeObserver {
+   public:
+    void set_wal(WalManager* wal) { wal_ = wal; }
+    void OnRootChanged(PageId new_root, Level new_level) override {
+      if (wal_ != nullptr) wal_->NoteRootChange(new_root, new_level);
+    }
+
+   private:
+    WalManager* wal_ = nullptr;
+  };
+
   IndexSystemOptions options_;
+  // Destruction runs bottom-up through this order: the pool's destructor
+  // flushes (needs wal_ alive), and the WAL's destructor releases
+  // deferred frees into the store (needs file_ alive).
   std::unique_ptr<PageStore> file_;
+  std::unique_ptr<WalManager> wal_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<RTree> tree_;
   std::unique_ptr<HashIndex> oid_index_;
   std::unique_ptr<SummaryStructure> summary_;
+  WalRootObserver wal_root_observer_;
   CompositeObserver observer_;
 };
 

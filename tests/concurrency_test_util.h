@@ -8,22 +8,21 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <vector>
 
 #include "harness/experiment.h"
 
 namespace burtree {
 namespace testutil {
 
-/// Every oid in [0, num_objects) must resolve through the hash index to
-/// the leaf that physically holds its data entry — a desync here is how
-/// a lost latch corrupts bottom-up updates.
-inline void ExpectOidIndexConsistent(IndexSystem& sys,
-                                     uint64_t num_objects) {
-  HashIndex* oidx = sys.oid_index();
-  ASSERT_NE(oidx, nullptr);
-  RTree& tree = sys.tree();
-  for (ObjectId oid = 0; oid < num_objects; ++oid) {
-    auto leaf_or = oidx->Lookup(oid);
+/// Component-level form of the oid-index audit, usable on a recovered
+/// bare tree (WAL crash recovery rebuilds the hash index from the tree
+/// via ReplayStructureTo before calling this): each listed oid must
+/// resolve through `oidx` to the leaf that physically holds its entry.
+inline void ExpectOidIndexConsistent(RTree& tree, HashIndex& oidx,
+                                     const std::vector<ObjectId>& oids) {
+  for (const ObjectId oid : oids) {
+    auto leaf_or = oidx.Lookup(oid);
     ASSERT_TRUE(leaf_or.ok()) << "oid " << oid << " missing from index";
     PageGuard g = PageGuard::Fetch(tree.pool(), leaf_or.value());
     NodeView v(g.data(), tree.options().page_size,
@@ -34,15 +33,43 @@ inline void ExpectOidIndexConsistent(IndexSystem& sys,
   }
 }
 
+/// Every oid in [0, num_objects) must resolve through the hash index to
+/// the leaf that physically holds its data entry — a desync here is how
+/// a lost latch corrupts bottom-up updates.
+inline void ExpectOidIndexConsistent(IndexSystem& sys,
+                                     uint64_t num_objects) {
+  HashIndex* oidx = sys.oid_index();
+  ASSERT_NE(oidx, nullptr);
+  std::vector<ObjectId> oids(num_objects);
+  for (ObjectId oid = 0; oid < num_objects; ++oid) oids[oid] = oid;
+  ExpectOidIndexConsistent(sys.tree(), *oidx, oids);
+}
+
+/// Every data entry in the tree, by oid — object conservation audits on
+/// recovered trees check membership and duplication against this.
+inline std::vector<ObjectId> CollectOids(RTree& tree) {
+  std::vector<ObjectId> oids;
+  EXPECT_TRUE(
+      tree.Query(Rect(0, 0, 1, 1), [&](ObjectId oid, const Rect&) {
+            oids.push_back(oid);
+          })
+          .ok());
+  return oids;
+}
+
+/// Full-space match count over a bare tree (recovered-tree variant).
+inline uint64_t FullSpaceCount(RTree& tree) {
+  uint64_t count = 0;
+  EXPECT_TRUE(
+      tree.Query(Rect(0, 0, 1, 1), [&](ObjectId, const Rect&) { ++count; })
+          .ok());
+  return count;
+}
+
 /// Full-space match count — object conservation (nothing lost, nothing
 /// duplicated) after a concurrent run.
 inline uint64_t FullSpaceCount(IndexSystem& sys) {
-  uint64_t count = 0;
-  EXPECT_TRUE(sys.tree()
-                  .Query(Rect(0, 0, 1, 1),
-                         [&](ObjectId, const Rect&) { ++count; })
-                  .ok());
-  return count;
+  return FullSpaceCount(sys.tree());
 }
 
 /// Wall-clock tps comparisons are noisy when the host is oversubscribed

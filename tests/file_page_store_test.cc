@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -118,7 +120,51 @@ TEST(FilePageStoreTest, ReopenRejectsTornFileSize) {
   opts.truncate = false;
   auto store = FilePageStore::Open(opts);
   EXPECT_FALSE(store.ok());
-  EXPECT_EQ(store.status().code(), StatusCode::kInvalidArgument);
+  // A torn tail is an I/O-level crash artifact, not a caller mistake:
+  // the WAL recovery path keys its tail-truncation handling on IoError.
+  EXPECT_EQ(store.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(FilePageStoreTest, CrashTornTailTruncatesToPageBoundaryAndReopens) {
+  // The documented recovery procedure (docs/STORAGE.md §WAL): a writer
+  // killed mid-pwrite leaves size % page_size != 0; recovery truncates
+  // the partial page away and adopts the remainder — the dropped page's
+  // record is durable (log-before-flush), so replay rewrites it.
+  const std::string path = TestPath("torn_mid_page");
+  {
+    FilePageStoreOptions opts;
+    opts.path = path;
+    opts.page_size = kPageSize;
+    auto f = MustOpen(opts);
+    const PageId a = f->Allocate();
+    const PageId b = f->Allocate();
+    std::vector<uint8_t> img(kPageSize, 0x7A);
+    ASSERT_TRUE(f->Write(a, img.data()).ok());
+    img.assign(kPageSize, 0x7B);
+    ASSERT_TRUE(f->Write(b, img.data()).ok());
+    ASSERT_TRUE(f->Sync().ok());
+  }
+  // Simulate the kill landing mid-way through page b's pwrite.
+  ASSERT_EQ(::truncate(path.c_str(),
+                       static_cast<off_t>(kPageSize + kPageSize / 2)),
+            0);
+
+  FilePageStoreOptions opts;
+  opts.path = path;
+  opts.page_size = kPageSize;
+  opts.truncate = false;
+  EXPECT_EQ(FilePageStore::Open(opts).status().code(),
+            StatusCode::kIoError);
+
+  ASSERT_EQ(::truncate(path.c_str(), static_cast<off_t>(kPageSize)), 0);
+  auto adopted = FilePageStore::Open(opts);
+  ASSERT_TRUE(adopted.ok()) << adopted.status().ToString();
+  EXPECT_EQ(adopted.value()->live_pages(), 1u);
+  uint8_t buf[kPageSize];
+  ASSERT_TRUE(adopted.value()->Read(0, buf).ok());
+  EXPECT_EQ(buf[0], 0x7A);
+  adopted.value().reset();
   std::remove(path.c_str());
 }
 
