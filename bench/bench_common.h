@@ -28,6 +28,7 @@ struct BenchArgs {
   double buffer_fraction = 0.01;
   size_t buffer_shards = 1;
   LatchMode latch_mode = LatchMode::kGlobal;
+  ReadMode read_mode = ReadMode::kLatched;
   StorageOptions storage;
   uint64_t seed = 20030901;
   Distribution distribution = Distribution::kUniform;
@@ -69,6 +70,13 @@ struct BenchArgs {
           lm.c_str());
       std::exit(2);
     }
+    const std::string rm = cli.GetString("read-mode", "latched");
+    if (!ParseReadMode(rm, &a.read_mode)) {
+      std::fprintf(stderr,
+                   "unknown --read-mode '%s' (want latched|optimistic)\n",
+                   rm.c_str());
+      std::exit(2);
+    }
     const std::string backend = cli.GetString("backend", "mem");
     if (!ParseStorageBackend(backend, &a.storage)) {
       std::fprintf(stderr,
@@ -103,6 +111,7 @@ struct BenchArgs {
     cfg.buffer_fraction = buffer_fraction;
     cfg.buffer_shards = buffer_shards;
     cfg.latch_mode = latch_mode;
+    cfg.read_mode = read_mode;
     cfg.storage = storage;
     return cfg;
   }
@@ -135,14 +144,15 @@ inline void PrintHeader(const std::string& title, const BenchArgs& a) {
   if (a.storage.wal.enabled) backend += "+wal";
   std::printf(
       "workload: %llu objects, %llu updates, %llu queries, max-move %.3f, "
-      "buffer %.1f%% (%zu shard%s), latch %s, backend %s, dist %s, "
-      "seed %llu\n\n",
+      "buffer %.1f%% (%zu shard%s), latch %s, read %s, backend %s, "
+      "dist %s, seed %llu\n\n",
       static_cast<unsigned long long>(a.objects),
       static_cast<unsigned long long>(a.updates),
       static_cast<unsigned long long>(a.queries), a.max_move,
       a.buffer_fraction * 100.0, a.buffer_shards,
       a.buffer_shards == 1 ? "" : "s", LatchModeName(a.latch_mode),
-      backend.c_str(), DistributionName(a.distribution),
+      ReadModeName(a.read_mode), backend.c_str(),
+      DistributionName(a.distribution),
       static_cast<unsigned long long>(a.seed));
 }
 

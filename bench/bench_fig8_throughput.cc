@@ -42,7 +42,124 @@ int main(int argc, char** argv) {
   // 1,2,4,8) at --sweep-update-pct updates. Implies --io-in-op: overlap
   // of in-op I/O stalls is precisely what the latch modes differ on.
   const bool sweep_latch = cli.GetBool("sweep-latch", false);
+  // Read-mode sweep: --sweep-read replaces the update-mix rows with a
+  // latched/optimistic GBU grid over --sweep-threads (default 1,2,4,8)
+  // at --sweep-update-pct updates, always in coupled latch mode (the
+  // only mode with a distinct query read path). Implies --io-in-op for
+  // the same reason as --sweep-latch. --json <path> additionally dumps
+  // the grid with the optimistic/pruned counters (CI's BENCH_query.json).
+  const bool sweep_read = cli.GetBool("sweep-read", false);
+  const std::string json_path = cli.GetString("json", "");
   cli.ExitIfHelpRequested(argv[0], BenchArgs::kScaleHelp);
+
+  if (sweep_read) {
+    if (sweep_threads.empty()) sweep_threads = {1, 2, 4, 8};
+    std::string tlist;
+    for (size_t t : sweep_threads) {
+      tlist += (tlist.empty() ? "" : ",") + std::to_string(t);
+    }
+    PrintHeader("Figure 8: throughput, DGL, read-mode sweep (coupled), "
+                "threads " + tlist,
+                args);
+    struct Cell {
+      ReadMode mode;
+      size_t threads;
+      double tps;
+      LatchModeStats stats;
+    };
+    std::vector<Cell> cells_out;
+    std::vector<std::string> headers{"read-mode"};
+    for (size_t t : sweep_threads) {
+      headers.push_back(std::to_string(t) +
+                        (t == 1 ? " thread" : " threads"));
+    }
+    headers.push_back("opt-q");
+    headers.push_back("pruned-q");
+    headers.push_back("fallbacks");
+    TablePrinter table(headers);
+    for (ReadMode mode : {ReadMode::kLatched, ReadMode::kOptimistic}) {
+      std::vector<std::string> cells{ReadModeName(mode)};
+      LatchModeStats last;
+      for (size_t t : sweep_threads) {
+        ThroughputConfig cfg;
+        cfg.base = args.BaseConfig(StrategyKind::kGeneralizedBottomUp);
+        cfg.base.latch_mode = LatchMode::kCoupled;
+        cfg.base.read_mode = mode;
+        cfg.threads = static_cast<uint32_t>(t);
+        cfg.ops_per_thread = ops;
+        cfg.update_fraction = sweep_update_pct / 100.0;
+        cfg.query_max_dim = 0.01;
+        cfg.concurrency.io_latency_us = latency_us;
+        cfg.concurrency.io_latency_in_op = true;
+        auto res = RunThroughput(cfg);
+        if (!res.ok()) {
+          std::fprintf(stderr, "throughput run failed: %s\n",
+                       res.status().ToString().c_str());
+          return 1;
+        }
+        cells.push_back(TablePrinter::Fmt(res.value().tps, 0));
+        last = res.value().latch_stats;
+        cells_out.push_back({mode, t, res.value().tps, last});
+      }
+      cells.push_back(TablePrinter::FmtInt(last.optimistic_queries));
+      cells.push_back(TablePrinter::FmtInt(last.pruned_queries));
+      cells.push_back(TablePrinter::FmtInt(last.optimistic_fallbacks));
+      table.AddRow(std::move(cells));
+    }
+    std::printf(
+        "-- GBU throughput (tps), %.0f%% updates, in-op I/O latency "
+        "%llu us, coupled latch, read mode x threads --\n",
+        sweep_update_pct, static_cast<unsigned long long>(latency_us));
+    if (args.csv) {
+      table.PrintCsv(std::cout);
+    } else {
+      table.Print(std::cout);
+    }
+    if (!json_path.empty()) {
+      FILE* f = std::fopen(json_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 1;
+      }
+      std::fprintf(f,
+                   "{\n"
+                   "  \"bench\": \"bench_fig8_throughput\",\n"
+                   "  \"sweep\": \"read-mode\",\n"
+                   "  \"strategy\": \"GBU\",\n"
+                   "  \"latch_mode\": \"coupled\",\n"
+                   "  \"update_pct\": %.0f,\n"
+                   "  \"objects\": %llu,\n"
+                   "  \"ops_per_thread\": %llu,\n"
+                   "  \"io_latency_us\": %llu,\n"
+                   "  \"rows\": [\n",
+                   sweep_update_pct,
+                   static_cast<unsigned long long>(args.objects),
+                   static_cast<unsigned long long>(ops),
+                   static_cast<unsigned long long>(latency_us));
+      for (size_t i = 0; i < cells_out.size(); ++i) {
+        const Cell& c = cells_out[i];
+        std::fprintf(
+            f,
+            "    {\"read_mode\": \"%s\", \"threads\": %zu, "
+            "\"tps\": %.0f, \"coupled_queries\": %llu, "
+            "\"optimistic_queries\": %llu, "
+            "\"optimistic_fallbacks\": %llu, \"pruned_queries\": %llu, "
+            "\"descent_restarts\": %llu, \"coupled_reinserts\": %llu}%s\n",
+            ReadModeName(c.mode), c.threads, c.tps,
+            static_cast<unsigned long long>(c.stats.coupled_queries),
+            static_cast<unsigned long long>(c.stats.optimistic_queries),
+            static_cast<unsigned long long>(c.stats.optimistic_fallbacks),
+            static_cast<unsigned long long>(c.stats.pruned_queries),
+            static_cast<unsigned long long>(c.stats.descent_restarts),
+            static_cast<unsigned long long>(c.stats.coupled_reinserts),
+            i + 1 < cells_out.size() ? "," : "");
+      }
+      std::fprintf(f, "  ]\n}\n");
+      std::fclose(f);
+      std::printf("wrote %s\n", json_path.c_str());
+    }
+    return 0;
+  }
 
   if (sweep_latch) {
     if (sweep_threads.empty()) sweep_threads = {1, 2, 4, 8};

@@ -61,19 +61,47 @@ class CoupledWriterHooks final : public ExclusiveLatchHooks {
   PageId last_contended_ = kInvalidPageId;
 };
 
+/// VersionLatchHooks over the LatchTable's per-stripe version stamps
+/// (optimistic read mode).
+class OptimisticReaderHooks final : public VersionLatchHooks {
+ public:
+  explicit OptimisticReaderHooks(LatchTable* table) : table_(table) {}
+  bool TryBeginSnapshot(PageId page, uint64_t* version) override {
+    return table_->TryBeginSnapshot(page, version);
+  }
+  void EndSnapshot(PageId page) override { table_->EndSnapshot(page); }
+  bool Validate(PageId page, uint64_t version) override {
+    return table_->ValidateVersion(page, version);
+  }
+
+ private:
+  LatchTable* table_;
+};
+
 /// DGL acquisition with release-and-retry backoff, shared by
 /// Update/Insert/Query: wait-die aborts and timeouts release everything
-/// and retry with exponential backoff up to a fixed budget.
+/// and retry with jittered exponential backoff up to a fixed budget.
+/// The jitter matters: with a deterministic schedule two ops that
+/// collide sleep the exact same duration and collide again on every
+/// retry, so under a hot granule the whole budget can burn in lockstep
+/// and the residual Abort escapes to the caller.
 template <typename AcquireFn>
 Status AcquireDglWithRetry(LockManager* lm, uint64_t ts,
                            AcquireFn acquire) {
+  // xorshift64 seeded from the op timestamp: per-op stream, no clock or
+  // global RNG needed, and deterministic for a given ts (replayable).
+  uint64_t jitter = ts * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull;
   for (int attempt = 0;; ++attempt) {
     Status s = acquire();
     if (s.ok()) return s;
     lm->ReleaseAll(ts);
     if (attempt > 64) return s;
+    jitter ^= jitter << 13;
+    jitter ^= jitter >> 7;
+    jitter ^= jitter << 17;
+    const uint64_t base = 50u << (attempt & 7);
     std::this_thread::sleep_for(
-        std::chrono::microseconds(50u << (attempt & 7)));
+        std::chrono::microseconds(base + jitter % base));
   }
 }
 
@@ -99,6 +127,26 @@ bool ParseLatchMode(const std::string& s, LatchMode* out) {
   }
   if (s == "coupled") {
     *out = LatchMode::kCoupled;
+    return true;
+  }
+  return false;
+}
+
+const char* ReadModeName(ReadMode mode) {
+  switch (mode) {
+    case ReadMode::kLatched: return "latched";
+    case ReadMode::kOptimistic: return "optimistic";
+  }
+  return "?";
+}
+
+bool ParseReadMode(const std::string& s, ReadMode* out) {
+  if (s == "latched") {
+    *out = ReadMode::kLatched;
+    return true;
+  }
+  if (s == "optimistic") {
+    *out = ReadMode::kOptimistic;
     return true;
   }
   return false;
@@ -136,6 +184,13 @@ LatchModeStats ConcurrentIndex::latch_stats() const {
   s.split_unsafe_plans =
       split_unsafe_plans_.load(std::memory_order_relaxed);
   s.descent_restarts = descent_restarts_.load(std::memory_order_relaxed);
+  s.optimistic_queries =
+      optimistic_queries_.load(std::memory_order_relaxed);
+  s.optimistic_fallbacks =
+      optimistic_fallbacks_.load(std::memory_order_relaxed);
+  s.pruned_queries = pruned_queries_.load(std::memory_order_relaxed);
+  s.coupled_reinserts =
+      coupled_reinserts_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -226,9 +281,10 @@ Status ConcurrentIndex::UpdateSubtree(ObjectId oid, const Point& from,
   return result.status();
 }
 
-Status ConcurrentIndex::InsertCoupledWithRetry(ObjectId oid,
-                                               const Rect& rect,
-                                               uint64_t pending_token) {
+Status ConcurrentIndex::InsertCoupledWithRetry(
+    ObjectId oid, const Rect& rect, uint64_t pending_token,
+    std::vector<LeafEntry>* evicted,
+    std::vector<uint64_t>* evicted_tokens) {
   // Generous budget: with 4096 stripes a descent's try-latches rarely
   // collide, and each retry first drains the stripe it collided on while
   // holding nothing, so the loop makes progress instead of spinning.
@@ -239,12 +295,37 @@ Status ConcurrentIndex::InsertCoupledWithRetry(ObjectId oid,
       WalOpScope wal_scope(system_->wal());
       PageLatchSet latches(&latch_table_);
       CoupledWriterHooks hooks(&latches);
-      const Status st = system_->tree().InsertCoupled(oid, rect, &hooks);
+      CoupledReinsert reinsert;
+      reinsert.enabled =
+          evicted != nullptr && system_->tree().options().forced_reinsert;
+      const Status st =
+          system_->tree().InsertCoupled(oid, rect, &hooks, &reinsert);
       // The completion marker rides the record only on success: an
       // aborted attempt may still log images (its reserved-then-freed
       // sibling pages), and recovery must keep re-inserting the object.
       if (st.ok() && pending_token != 0) {
         wal_scope.SetCompletedInsert(pending_token);
+      }
+      if (st.ok() && !reinsert.evicted.empty()) {
+        // Forced re-insertion evicted entries from the full leaf. While
+        // the leaf's X latch is still held: log one pending note per
+        // evicted entry in the SAME record as the eviction (a crash in
+        // the gap replays them from the notes), and open the reinsert
+        // visibility bracket — the caller re-inserts the entries and
+        // closes it (CoupledInsertWithReinsert).
+        BURTREE_CHECK(evicted_tokens != nullptr);
+        for (const LeafEntry& e : reinsert.evicted) {
+          uint64_t tok = 0;
+          if (wal_scope.active()) {
+            tok = system_->wal()->NewToken();
+            wal_scope.AddPendingInsert(tok, e.oid, e.rect);
+          }
+          evicted_tokens->push_back(tok);
+        }
+        coupled_reinserts_.fetch_add(reinsert.evicted.size(),
+                                     std::memory_order_relaxed);
+        *evicted = std::move(reinsert.evicted);
+        reinsert_started_.fetch_add(1, std::memory_order_release);
       }
       wal_scope.Commit();  // append before the page latches release
       if (st.code() != StatusCode::kLatchContention) {
@@ -261,6 +342,73 @@ Status ConcurrentIndex::InsertCoupledWithRetry(ObjectId oid,
     }
   }
   return Status::LatchContention("coupled insert starved");
+}
+
+Status ConcurrentIndex::CoupledInsertWithReinsert(ObjectId oid,
+                                                  const Rect& rect) {
+  std::vector<LeafEntry> evicted;
+  std::vector<uint64_t> tokens;
+  std::shared_lock<DrainGate> gate(smo_gate_);
+  const Status st = InsertCoupledWithRetry(oid, rect, /*pending_token=*/0,
+                                           &evicted, &tokens);
+  if (evicted.empty()) return st;  // no bracket opened
+
+  // The bracket is open: the evicted objects are physically absent from
+  // the tree until every one is back. Re-insert them under the same
+  // shared gate hold; each success completes that entry's WAL pending
+  // note. Eviction excluded on these (no recursion past one level).
+  size_t done = 0;
+  Status err = Status::OK();
+  for (; done < evicted.size(); ++done) {
+    const Status rst = InsertCoupledWithRetry(evicted[done].oid,
+                                              evicted[done].rect,
+                                              tokens[done]);
+    if (rst.code() == StatusCode::kLatchContention) break;  // starved
+    if (!rst.ok()) {
+      err = rst;
+      break;
+    }
+  }
+  if (done == evicted.size() || !err.ok()) {
+    reinsert_completed_.fetch_add(1, std::memory_order_release);
+    return err.ok() ? st : err;
+  }
+
+  // A re-insert starved past the latch budget: finish under the
+  // exclusive gate. Release our shared hold first (the exclusive
+  // acquire drains all shared holders, ourselves included), and take
+  // the gate DIRECTLY rather than via AcquireCompoundGate — the open
+  // bracket is this thread's own, and every other compound op is
+  // spinning outside the gate waiting for us to close it.
+  gate.unlock();
+  compound_smos_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<DrainGate> xgate(smo_gate_);
+  for (; done < evicted.size(); ++done) {
+    WalOpScope wal_scope(system_->wal());
+    const Status rst =
+        system_->tree().Insert(evicted[done].oid, evicted[done].rect);
+    if (!rst.ok()) {
+      err = rst;
+      break;
+    }
+    if (tokens[done] != 0) wal_scope.SetCompletedInsert(tokens[done]);
+  }
+  reinsert_completed_.fetch_add(1, std::memory_order_release);
+  return err.ok() ? st : err;
+}
+
+void ConcurrentIndex::AcquireCompoundGate(std::unique_lock<DrainGate>& lk) {
+  for (;;) {
+    lk.lock();
+    if (reinsert_started_.load(std::memory_order_acquire) ==
+        reinsert_completed_.load(std::memory_order_acquire)) {
+      return;
+    }
+    // An open reinsert bracket: its holder may need this very gate to
+    // finish a starved re-insert, so never wait while holding it.
+    lk.unlock();
+    std::this_thread::yield();
+  }
 }
 
 Status ConcurrentIndex::CoupledEscalatedUpdate(ObjectId oid,
@@ -369,9 +517,11 @@ Status ConcurrentIndex::UpdateCoupled(ObjectId oid, const Point& from,
   }
   // Compound structure modification: drain all coupled traffic (every
   // coupled operation holds the gate shared), then run the stock
-  // single-threaded code.
+  // single-threaded code. The acquire waits out any open reinsert
+  // bracket so the strategy's oid lookups are authoritative.
   compound_smos_.fetch_add(1, std::memory_order_relaxed);
-  std::unique_lock<DrainGate> xgate(smo_gate_);
+  std::unique_lock<DrainGate> xgate(smo_gate_, std::defer_lock);
+  AcquireCompoundGate(xgate);
   WalOpScope wal_scope(system_->wal());
   if (needs == CompoundNeed::kInsertOnly) {
     const Status st =
@@ -438,13 +588,13 @@ Status ConcurrentIndex::Insert(ObjectId oid, const Point& pos) {
       break;
     }
     case LatchMode::kCoupled: {
-      std::shared_lock<DrainGate> gate(smo_gate_);
-      op_status =
-          InsertCoupledWithRetry(oid, IndexSystem::PointRect(pos));
+      // Owns the shared gate internally; with forced re-insertion
+      // configured it also runs the eviction + re-insert lifecycle.
+      op_status = CoupledInsertWithReinsert(oid, IndexSystem::PointRect(pos));
       if (op_status.code() == StatusCode::kLatchContention) {
-        gate.unlock();
         compound_smos_.fetch_add(1, std::memory_order_relaxed);
-        std::unique_lock<DrainGate> xgate(smo_gate_);
+        std::unique_lock<DrainGate> xgate(smo_gate_, std::defer_lock);
+        AcquireCompoundGate(xgate);
         WalOpScope wal_scope(system_->wal());
         op_status = system_->Insert(oid, pos);
       }
@@ -490,28 +640,86 @@ StatusOr<size_t> ConcurrentIndex::QuerySubtree(const Rect& window,
 StatusOr<size_t> ConcurrentIndex::QueryCoupled(const Rect& window,
                                                uint64_t* ios) {
   PageStore::ResetThreadIo();
+  const bool optimistic = options_.read_mode == ReadMode::kOptimistic;
+  // Attempt ladder: each 32-attempt segment prefers the summary-pruned,
+  // epoch-validated plan for its first 24 attempts, then the unpruned
+  // root descent (the plan may keep going stale under a split storm).
+  // In optimistic read mode the first segment runs the version-validated
+  // snapshot descent and the second falls back to S-latch coupling; in
+  // latched mode both segments are S-coupled.
+  constexpr int kAttempts = 64;
+  constexpr int kSegment = 32;
+  constexpr int kPrunedAttempts = 24;
   {
     std::shared_lock<DrainGate> gate(smo_gate_);
-    constexpr int kAttempts = 64;
+    bool fell_back = false;
     for (int attempt = 0; attempt < kAttempts; ++attempt) {
       if (attempt > 0) {
         descent_restarts_.fetch_add(1, std::memory_order_relaxed);
         std::this_thread::sleep_for(
             std::chrono::microseconds(1u << std::min(attempt, 7)));
       }
-      PageLatchSet latches(&latch_table_);
-      ReaderHooks hooks(&latches);
-      StatusOr<size_t> result = executor_->QueryCoupled(window, &hooks);
-      if (result.status().code() != StatusCode::kLatchContention) {
-        coupled_queries_.fetch_add(1, std::memory_order_relaxed);
-        *ios = PageStore::thread_io();
-        return result;
+      // Reinsert visibility bracket, read side: between a forced
+      // re-insertion's eviction and the completion of its re-inserts
+      // the evicted objects are physically absent, so a scan in the gap
+      // would miss objects that are logically present. Back off until
+      // the bracket closes — releasing the gate while waiting, because
+      // the bracket holder may need the gate's exclusive side to finish
+      // a starved re-insert.
+      const uint64_t bracket =
+          reinsert_started_.load(std::memory_order_acquire);
+      if (bracket != reinsert_completed_.load(std::memory_order_acquire)) {
+        gate.unlock();
+        std::this_thread::yield();
+        gate.lock();
+        continue;
       }
+      const bool use_optimistic = optimistic && attempt < kSegment;
+      if (optimistic && !use_optimistic && !fell_back) {
+        fell_back = true;
+        optimistic_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      }
+      const bool pruned = (attempt % kSegment) < kPrunedAttempts;
+      StatusOr<size_t> result = [&]() -> StatusOr<size_t> {
+        if (use_optimistic) {
+          OptimisticReaderHooks hooks(&latch_table_);
+          return executor_->QueryOptimistic(window, &hooks, nullptr,
+                                            pruned);
+        }
+        PageLatchSet latches(&latch_table_);
+        ReaderHooks hooks(&latches);
+        return executor_->QueryCoupled(window, &hooks, nullptr, pruned);
+      }();
+      if (result.status().code() == StatusCode::kLatchContention) {
+        continue;
+      }
+      // Bracket re-check: a re-insertion may have evicted mid-scan. Its
+      // `started` bump happens under the evicting leaf's X latch, so if
+      // this scan observed any post-eviction page the bump is visible
+      // here (X-release → S/snapshot-acquire ordering on the stripe).
+      if (reinsert_started_.load(std::memory_order_acquire) != bracket) {
+        continue;
+      }
+      coupled_queries_.fetch_add(1, std::memory_order_relaxed);
+      if (result.ok()) {
+        if (use_optimistic) {
+          optimistic_queries_.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (pruned && executor_->use_summary() &&
+            system_->tree().root_level() >= 1) {
+          pruned_queries_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      *ios = PageStore::thread_io();
+      return result;
     }
   }
-  // Starved past the retry budget: drain and run single-threaded.
+  // Starved past the retry budget: drain and run single-threaded. The
+  // acquire waits out any open reinsert bracket (never while holding
+  // the gate) so the drained scan sees every logically present object.
   compound_smos_.fetch_add(1, std::memory_order_relaxed);
-  std::unique_lock<DrainGate> xgate(smo_gate_);
+  std::unique_lock<DrainGate> xgate(smo_gate_, std::defer_lock);
+  AcquireCompoundGate(xgate);
   StatusOr<size_t> result = executor_->Query(window);
   *ios = PageStore::thread_io();  // includes the aborted coupled attempts
   return result;

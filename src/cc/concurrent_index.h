@@ -74,6 +74,19 @@ const char* LatchModeName(LatchMode mode);
 /// false and leaves `out` untouched on anything else.
 bool ParseLatchMode(const std::string& s, LatchMode* out);
 
+/// How coupled-mode window queries read tree pages.
+enum class ReadMode {
+  kLatched,     ///< S-latch-couple every level (original coupled behavior)
+  kOptimistic,  ///< version-validated snapshot descent, latch-free between
+                ///< levels; falls back to kLatched when restarts starve
+};
+
+const char* ReadModeName(ReadMode mode);
+
+/// Parses "latched" / "optimistic" (case-sensitive); returns false and
+/// leaves `out` untouched on anything else.
+bool ParseReadMode(const std::string& s, ReadMode* out);
+
 struct ConcurrencyOptions {
   uint32_t grid_bits = 6;         ///< 64x64 spatial granules
   uint64_t io_latency_us = 100;   ///< simulated disk latency per page I/O
@@ -84,6 +97,9 @@ struct ConcurrencyOptions {
   /// latching overlaps I/O stalls that the global latch serializes.
   bool io_latency_in_op = false;
   LatchMode latch_mode = LatchMode::kGlobal;
+  /// Coupled-mode query read path (ignored by the other latch modes,
+  /// whose queries run under the tree-wide latch anyway).
+  ReadMode read_mode = ReadMode::kLatched;
   /// Stripes in the page-latch table (rounded up to a power of two).
   size_t latch_stripes = LatchTable::kDefaultStripes;
   LockManagerOptions lock;
@@ -114,6 +130,18 @@ struct LatchModeStats {
   /// Latch-coupled descent attempts that hit a try-latch collision and
   /// restarted (updates, inserts, and queries combined).
   uint64_t descent_restarts = 0;
+  /// Coupled mode, --read-mode optimistic: queries completed through the
+  /// version-validated snapshot descent.
+  uint64_t optimistic_queries = 0;
+  /// Optimistic queries whose restart budget starved and that fell back
+  /// to the S-coupled read path.
+  uint64_t optimistic_fallbacks = 0;
+  /// Coupled-mode queries that completed through a summary-pruned,
+  /// epoch-validated plan instead of a full root descent.
+  uint64_t pruned_queries = 0;
+  /// Entries evicted by coupled forced re-insertion (and re-inserted
+  /// under the reinsert visibility bracket).
+  uint64_t coupled_reinserts = 0;
 };
 
 class ConcurrentIndex {
@@ -178,9 +206,33 @@ class ConcurrentIndex {
   /// RTree::InsertCoupled until it commits or the attempt budget runs
   /// out (Status::LatchContention — the caller goes compound). A
   /// nonzero `pending_token` marks the insert as the completion of a
-  /// WAL pending-reinsert record.
+  /// WAL pending-reinsert record. A non-null `evicted` enables coupled
+  /// forced re-insertion (when the tree is configured for it): on an
+  /// eviction the method logs one WAL pending note per evicted entry in
+  /// the eviction record, opens the reinsert visibility bracket
+  /// (reinsert_started_), and returns the entries + tokens — the caller
+  /// MUST re-insert them and close the bracket (see
+  /// CoupledInsertWithReinsert).
   Status InsertCoupledWithRetry(ObjectId oid, const Rect& rect,
-                                uint64_t pending_token = 0);
+                                uint64_t pending_token = 0,
+                                std::vector<LeafEntry>* evicted = nullptr,
+                                std::vector<uint64_t>* evicted_tokens = nullptr);
+
+  /// Coupled-mode insert owning the forced-reinsert lifecycle: acquires
+  /// the SMO gate shared, runs the insert with eviction enabled, then
+  /// re-inserts every evicted entry (starved ones complete under the
+  /// exclusive gate — acquired directly, since the open bracket is this
+  /// thread's own) and closes the bracket. Returns LatchContention only
+  /// when the *primary* insert starved with no eviction, in which case
+  /// the caller falls through to the ordinary compound insert.
+  Status CoupledInsertWithReinsert(ObjectId oid, const Rect& rect);
+
+  /// Acquires the compound-SMO gate exclusively, waiting out any open
+  /// reinsert visibility bracket with a release-and-retry loop — never
+  /// waiting while holding the gate, because the bracket holder may
+  /// itself need the exclusive gate to finish a starved re-insert.
+  /// `lk` must be a deferred lock on smo_gate_.
+  void AcquireCompoundGate(std::unique_lock<DrainGate>& lk);
 
   IndexSystem* system_;
   UpdateStrategy* strategy_;
@@ -215,6 +267,22 @@ class ConcurrentIndex {
   std::atomic<uint64_t> compound_smos_{0};
   std::atomic<uint64_t> split_unsafe_plans_{0};
   std::atomic<uint64_t> descent_restarts_{0};
+  std::atomic<uint64_t> optimistic_queries_{0};
+  std::atomic<uint64_t> optimistic_fallbacks_{0};
+  std::atomic<uint64_t> pruned_queries_{0};
+  std::atomic<uint64_t> coupled_reinserts_{0};
+  /// Reinsert visibility bracket (seqlock over the eviction gap): a
+  /// coupled forced re-insertion bumps `started` while the evicting
+  /// leaf's X latch is still held, re-inserts the evicted entries in
+  /// fresh latch scopes, then bumps `completed`. While started !=
+  /// completed the evicted objects are physically absent from the tree,
+  /// so queries check the bracket before and after each attempt (the
+  /// X-release/S-acquire ordering on the leaf's stripe makes the
+  /// `started` bump visible to any reader that saw the post-eviction
+  /// leaf), and compound operations wait for it to close before
+  /// proceeding (AcquireCompoundGate).
+  std::atomic<uint64_t> reinsert_started_{0};
+  std::atomic<uint64_t> reinsert_completed_{0};
 };
 
 }  // namespace burtree

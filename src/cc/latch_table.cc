@@ -28,6 +28,31 @@ void LatchTable::WaitForStripe(PageId id) {
   mu.unlock();
 }
 
+uint64_t LatchTable::ReadVersion(PageId page) const {
+  return stripe_version(StripeOf(page)).load(std::memory_order_acquire);
+}
+
+bool LatchTable::ValidateVersion(PageId page, uint64_t version) const {
+  return ReadVersion(page) == version;
+}
+
+bool LatchTable::TryBeginSnapshot(PageId page, uint64_t* version) {
+  const size_t s = StripeOf(page);
+  try_acquires_.fetch_add(1, std::memory_order_relaxed);
+  if (!stripe(s).try_lock_shared()) {
+    try_failures_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  // S-held excludes X, so the stamp is even and stable for the duration
+  // of the snapshot hold.
+  *version = stripe_version(s).load(std::memory_order_acquire);
+  return true;
+}
+
+void LatchTable::EndSnapshot(PageId page) {
+  stripe(StripeOf(page)).unlock_shared();
+}
+
 LatchTableStats LatchTable::stats() const {
   LatchTableStats s;
   s.exclusive_acquires = exclusive_acquires_.load(std::memory_order_relaxed);
@@ -60,6 +85,7 @@ void PageLatchSet::AcquireExclusive(const std::vector<PageId>& pages) {
   stripes.erase(std::unique(stripes.begin(), stripes.end()), stripes.end());
   for (size_t s : stripes) {
     table_->stripe(s).lock();
+    table_->stripe_version(s).fetch_add(1, std::memory_order_release);
     table_->exclusive_acquires_.fetch_add(1, std::memory_order_relaxed);
     held_.push_back(Held{s, /*exclusive=*/true, 1});
   }
@@ -72,6 +98,7 @@ void PageLatchSet::AcquireExclusive(PageId page) {
   BURTREE_CHECK(held_.empty());
   const size_t s = table_->StripeOf(page);
   table_->stripe(s).lock();
+  table_->stripe_version(s).fetch_add(1, std::memory_order_release);
   table_->exclusive_acquires_.fetch_add(1, std::memory_order_relaxed);
   held_.push_back(Held{s, /*exclusive=*/true, 1});
 }
@@ -92,6 +119,7 @@ bool PageLatchSet::TryExtendExclusive(PageId page) {
     table_->try_failures_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
+  table_->stripe_version(s).fetch_add(1, std::memory_order_release);
   held_.push_back(Held{s, /*exclusive=*/true, 1});
   return true;
 }
@@ -101,6 +129,7 @@ void PageLatchSet::ReleaseExclusive(PageId page) {
   Held* h = Find(s);
   BURTREE_CHECK(h != nullptr && h->exclusive && h->refs > 0);
   if (--h->refs == 0) {
+    table_->stripe_version(s).fetch_add(1, std::memory_order_release);
     table_->stripe(s).unlock();
     held_.erase(held_.begin() + (h - held_.data()));
   }
@@ -145,6 +174,7 @@ void PageLatchSet::ReleaseShared(PageId page) {
 void PageLatchSet::ReleaseAll() {
   for (const Held& h : held_) {
     if (h.exclusive) {
+      table_->stripe_version(h.stripe).fetch_add(1, std::memory_order_release);
       table_->stripe(h.stripe).unlock();
     } else {
       table_->stripe(h.stripe).unlock_shared();

@@ -89,7 +89,42 @@ class LatchTable {
   /// Blocking acquire+release of `id`'s stripe while holding nothing —
   /// the coupled descent's "wait for the contended stripe to drain, then
   /// restart" step. Never deadlocks: the caller holds no latch.
+  /// Deliberately does not bump the stripe version: nothing mutates under
+  /// the momentary hold, so optimistic readers must not restart for it.
   void WaitForStripe(PageId id);
+
+  /// -- Optimistic version-validated reads ---------------------------------
+  ///
+  /// Every stripe carries a version stamp bumped once on each exclusive
+  /// acquire and once on each exclusive release, so the stamp is odd
+  /// exactly while a writer holds the stripe and differs across any
+  /// write. The optimistic protocol (RTree::QueryOptimistic):
+  ///
+  ///   1. TryBeginSnapshot(page, &v) — momentary try-shared hold; under
+  ///      it the caller copies the page bytes into a private buffer
+  ///      (never torn: S excludes X, and v is necessarily even).
+  ///   2. EndSnapshot(page) — drop the shared hold; from here the reader
+  ///      holds no latch while it descends into the copied node.
+  ///   3. ValidateVersion(page, v) — latch-free acquire-load; equality
+  ///      proves no writer touched the stripe since step 1, i.e. the
+  ///      links followed out of the snapshot were current the whole time.
+  ///
+  /// False restarts from stripe collisions are possible (strictly more
+  /// invalidation, never less), which only costs a retry.
+
+  /// Current version stamp of `page`'s stripe (acquire load).
+  uint64_t ReadVersion(PageId page) const;
+
+  /// True iff `page`'s stripe version still equals `version`.
+  bool ValidateVersion(PageId page, uint64_t version) const;
+
+  /// Non-blocking shared acquisition of `page`'s stripe paired with its
+  /// version stamp. On success the caller must EndSnapshot(page) after
+  /// copying; on failure (writer present) nothing is held.
+  bool TryBeginSnapshot(PageId page, uint64_t* version);
+
+  /// Releases the shared hold taken by a successful TryBeginSnapshot.
+  void EndSnapshot(PageId page);
 
   LatchTableStats stats() const;
 
@@ -98,7 +133,16 @@ class LatchTable {
 
   struct Stripe {
     DrainGate mu;
+    /// Bumped by PageLatchSet once after every exclusive lock and once
+    /// before every exclusive unlock — odd while X-held, different after
+    /// any write. Shared holds never touch it.
+    std::atomic<uint64_t> version{0};
   };
+  std::atomic<uint64_t>& stripe_version(size_t s) { return stripes_[s]->version; }
+  const std::atomic<uint64_t>& stripe_version(size_t s) const {
+    return stripes_[s]->version;
+  }
+
   std::vector<std::unique_ptr<Stripe>> stripes_;
   size_t mask_ = 0;
 

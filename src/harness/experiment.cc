@@ -173,6 +173,9 @@ StatusOr<ThroughputResult> RunThroughput(const ThroughputConfig& config) {
   if (config.base.latch_mode != LatchMode::kGlobal) {
     copts.latch_mode = config.base.latch_mode;
   }
+  if (config.base.read_mode != ReadMode::kLatched) {
+    copts.read_mode = config.base.read_mode;
+  }
   ConcurrentIndex index(fx.system.get(), fx.strategy.get(),
                         fx.executor.get(), copts);
 
@@ -207,7 +210,16 @@ StatusOr<ThroughputResult> RunThroughput(const ThroughputConfig& config) {
                             0.0, 1.0);
           to.y = std::clamp(to.y < 0 ? -to.y : (to.y > 1 ? 2 - to.y : to.y),
                             0.0, 1.0);
-          if (!index.Update(oid, from, to).ok()) {
+          // A residual wait-die Abort can escape the DGL retry budget
+          // under a pathologically hot granule; the abort happens before
+          // any tree mutation, so the op is safely re-runnable — retry
+          // here instead of failing the whole run.
+          Status st = index.Update(oid, from, to);
+          while (st.code() == StatusCode::kAborted && !failed) {
+            std::this_thread::yield();
+            st = index.Update(oid, from, to);
+          }
+          if (!st.ok()) {
             failed = true;
             break;
           }
@@ -215,7 +227,12 @@ StatusOr<ThroughputResult> RunThroughput(const ThroughputConfig& config) {
         } else {
           const Rect w =
               WorkloadGenerator::QueryWindowFrom(rng, config.query_max_dim);
-          if (!index.Query(w).ok()) {
+          StatusOr<size_t> qr = index.Query(w);
+          while (qr.status().code() == StatusCode::kAborted && !failed) {
+            std::this_thread::yield();
+            qr = index.Query(w);
+          }
+          if (!qr.ok()) {
             failed = true;
             break;
           }

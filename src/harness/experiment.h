@@ -49,6 +49,11 @@ struct ExperimentConfig {
   /// single-threaded pipeline; RunThroughput copies it into the
   /// ConcurrencyOptions it builds the ConcurrentIndex with.
   LatchMode latch_mode = LatchMode::kGlobal;
+  /// Coupled-mode query read path (`--read-mode latched|optimistic` on
+  /// the benches): kOptimistic replaces the S-coupled query descent with
+  /// version-validated snapshot reads. Ignored outside kCoupled;
+  /// RunThroughput copies it into ConcurrencyOptions like latch_mode.
+  ReadMode read_mode = ReadMode::kLatched;
   size_t page_size = 1024;
   SplitAlgorithm split = SplitAlgorithm::kQuadratic;
   /// R*-style forced re-insertion on overflow (see TreeOptions).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstring>
 #include <queue>
 #include <thread>
 
@@ -889,7 +890,8 @@ Status RTree::QuerySubtreeCoupled(PageId page, const Rect& window,
 // ---------------------------------------------------------------------------
 
 Status RTree::InsertCoupled(ObjectId oid, const Rect& rect,
-                            ExclusiveLatchHooks* hooks) {
+                            ExclusiveLatchHooks* hooks,
+                            CoupledReinsert* reinsert) {
   BURTREE_CHECK(hooks != nullptr);
   BURTREE_CHECK(t_coupled_ctx == nullptr);  // no nesting
 
@@ -949,6 +951,26 @@ Status RTree::InsertCoupled(ObjectId oid, const Rect& rect,
       }
       cur = chosen.child;
     }
+  }
+
+  // Coupled forced re-insertion: a full leaf whose parent is still
+  // retained (a full child is never split-safe, so the parent latch was
+  // kept) is relieved by evicting its farthest entries instead of
+  // splitting — no page allocation, no promoted entry, one atomic
+  // mutation under the already-held latches. The evicted entries return
+  // to the caller, which re-inserts them in fresh descents (with
+  // reinsert disabled there, so the recursion is one level deep). A
+  // root leaf (retained.size() == 1) still splits: eviction cannot
+  // relieve a tree that needs to grow.
+  if (reinsert != nullptr && reinsert->enabled && retained.back().full &&
+      retained.size() >= 2) {
+    std::vector<PageId> path;
+    path.reserve(retained.size());
+    for (const Retained& a : retained) path.push_back(a.page);
+    const Status st = CoupledReinsertOverflow(path, rect, oid,
+                                              &reinsert->evicted);
+    if (st.ok()) stats_.inserts.fetch_add(1, std::memory_order_relaxed);
+    return st;
   }
 
   // Reservation, still pre-mutation: the maximal suffix of full retained
@@ -1022,6 +1044,77 @@ Status RTree::InsertCoupled(ObjectId oid, const Rect& rect,
   return st;
 }
 
+Status RTree::CoupledReinsertOverflow(const std::vector<PageId>& path,
+                                      const Rect& rect, ObjectId oid,
+                                      std::vector<LeafEntry>* evicted) {
+  const PageId leaf_id = path.back();
+  PageGuard g = PageGuard::Fetch(pool_, leaf_id);
+  NodeView v = View(g);
+  BURTREE_CHECK(v.is_leaf() && v.full());
+
+  // R* ordering: evict the entries whose centers lie farthest from the
+  // leaf's center. The pending entry is excluded from eviction so the
+  // insert itself completes in this mutation.
+  const Point center = v.mbr().Center();
+  std::vector<uint32_t> order(v.count());
+  for (uint32_t k = 0; k < v.count(); ++k) order[k] = k;
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return v.entry_rect(a).Center().DistanceTo(center) >
+           v.entry_rect(b).Center().DistanceTo(center);
+  });
+  uint32_t evict = std::max<uint32_t>(
+      1, static_cast<uint32_t>(
+             std::lround(options_.reinsert_fraction * v.capacity())));
+  const uint32_t min_keep = MinFill(/*leaf=*/true);
+  // After evicting `evict` and adding the pending entry the leaf holds
+  // count - evict + 1 entries; keep that at or above min fill.
+  if (v.count() + 1 - evict < min_keep) {
+    evict = v.count() + 1 - min_keep;
+  }
+  BURTREE_CHECK(evict >= 1 && evict <= v.count());
+
+  std::vector<LeafEntry> kept;
+  kept.reserve(v.count() - evict);
+  for (uint32_t k = 0; k < evict; ++k) {
+    evicted->push_back(v.leaf_entry(order[k]));
+  }
+  for (uint32_t k = evict; k < order.size(); ++k) {
+    kept.push_back(v.leaf_entry(order[k]));
+  }
+
+  // Rewrite the leaf with the kept entries plus the pending one and a
+  // tightened cover.
+  v.set_count(0);
+  Rect new_cover = Rect::Empty();
+  for (const LeafEntry& e : kept) {
+    v.AppendLeafEntry(e);
+    new_cover.ExpandToInclude(e.rect);
+  }
+  v.AppendLeafEntry(LeafEntry{rect, oid});
+  new_cover.ExpandToInclude(rect);
+  v.set_mbr(new_cover);
+  g.MarkDirty();
+
+  for (const LeafEntry& e : *evicted) {
+    observer_->OnLeafEntryRemoved(e.oid, leaf_id);
+  }
+  observer_->OnLeafEntryAdded(oid, leaf_id);
+  NotifyLeafOccupancy(leaf_id, v);
+  observer_->OnNodeMbrChanged(leaf_id, /*level=*/0, new_cover);
+  g.Release();
+
+  // Tighten routing entries up the retained (all-latched) path. Above
+  // path[0] nothing changes: the caller's split-safe release rule only
+  // dropped ancestors whose routing entries already contained the new
+  // rect, and eviction only shrinks the leaf cover — a loose routing
+  // entry above the retained top is allowed by the MBR discipline.
+  AdjustAncestors(path, static_cast<int>(path.size()) - 2, leaf_id,
+                  new_cover, /*expand_only=*/false);
+
+  stats_.forced_reinserts.fetch_add(evict, std::memory_order_relaxed);
+  return Status::OK();
+}
+
 Status RTree::QueryCoupledNode(PageId page, const Rect& window,
                                TraversalLatchHooks* hooks,
                                std::vector<LeafEntry>* out) {
@@ -1067,6 +1160,98 @@ Status RTree::QueryCoupled(const Rect& window, const QueryCallback& cb,
     for (const LeafEntry& e : matches) cb(e.oid, e.rect);
   }
   return Status::OK();
+}
+
+Status RTree::QueryOptimisticNode(PageId page, const Rect& window,
+                                  VersionLatchHooks* hooks,
+                                  std::vector<LeafEntry>* out, int* budget) {
+  // Per-frame private copy of the node: the snapshot is taken under a
+  // momentary try-shared stripe hold (so it is never torn and needs no
+  // byte-level atomics — TSan-clean), then the descent walks the copy
+  // holding nothing.
+  std::vector<uint8_t> buf(options_.page_size);
+  while (true) {
+    if (*budget <= 0) {
+      return Status::LatchContention("optimistic restart budget exhausted");
+    }
+    uint64_t ver = 0;
+    if (!hooks->TryBeginSnapshot(page, &ver)) {
+      --*budget;
+      std::this_thread::yield();
+      continue;
+    }
+    {
+      PageGuard g = PageGuard::Fetch(pool_, page);
+      std::memcpy(buf.data(), g.data(), options_.page_size);
+    }
+    hooks->EndSnapshot(page);
+
+    NodeView v(buf.data(), options_.page_size, options_.parent_pointers);
+    if (v.is_leaf()) {
+      // The copy was taken under a shared hold, so it is internally
+      // consistent; whether the *link* that led here was current is the
+      // parent's validate step, not ours.
+      for (uint32_t i = 0; i < v.count(); ++i) {
+        const LeafEntry e = v.leaf_entry(i);
+        if (e.rect.Intersects(window)) out->push_back(e);
+      }
+      return Status::OK();
+    }
+
+    std::vector<LeafEntry> local;
+    Status st = Status::OK();
+    for (uint32_t i = 0; i < v.count(); ++i) {
+      const InternalEntry e = v.internal_entry(i);
+      if (!e.rect.Intersects(window)) continue;
+      st = QueryOptimisticNode(e.child, window, hooks, &local, budget);
+      if (!st.ok()) return st;  // budget exhausted: unwind the whole query
+    }
+    // Validate after the subtree completed: equality proves no writer
+    // touched this node since the snapshot, i.e. every child link
+    // followed above was current throughout. A mismatch discards the
+    // subtree's local matches and restarts this node only.
+    if (!hooks->Validate(page, ver)) {
+      --*budget;
+      continue;
+    }
+    out->insert(out->end(), local.begin(), local.end());
+    return Status::OK();
+  }
+}
+
+Status RTree::QueryOptimisticSubtree(PageId page, const Rect& window,
+                                     VersionLatchHooks* hooks,
+                                     std::vector<LeafEntry>* out,
+                                     int* budget) {
+  return QueryOptimisticNode(page, window, hooks, out, budget);
+}
+
+Status RTree::QueryOptimistic(const Rect& window, const QueryCallback& cb,
+                              VersionLatchHooks* hooks, int restart_budget) {
+  BURTREE_CHECK(hooks != nullptr);
+  int budget = restart_budget;
+  while (true) {
+    if (budget <= 0) {
+      return Status::LatchContention("optimistic query starved");
+    }
+    const PageId r = root();
+    std::vector<LeafEntry> matches;
+    BURTREE_RETURN_IF_ERROR(
+        QueryOptimisticNode(r, window, hooks, &matches, &budget));
+    // Validate-after-scan analogue of InsertCoupled's validate-after-
+    // latch: a root grow mid-descent means the scan of the old root's
+    // subtree may have missed the sibling the split produced. (The old
+    // root's own validate fails too — its split X-latched it — so this
+    // re-check is a cheap second line of defense.)
+    if (root() != r) {
+      --budget;
+      continue;
+    }
+    if (cb) {
+      for (const LeafEntry& e : matches) cb(e.oid, e.rect);
+    }
+    return Status::OK();
+  }
 }
 
 Status RTree::Query(const Rect& window, const QueryCallback& cb,

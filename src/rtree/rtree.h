@@ -81,6 +81,30 @@ class TraversalLatchHooks {
   virtual void ReleaseShared(PageId page) = 0;
 };
 
+/// Version-validated read hooks for the optimistic query descent
+/// (implemented by the cc layer over LatchTable's per-stripe version
+/// stamps — see LatchTable's optimistic-protocol comment).
+///
+/// Contract: TryBeginSnapshot never blocks; on success the caller copies
+/// the page bytes and must EndSnapshot before taking any other snapshot
+/// (the traversal holds at most one momentary shared latch at a time, so
+/// it can never sit inside a wait cycle). Validate is latch-free.
+class VersionLatchHooks {
+ public:
+  virtual ~VersionLatchHooks() = default;
+
+  /// Non-blocking shared acquisition of `page` paired with its version
+  /// stamp; false when a writer holds it (caller backs off and retries).
+  virtual bool TryBeginSnapshot(PageId page, uint64_t* version) = 0;
+
+  /// Releases the hold of a successful TryBeginSnapshot.
+  virtual void EndSnapshot(PageId page) = 0;
+
+  /// True iff no writer touched `page` since the snapshot that returned
+  /// `version`.
+  virtual bool Validate(PageId page, uint64_t version) = 0;
+};
+
 /// Exclusive latch hooks for the latch-coupled insert descent (coupled
 /// latch mode; implemented by the cc layer over its striped page-latch
 /// table).
@@ -103,6 +127,16 @@ class ExclusiveLatchHooks {
   virtual bool TryAcquireExclusive(PageId page) = 0;
 
   virtual void ReleaseExclusive(PageId page) = 0;
+};
+
+/// In/out parameter of RTree::InsertCoupled enabling R*-style forced
+/// re-insertion on the coupled path (see InsertCoupled's comment). The
+/// caller re-inserts `evicted` itself because the re-inserts need fresh
+/// descents (new latch scopes) and WAL pending-note tokens — both owned
+/// by the cc layer, not the tree.
+struct CoupledReinsert {
+  bool enabled = false;
+  std::vector<LeafEntry> evicted;  ///< filled when an eviction happened
 };
 
 class RTree {
@@ -184,11 +218,21 @@ class RTree {
   /// allocated and try-latched *before* the first byte is mutated; any
   /// try-latch failure (descent or reservation) returns
   /// Status::LatchContention with the tree untouched, and the caller
-  /// releases all latches and retries. Forced re-insertion is skipped on
-  /// this path (it re-tightens released ancestors and re-enters from the
-  /// root); overflow always splits. Never takes any tree-wide latch.
+  /// releases all latches and retries. Never takes any tree-wide latch.
+  ///
+  /// Forced re-insertion (R* overflow treatment) on this path goes
+  /// through `reinsert`: when it is non-null with enabled=true and the
+  /// chosen leaf is full with its parent still retained, the leaf is
+  /// relieved by evicting its farthest entries (one atomic mutation —
+  /// rewrite + cover tighten + parent routing update, all under the
+  /// retained latches) instead of splitting; the evicted entries are
+  /// returned in reinsert->evicted and MUST be re-inserted by the caller
+  /// (each logged as a WAL pending note in the same record) while its
+  /// reinsert visibility bracket is open. Null/disabled reinsert means
+  /// overflow always splits (the pre-PR-7 behavior).
   Status InsertCoupled(ObjectId oid, const Rect& rect,
-                       ExclusiveLatchHooks* hooks);
+                       ExclusiveLatchHooks* hooks,
+                       CoupledReinsert* reinsert = nullptr);
 
   /// One attempt at a fully latch-coupled window query (coupled latch
   /// mode): S-latch the root (blocking, holding nothing), then couple
@@ -202,6 +246,32 @@ class RTree {
   /// would race concurrent splits.
   Status QueryCoupled(const Rect& window, const QueryCallback& cb,
                       TraversalLatchHooks* hooks);
+
+  /// Optimistic version-validated window query (latch-free descent): each
+  /// visited node is snapshotted into a private buffer under a momentary
+  /// try-shared latch, the traversal descends through the *copy* holding
+  /// no latch, and after a node's overlapping children complete, the
+  /// node's version is re-validated — a mismatch discards that subtree's
+  /// buffered matches and restarts the node. Matches are buffered and
+  /// emitted only on a fully validated pass. Every snapshot failure or
+  /// validation mismatch spends one unit of `restart_budget`; when it
+  /// runs out the query returns Status::LatchContention (nothing
+  /// emitted) and the caller falls back to the S-coupled path.
+  ///
+  /// Safety: the caller must exclude page frees for the duration (the cc
+  /// layer holds its compound-SMO gate shared), so a stale child link
+  /// always names a valid, formatted page — the validate step then
+  /// rejects whatever was read through it.
+  Status QueryOptimistic(const Rect& window, const QueryCallback& cb,
+                         VersionLatchHooks* hooks, int restart_budget = 64);
+
+  /// Optimistic scan of the subtree rooted at `page` (any level), same
+  /// protocol/budget semantics as QueryOptimistic; used by the
+  /// summary-pruned concurrent query plans. Matches append to `out` only
+  /// when the whole subtree validated.
+  Status QueryOptimisticSubtree(PageId page, const Rect& window,
+                                VersionLatchHooks* hooks,
+                                std::vector<LeafEntry>* out, int* budget);
 
   /// Window query with shared latch-coupling (subtree latch mode).
   /// Levels >= 2 are traversed latch-free — they are only mutated under
@@ -397,6 +467,24 @@ class RTree {
   Status QueryCoupledNode(PageId page, const Rect& window,
                           TraversalLatchHooks* hooks,
                           std::vector<LeafEntry>* out);
+
+  /// Recursive core of QueryOptimistic/QueryOptimisticSubtree: snapshot
+  /// `page`, recurse into overlapping children through the copy, then
+  /// validate `page`'s version; a mismatch restarts this node with its
+  /// local matches discarded. Appends to `out` only on success.
+  Status QueryOptimisticNode(PageId page, const Rect& window,
+                             VersionLatchHooks* hooks,
+                             std::vector<LeafEntry>* out, int* budget);
+
+  /// Coupled-path forced re-insertion (see InsertCoupled): path.back()
+  /// is the full leaf, every path element is retained/X-latched by the
+  /// caller's hooks. Evicts the entries farthest from the leaf center
+  /// into *evicted, inserts the pending entry, tightens the cover, and
+  /// updates ancestor routing entries — one atomic mutation, no page
+  /// allocation.
+  Status CoupledReinsertOverflow(const std::vector<PageId>& path,
+                                 const Rect& rect, ObjectId oid,
+                                 std::vector<LeafEntry>* evicted);
 
   BufferPool* pool_;
   TreeOptions options_;

@@ -43,6 +43,7 @@ size_t BodyLen(const WalRecord& rec, const WalPageImage* images,
                size_t image_count, size_t page_size) {
   size_t n = 0;
   if (rec.logical != WalLogicalKind::kNone) n += kWalLogicalPayloadSize;
+  n += rec.pending.size() * kWalPendingNoteSize;
   for (size_t i = 0; i < image_count; ++i) {
     n += ImageLen(images[i], page_size);
   }
@@ -132,6 +133,7 @@ void EncodeWalRecord(const WalRecord& rec, const WalPageImage* images,
     p += 8;
   };
 
+  BURTREE_CHECK(rec.pending.size() <= 255);
   put32(kWalRecordMagic);
   put32(0);  // crc placeholder
   put64(lsn);
@@ -139,7 +141,7 @@ void EncodeWalRecord(const WalRecord& rec, const WalPageImage* images,
   *p++ = static_cast<uint8_t>(rec.type);
   *p++ = rec.has_root ? 1 : 0;
   *p++ = static_cast<uint8_t>(rec.logical);
-  *p++ = 0;  // reserved
+  *p++ = static_cast<uint8_t>(rec.pending.size());
   put64(static_cast<uint64_t>(rec.root));
   put32(rec.root_level);
   put32(static_cast<uint32_t>(image_count));
@@ -151,6 +153,14 @@ void EncodeWalRecord(const WalRecord& rec, const WalPageImage* images,
     putf64(rec.rect.min_y);
     putf64(rec.rect.max_x);
     putf64(rec.rect.max_y);
+  }
+  for (const WalPendingNote& note : rec.pending) {
+    put64(note.token);
+    put64(note.oid);
+    putf64(note.rect.min_x);
+    putf64(note.rect.min_y);
+    putf64(note.rect.max_x);
+    putf64(note.rect.max_y);
   }
   for (size_t i = 0; i < image_count; ++i) {
     const WalPageImage& img = images[i];
@@ -236,6 +246,20 @@ WalDecodeResult DecodeWalRecord(const uint8_t* in, size_t len,
     rec.rect = Rect(GetF64(p + 8), GetF64(p + 16), GetF64(p + 24),
                     GetF64(p + 32));
     p += kWalLogicalPayloadSize;
+  }
+  const uint8_t pending_count = in[23];
+  if (static_cast<size_t>(end - p) < pending_count * kWalPendingNoteSize) {
+    return WalDecodeResult::kCorrupt;
+  }
+  rec.pending.reserve(pending_count);
+  for (uint8_t i = 0; i < pending_count; ++i) {
+    WalPendingNote note;
+    note.token = GetU64(p);
+    note.oid = GetU64(p + 8);
+    note.rect = Rect(GetF64(p + 16), GetF64(p + 24), GetF64(p + 32),
+                     GetF64(p + 40));
+    p += kWalPendingNoteSize;
+    rec.pending.push_back(note);
   }
   rec.images.reserve(page_count);
   for (uint32_t i = 0; i < page_count; ++i) {

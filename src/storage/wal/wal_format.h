@@ -52,6 +52,20 @@ enum class WalLogicalKind : uint8_t {
   kCompletedInsert = 2,
 };
 
+/// One additional pending re-insert note riding on a record (see
+/// WalRecord::pending): the coupled forced re-insertion evicts several
+/// far entries from a leaf in ONE atomic mutation, and each evicted
+/// entry needs its own kPendingInsert-style note in that same record so
+/// a crash before its re-insert completes cannot lose it.
+struct WalPendingNote {
+  uint64_t token = 0;
+  ObjectId oid = kInvalidObjectId;
+  Rect rect;
+};
+
+/// On-disk size of one WalPendingNote (token + oid + rect).
+inline constexpr size_t kWalPendingNoteSize = 8 + 8 + 4 * 8;
+
 /// One run of changed bytes inside a delta image.
 struct WalExtent {
   uint32_t offset = 0;
@@ -97,6 +111,13 @@ struct WalRecord {
   ObjectId oid = kInvalidObjectId;
   Rect rect;
 
+  /// Extra pending-insert notes (coupled forced re-insertion evictions),
+  /// orthogonal to `logical`: a record may carry a kCompletedInsert AND
+  /// a pending list when an escalated re-insert itself evicts. Replay
+  /// treats each note exactly like a kPendingInsert. At most 255 per
+  /// record (u8 count in the header's former reserved byte).
+  std::vector<WalPendingNote> pending;
+
   /// After-images, applied in order during replay (within one record the
   /// capture order equals the mutation order). A page re-dirtied within
   /// one operation appears multiple times — later images are deltas
@@ -109,11 +130,12 @@ struct WalRecord {
 ///   [ 4] u32 crc32            over bytes [16, 48 + body_len)
 ///   [ 8] u64 lsn              must equal the record's file position LSN
 ///   [16] u32 body_len         bytes following the header
-///   [20] u8  type, u8 has_root, u8 logical_kind, u8 reserved
+///   [20] u8  type, u8 has_root, u8 logical_kind, u8 pending_count
 ///   [24] u64 root  (page id widened)
 ///   [32] u32 root_level, u32 page_count
 ///   [40] u64 token
-///   [48] body: [oid u64 + rect 4*f64]? then page_count images, each
+///   [48] body: [oid u64 + rect 4*f64]? then pending_count *
+///        (u64 token + u64 oid + rect 4*f64), then page_count images, each
 ///        u64 id_and_flags (bit 32 = delta), then either the full page
 ///        (page_size bytes) or u32 extent_count + extent_count *
 ///        (u32 offset + u32 length) + the concatenated extent payloads

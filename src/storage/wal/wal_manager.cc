@@ -52,6 +52,7 @@ struct ScopeScratch {
     rec.token = 0;
     rec.oid = kInvalidObjectId;
     rec.rect = Rect();
+    rec.pending.clear();
     images_used = 0;  // elements beyond keep their capacity
     captured.clear();
     frees.clear();
@@ -558,6 +559,9 @@ StatusOr<WalRecoveryInfo> WalManager::Replay(const std::string& path,
     } else if (rec.logical == WalLogicalKind::kCompletedInsert) {
       pending.erase(rec.token);
     }
+    for (const WalPendingNote& note : rec.pending) {
+      pending[note.token] = WalPendingInsert{note.token, note.oid, note.rect};
+    }
     info.records_applied++;
     off += consumed;
   }
@@ -608,6 +612,12 @@ void WalOpScope::SetCompletedInsert(uint64_t token) {
   if (wal_ == nullptr) return;
   t_scratch.rec.logical = WalLogicalKind::kCompletedInsert;
   t_scratch.rec.token = token;
+}
+
+void WalOpScope::AddPendingInsert(uint64_t token, ObjectId oid,
+                                  const Rect& rect) {
+  if (wal_ == nullptr) return;
+  t_scratch.rec.pending.push_back(WalPendingNote{token, oid, rect});
 }
 
 void WalOpScope::CapturePage(BufferPool* pool, Page* page) {

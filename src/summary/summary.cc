@@ -171,7 +171,16 @@ std::vector<PageId> SummaryStructure::OverlappingAtLevel(const Rect& window,
 
 std::vector<PageId> SummaryStructure::OverlappingLeafParents(
     const Rect& window) const {
+  return OverlappingLeafParents(window, nullptr);
+}
+
+std::vector<PageId> SummaryStructure::OverlappingLeafParents(
+    const Rect& window, uint64_t* epoch) const {
   std::shared_lock lock(mu_);
+  // Stamp under the same shared hold that reads the table: mutators bump
+  // under the unique lock, so the plan below is exactly the table state
+  // at this epoch.
+  if (epoch != nullptr) *epoch = epoch_.load(std::memory_order_acquire);
   std::vector<PageId> frontier;
   auto rit = internal_.find(root_);
   if (rit == internal_.end()) return frontier;  // root is a leaf
@@ -224,6 +233,7 @@ void SummaryStructure::OnNodeCreated(PageId page, Level level) {
     NodeInfo info;
     info.level = level;
     internal_[page] = std::move(info);
+    epoch_.fetch_add(1, std::memory_order_release);
   }
 }
 
@@ -234,6 +244,7 @@ void SummaryStructure::OnNodeFreed(PageId page, Level level) {
     leaf_parent_.erase(page);
   } else {
     internal_.erase(page);
+    epoch_.fetch_add(1, std::memory_order_release);
   }
 }
 
@@ -243,10 +254,12 @@ void SummaryStructure::OnNodeMbrChanged(PageId page, Level level,
   std::unique_lock lock(mu_);
   auto it = internal_.find(page);
   if (it != internal_.end()) it->second.mbr = mbr;
+  epoch_.fetch_add(1, std::memory_order_release);
 }
 
 void SummaryStructure::OnChildLinked(PageId parent, PageId child) {
   std::unique_lock lock(mu_);
+  epoch_.fetch_add(1, std::memory_order_release);
   auto pit = internal_.find(parent);
   BURTREE_DCHECK(pit != internal_.end());
   if (pit == internal_.end()) return;
@@ -261,6 +274,7 @@ void SummaryStructure::OnChildLinked(PageId parent, PageId child) {
 
 void SummaryStructure::OnChildUnlinked(PageId parent, PageId child) {
   std::unique_lock lock(mu_);
+  epoch_.fetch_add(1, std::memory_order_release);
   auto pit = internal_.find(parent);
   if (pit != internal_.end()) {
     auto& ch = pit->second.children;
@@ -289,6 +303,7 @@ void SummaryStructure::OnLeafOccupancyChanged(PageId leaf, uint32_t count,
 
 void SummaryStructure::OnRootChanged(PageId new_root, Level new_level) {
   std::unique_lock lock(mu_);
+  epoch_.fetch_add(1, std::memory_order_release);
   root_ = new_root;
   root_level_ = new_level;
   auto it = internal_.find(new_root);

@@ -13,6 +13,7 @@
 // Thread-safe: the throughput experiment mutates it from many threads.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <shared_mutex>
@@ -97,6 +98,24 @@ class SummaryStructure : public TreeObserver {
   /// `window`. Precondition: root_level() >= 1.
   std::vector<PageId> OverlappingLeafParents(const Rect& window) const;
 
+  /// Epoch-stamped variant for the concurrent pruned-query plans: the
+  /// plan and `*epoch` are taken atomically (both under the table's
+  /// shared lock), so ValidateEpoch(epoch) after the scan proves no
+  /// structural change (node create/free, link change, internal MBR
+  /// adjustment, root change) invalidated the plan while it was used.
+  /// Any plan/tree divergence implies such a change, and every one of
+  /// them fires an observer callback under the page X latches involved —
+  /// i.e. before a query's S acquisition of the affected pages could
+  /// succeed — so an unchanged epoch makes the pruned scan equivalent to
+  /// a full-level scan.
+  std::vector<PageId> OverlappingLeafParents(const Rect& window,
+                                             uint64_t* epoch) const;
+
+  /// Current structural epoch (acquire load).
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+  /// True iff no structural change was published since `epoch`.
+  bool ValidateEpoch(uint64_t epoch) const { return this->epoch() == epoch; }
+
   // ---- Size accounting (paper §3.2 claims: entry ≈ 20.4% of a node,
   //      table ≈ 0.16% of the tree) ----
 
@@ -124,6 +143,10 @@ class SummaryStructure : public TreeObserver {
 
  private:
   mutable std::shared_mutex mu_;
+  /// Structural epoch: bumped (under mu_) by every mutation that can
+  /// invalidate a pruned query plan. Leaf occupancy flips are excluded —
+  /// they never change which level-1 nodes overlap a window.
+  std::atomic<uint64_t> epoch_{0};
   std::unordered_map<PageId, NodeInfo> internal_;
   std::unordered_map<PageId, bool> leaf_full_;
   std::unordered_map<PageId, PageId> leaf_parent_;

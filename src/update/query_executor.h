@@ -25,15 +25,33 @@ class QueryExecutor {
                          const RTree::QueryCallback& cb = nullptr,
                          TraversalLatchHooks* hooks = nullptr);
 
-  /// One attempt at a fully latch-coupled query (coupled latch mode):
-  /// every level is traversed under coupled shared latches and summary
-  /// pruning is skipped — internal nodes may split under page latches in
-  /// this mode, so a summary plan could go stale mid-query. Returns
-  /// Status::LatchContention when a try-latch collides; the caller
-  /// releases everything and retries.
+  /// One attempt at a fully latch-coupled query (coupled latch mode).
+  /// With `pruned` (and a summary attached), the summary plans the
+  /// overlapping parents-of-leaves and stamps the plan's structural
+  /// epoch; each planned subtree is scanned under coupled shared latches
+  /// and the epoch is re-validated before anything is emitted — internal
+  /// nodes may split under page latches in this mode, so a stale plan
+  /// (epoch moved) returns Status::LatchContention and the caller
+  /// retries, eventually with pruned=false (the root-anchored coupled
+  /// descent, which reads every link under its parent's latch). Plain
+  /// try-latch collisions return Status::LatchContention too.
   StatusOr<size_t> QueryCoupled(const Rect& window,
                                 TraversalLatchHooks* hooks,
-                                const RTree::QueryCallback& cb = nullptr);
+                                const RTree::QueryCallback& cb = nullptr,
+                                bool pruned = false);
+
+  /// One attempt at an optimistic version-validated query (coupled latch
+  /// mode, --read-mode optimistic): latch-free snapshot descent with
+  /// validate-after-read (see RTree::QueryOptimistic), summary-pruned
+  /// exactly like QueryCoupled when `pruned`. `budget` bounds snapshot
+  /// failures + validation restarts across the whole call; exhaustion
+  /// (or a stale plan epoch) returns Status::LatchContention and the
+  /// caller falls back — first to an unpruned optimistic pass, then to
+  /// the S-coupled path.
+  StatusOr<size_t> QueryOptimistic(const Rect& window,
+                                   VersionLatchHooks* hooks,
+                                   const RTree::QueryCallback& cb = nullptr,
+                                   bool pruned = false, int budget = 64);
 
   bool use_summary() const { return use_summary_; }
 

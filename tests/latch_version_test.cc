@@ -1,0 +1,201 @@
+// Unit pack for the per-stripe version stamps behind optimistic
+// version-validated reads (cc/latch_table) and for the restart-budget
+// fallback of RTree::QueryOptimistic:
+//   * every exclusive acquire and release bumps the stamp (odd while
+//     X-held), shared holds and WaitForStripe never do;
+//   * a torn read is detected: any writer pass over the stripe between
+//     snapshot and validation fails ValidateVersion;
+//   * TryBeginSnapshot fails while a writer holds the stripe;
+//   * the optimistic descent returns LatchContention once its restart
+//     budget starves (always-failing snapshot or always-stale validate);
+//   * the stamp is 64-bit: a 16-bit counter would wrap back to its old
+//     value after 2^16 writer passes (classic ABA) — ours must not.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cc/latch_table.h"
+#include "concurrency_test_util.h"
+
+namespace burtree {
+namespace {
+
+TEST(LatchVersionTest, ExclusiveAcquireAndReleaseEachBumpOnce) {
+  LatchTable table(64);
+  const PageId page = 7;
+  const uint64_t v0 = table.ReadVersion(page);
+  EXPECT_TRUE(table.ValidateVersion(page, v0));
+  {
+    PageLatchSet set(&table);
+    set.AcquireExclusive(page);
+    // Odd while held, and already distinct from the snapshot stamp.
+    EXPECT_EQ(table.ReadVersion(page), v0 + 1);
+    EXPECT_EQ(table.ReadVersion(page) % 2, 1u);
+    EXPECT_FALSE(table.ValidateVersion(page, v0));
+  }
+  EXPECT_EQ(table.ReadVersion(page), v0 + 2);
+  EXPECT_FALSE(table.ValidateVersion(page, v0));
+  EXPECT_TRUE(table.ValidateVersion(page, v0 + 2));
+}
+
+TEST(LatchVersionTest, TryExtendAndSetAcquireBumpToo) {
+  LatchTable table(64);
+  const PageId a = 3, b = 4;
+  const uint64_t va = table.ReadVersion(a);
+  const uint64_t vb = table.ReadVersion(b);
+  {
+    PageLatchSet set(&table);
+    set.AcquireExclusive(std::vector<PageId>{a});
+    ASSERT_TRUE(set.TryExtendExclusive(b));
+    EXPECT_EQ(table.ReadVersion(a), va + 1);
+    EXPECT_EQ(table.ReadVersion(b), vb + 1);
+  }
+  EXPECT_EQ(table.ReadVersion(a), va + 2);
+  EXPECT_EQ(table.ReadVersion(b), vb + 2);
+}
+
+TEST(LatchVersionTest, SharedHoldsAndStripeWaitsNeverBump) {
+  LatchTable table(64);
+  const PageId page = 11;
+  const uint64_t v0 = table.ReadVersion(page);
+  {
+    PageLatchSet set(&table);
+    set.AcquireShared(page);
+    EXPECT_EQ(table.ReadVersion(page), v0);  // readers are invisible
+  }
+  table.WaitForStripe(page);  // momentary X with no mutation under it
+  EXPECT_EQ(table.ReadVersion(page), v0);
+  EXPECT_TRUE(table.ValidateVersion(page, v0));
+}
+
+TEST(LatchVersionTest, SnapshotFailsWhileWriterHolds) {
+  LatchTable table(64);
+  const PageId page = 5;
+  PageLatchSet writer(&table);
+  writer.AcquireExclusive(page);
+  uint64_t v = 0;
+  EXPECT_FALSE(table.TryBeginSnapshot(page, &v));
+  writer.ReleaseAll();
+  ASSERT_TRUE(table.TryBeginSnapshot(page, &v));
+  EXPECT_EQ(v % 2, 0u);  // never a mid-write stamp
+  table.EndSnapshot(page);
+  EXPECT_TRUE(table.ValidateVersion(page, v));
+}
+
+TEST(LatchVersionTest, WriterPassBetweenSnapshotAndValidateIsDetected) {
+  LatchTable table(64);
+  const PageId page = 19;
+  uint64_t v = 0;
+  ASSERT_TRUE(table.TryBeginSnapshot(page, &v));
+  table.EndSnapshot(page);
+  {
+    PageLatchSet writer(&table);
+    writer.AcquireExclusive(page);  // the "torn" write
+  }
+  EXPECT_FALSE(table.ValidateVersion(page, v));
+}
+
+TEST(LatchVersionTest, SixtyFourBitStampDefeats16BitAbaWrap) {
+  LatchTable table(1);  // one stripe: every pass hits it
+  const PageId page = 0;
+  const uint64_t v0 = table.ReadVersion(page);
+  // 2^16 writer passes = 2^17 bumps: a 16-bit stamp would have wrapped
+  // to exactly v0 and a snapshot taken before the storm would validate
+  // against a completely rewritten page.
+  for (int i = 0; i < (1 << 16); ++i) {
+    PageLatchSet writer(&table);
+    writer.AcquireExclusive(page);
+  }
+  EXPECT_EQ(table.ReadVersion(page), v0 + (1u << 17));
+  EXPECT_FALSE(table.ValidateVersion(page, v0));
+  EXPECT_FALSE(table.ValidateVersion(page, v0 + (1u << 16)));
+}
+
+/// Hooks whose snapshots never begin: every attempt burns restart
+/// budget, so the descent must starve into LatchContention.
+class NeverBeginsHooks final : public VersionLatchHooks {
+ public:
+  bool TryBeginSnapshot(PageId, uint64_t*) override { return false; }
+  void EndSnapshot(PageId) override {}
+  bool Validate(PageId, uint64_t) override { return true; }
+};
+
+/// Hooks whose validations always fail: snapshots copy fine (through a
+/// real latch table) but every internal node re-validation reports a
+/// stale read, so the descent must starve too.
+class AlwaysStaleHooks final : public VersionLatchHooks {
+ public:
+  explicit AlwaysStaleHooks(LatchTable* table) : table_(table) {}
+  bool TryBeginSnapshot(PageId page, uint64_t* v) override {
+    return table_->TryBeginSnapshot(page, v);
+  }
+  void EndSnapshot(PageId page) override { table_->EndSnapshot(page); }
+  bool Validate(PageId, uint64_t) override { return false; }
+
+ private:
+  LatchTable* table_;
+};
+
+/// Well-behaved hooks over a real table: the full-space optimistic scan
+/// must see every object.
+class RealTableHooks final : public VersionLatchHooks {
+ public:
+  explicit RealTableHooks(LatchTable* table) : table_(table) {}
+  bool TryBeginSnapshot(PageId page, uint64_t* v) override {
+    return table_->TryBeginSnapshot(page, v);
+  }
+  void EndSnapshot(PageId page) override { table_->EndSnapshot(page); }
+  bool Validate(PageId page, uint64_t v) override {
+    return table_->ValidateVersion(page, v);
+  }
+
+ private:
+  LatchTable* table_;
+};
+
+class OptimisticFallbackTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cfg_.strategy = StrategyKind::kGeneralizedBottomUp;
+    cfg_.page_size = 512;  // several levels at 800 objects
+    cfg_.workload.num_objects = 800;
+    cfg_.workload.seed = 42;
+    WorkloadGenerator workload(cfg_.workload);
+    fx_ = MakeFixture(cfg_);
+    ASSERT_TRUE(BuildIndex(cfg_, workload, &fx_).ok());
+    ASSERT_GE(fx_.system->tree().root_level(), 1);
+  }
+
+  ExperimentConfig cfg_;
+  StrategyFixture fx_;
+};
+
+TEST_F(OptimisticFallbackTest, StarvedSnapshotsExhaustBudgetToContention) {
+  NeverBeginsHooks hooks;
+  const Status st = fx_.system->tree().QueryOptimistic(
+      Rect(0, 0, 1, 1), [](ObjectId, const Rect&) {}, &hooks,
+      /*restart_budget=*/8);
+  EXPECT_EQ(st.code(), StatusCode::kLatchContention);
+}
+
+TEST_F(OptimisticFallbackTest, PerpetuallyStaleValidationsStarveToo) {
+  LatchTable table(256);
+  AlwaysStaleHooks hooks(&table);
+  const Status st = fx_.system->tree().QueryOptimistic(
+      Rect(0, 0, 1, 1), [](ObjectId, const Rect&) {}, &hooks,
+      /*restart_budget=*/8);
+  EXPECT_EQ(st.code(), StatusCode::kLatchContention);
+}
+
+TEST_F(OptimisticFallbackTest, QuiescentOptimisticScanSeesEverything) {
+  LatchTable table(256);
+  RealTableHooks hooks(&table);
+  uint64_t count = 0;
+  const Status st = fx_.system->tree().QueryOptimistic(
+      Rect(0, 0, 1, 1), [&](ObjectId, const Rect&) { ++count; }, &hooks);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(count, cfg_.workload.num_objects);
+}
+
+}  // namespace
+}  // namespace burtree
