@@ -1,0 +1,171 @@
+// Batched vs per-op update ingestion: sweeps a clients x workers x batch
+// grid over the ConcurrentIndex. workers=0 is the thread-per-client
+// baseline (every client calls Update directly); workers>0 routes the
+// same clients through the IngestPool's per-shard MPSC queues, where a
+// fixed worker pool group-executes batches — one DGL acquisition per
+// batch and one page-latch/WAL scope per leaf group. The interesting
+// columns: tps (does batching amortize fixed costs?), p99 (what does the
+// queue wait cost the tail?), dgl/op (the amortization, counter-proven),
+// and fallbacks (how often group execution bails to the per-op path).
+#include "bench_common.h"
+
+using namespace burtree;
+using namespace burtree::bench;
+
+int main(int argc, char** argv) {
+  CliArgs cli(argc, argv);
+  // Denser, unbuffered tree like fig8 so per-op fixed costs (DGL + latch
+  // handoff) dominate — the regime batching targets. The --ingest flag is
+  // ignored here: the worker axis comes from --workers.
+  BenchArgs args = BenchArgs::FromCli(cli, /*default_objects=*/150000,
+                                      /*default_buffer=*/0.0);
+  const std::vector<size_t> client_axis =
+      ParseCountList(cli.GetString("clients", "8,32,128"));
+  // ParseCountList drops 0, but 0 workers (= direct per-op baseline) is a
+  // meaningful point on this axis — parse it by hand.
+  std::vector<size_t> worker_axis;
+  {
+    const std::string s = cli.GetString("workers", "0,4,8");
+    size_t pos = 0;
+    while (pos <= s.size()) {
+      size_t comma = s.find(',', pos);
+      if (comma == std::string::npos) comma = s.size();
+      const std::string tok = s.substr(pos, comma - pos);
+      if (!tok.empty()) {
+        worker_axis.push_back(static_cast<size_t>(
+            std::strtoull(tok.c_str(), nullptr, 10)));
+      }
+      pos = comma + 1;
+    }
+  }
+  const std::vector<size_t> batch_axis =
+      ParseCountList(cli.GetString("batch", "64"));
+  const uint64_t ops =
+      static_cast<uint64_t>(cli.GetInt("ops-per-client", 200));
+  const double update_pct = cli.GetDouble("update-pct", 100.0);
+  const uint64_t latency_us =
+      static_cast<uint64_t>(cli.GetInt("io-latency-us", 0));
+  const std::string json_path = cli.GetString("json", "");
+  cli.ExitIfHelpRequested(argv[0], BenchArgs::kScaleHelp);
+
+  PrintHeader("Batched ingestion: clients x workers x batch, GBU", args);
+
+  struct Cell {
+    size_t clients, workers, batch;
+    ThroughputResult res;
+  };
+  std::vector<Cell> out;
+
+  std::vector<std::string> headers{"clients", "workers", "batch", "tps"};
+  AddLatencyHeaders(&headers);
+  headers.push_back("dgl/op");
+  headers.push_back("batched");
+  headers.push_back("pages");
+  headers.push_back("fallbacks");
+  headers.push_back("max-batch");
+  TablePrinter table(headers);
+
+  for (size_t clients : client_axis) {
+    for (size_t workers : worker_axis) {
+      // The batch axis only exists with a pool; collapse it at workers=0
+      // so the baseline is one row, not one per batch value.
+      const std::vector<size_t> batches =
+          workers == 0 ? std::vector<size_t>{0} : batch_axis;
+      for (size_t batch : batches) {
+        ThroughputConfig cfg;
+        cfg.base = args.BaseConfig(StrategyKind::kGeneralizedBottomUp);
+        cfg.base.ingest.workers = static_cast<uint32_t>(workers);
+        if (batch > 0) cfg.base.ingest.max_batch = batch;
+        cfg.threads = static_cast<uint32_t>(clients);
+        cfg.ops_per_thread = ops;
+        cfg.update_fraction = update_pct / 100.0;
+        cfg.query_max_dim = 0.01;
+        cfg.concurrency.io_latency_us = latency_us;
+        auto res = RunThroughput(cfg);
+        if (!res.ok()) {
+          std::fprintf(stderr, "throughput run failed: %s\n",
+                       res.status().ToString().c_str());
+          return 1;
+        }
+        const ThroughputResult& r = res.value();
+        const double dgl_per_op =
+            r.total_ops > 0
+                ? static_cast<double>(r.lock_stats.acquisitions) /
+                      static_cast<double>(r.total_ops)
+                : 0.0;
+        std::vector<std::string> cells{
+            std::to_string(clients), std::to_string(workers),
+            workers == 0 ? "-" : std::to_string(batch),
+            TablePrinter::Fmt(r.tps, 0)};
+        AddLatencyCells(r.latency, &cells);
+        cells.push_back(TablePrinter::Fmt(dgl_per_op, 2));
+        cells.push_back(TablePrinter::FmtInt(r.latch_stats.batched_updates));
+        cells.push_back(TablePrinter::FmtInt(r.latch_stats.batch_pages));
+        cells.push_back(TablePrinter::FmtInt(r.latch_stats.batch_fallbacks));
+        cells.push_back(TablePrinter::FmtInt(r.ingest_stats.max_batch));
+        table.AddRow(std::move(cells));
+        out.push_back({clients, workers, batch, r});
+      }
+    }
+  }
+
+  std::printf("-- GBU throughput (tps), %.0f%% updates, io-latency %llu us "
+              "(workers=0: direct per-op baseline) --\n",
+              update_pct, static_cast<unsigned long long>(latency_us));
+  if (args.csv) {
+    table.PrintCsv(std::cout);
+  } else {
+    table.Print(std::cout);
+  }
+
+  if (!json_path.empty()) {
+    FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"bench_batch_ingest\",\n"
+                 "  \"strategy\": \"GBU\",\n"
+                 "  \"update_pct\": %.0f,\n"
+                 "  \"objects\": %llu,\n"
+                 "  \"ops_per_client\": %llu,\n"
+                 "  \"io_latency_us\": %llu,\n"
+                 "  \"backend\": \"%s\",\n"
+                 "  \"wal\": %s,\n"
+                 "  \"rows\": [\n",
+                 update_pct,
+                 static_cast<unsigned long long>(args.objects),
+                 static_cast<unsigned long long>(ops),
+                 static_cast<unsigned long long>(latency_us),
+                 StorageBackendName(args.storage.backend),
+                 args.storage.wal.enabled ? "true" : "false");
+    for (size_t i = 0; i < out.size(); ++i) {
+      const Cell& c = out[i];
+      const ThroughputResult& r = c.res;
+      std::fprintf(
+          f,
+          "    {\"clients\": %zu, \"workers\": %zu, \"batch\": %zu, "
+          "\"tps\": %.0f, \"total_ops\": %llu, "
+          "\"mean_us\": %.1f, \"p50_us\": %.1f, \"p99_us\": %.1f, "
+          "\"dgl_acquisitions\": %llu, \"batched_updates\": %llu, "
+          "\"batch_pages\": %llu, \"batch_fallbacks\": %llu, "
+          "\"ingest_batches\": %llu, \"ingest_max_batch\": %llu}%s\n",
+          c.clients, c.workers, c.batch, r.tps,
+          static_cast<unsigned long long>(r.total_ops), r.latency.mean_us,
+          r.latency.p50_us, r.latency.p99_us,
+          static_cast<unsigned long long>(r.lock_stats.acquisitions),
+          static_cast<unsigned long long>(r.latch_stats.batched_updates),
+          static_cast<unsigned long long>(r.latch_stats.batch_pages),
+          static_cast<unsigned long long>(r.latch_stats.batch_fallbacks),
+          static_cast<unsigned long long>(r.ingest_stats.batches),
+          static_cast<unsigned long long>(r.ingest_stats.max_batch),
+          i + 1 < out.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -15,6 +15,7 @@
 #include "harness/cli.h"
 #include "harness/experiment.h"
 #include "harness/table_printer.h"
+#include "ingest/ingest_pool.h"
 #include "storage/page_store.h"
 
 namespace burtree::bench {
@@ -30,6 +31,7 @@ struct BenchArgs {
   LatchMode latch_mode = LatchMode::kGlobal;
   ReadMode read_mode = ReadMode::kLatched;
   StorageOptions storage;
+  IngestOptions ingest;
   uint64_t seed = 20030901;
   Distribution distribution = Distribution::kUniform;
   bool csv = false;
@@ -77,6 +79,13 @@ struct BenchArgs {
                    rm.c_str());
       std::exit(2);
     }
+    const std::string ingest = cli.GetString("ingest", "");
+    if (!ParseIngestSpec(ingest, &a.ingest)) {
+      std::fprintf(stderr,
+                   "bad --ingest '%s' (want workers=N[,batch=K])\n",
+                   ingest.c_str());
+      std::exit(2);
+    }
     const std::string backend = cli.GetString("backend", "mem");
     if (!ParseStorageBackend(backend, &a.storage)) {
       std::fprintf(stderr,
@@ -113,9 +122,27 @@ struct BenchArgs {
     cfg.latch_mode = latch_mode;
     cfg.read_mode = read_mode;
     cfg.storage = storage;
+    cfg.ingest = ingest;
     return cfg;
   }
 };
+
+/// Latency columns for the throughput tables (mean / p50 / p99 in us):
+/// production traffic cares about the tail more than the mean, so every
+/// bench that prints tps also prints these. Header and cell helpers are
+/// split so sweeps can interleave them with their own columns.
+inline void AddLatencyHeaders(std::vector<std::string>* headers) {
+  headers->push_back("mean(us)");
+  headers->push_back("p50(us)");
+  headers->push_back("p99(us)");
+}
+
+inline void AddLatencyCells(const LatencySummary& lat,
+                            std::vector<std::string>* cells) {
+  cells->push_back(TablePrinter::Fmt(lat.mean_us, 1));
+  cells->push_back(TablePrinter::Fmt(lat.p50_us, 1));
+  cells->push_back(TablePrinter::Fmt(lat.p99_us, 1));
+}
 
 /// Parses a comma-separated count list ("1,4,8") for sweep axes.
 /// Zero and non-numeric tokens are dropped: every sweep axis value is a
@@ -142,6 +169,9 @@ inline void PrintHeader(const std::string& title, const BenchArgs& a) {
   std::string backend = StorageBackendName(a.storage.backend);
   if (!a.storage.file_dir.empty()) backend += ":" + a.storage.file_dir;
   if (a.storage.wal.enabled) backend += "+wal";
+  if (a.ingest.workers > 0) {
+    backend += ", ingest " + IngestSpecString(a.ingest);
+  }
   std::printf(
       "workload: %llu objects, %llu updates, %llu queries, max-move %.3f, "
       "buffer %.1f%% (%zu shard%s), latch %s, read %s, backend %s, "

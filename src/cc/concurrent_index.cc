@@ -1,7 +1,9 @@
 #include "cc/concurrent_index.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "storage/wal/wal_manager.h"
@@ -191,6 +193,9 @@ LatchModeStats ConcurrentIndex::latch_stats() const {
   s.pruned_queries = pruned_queries_.load(std::memory_order_relaxed);
   s.coupled_reinserts =
       coupled_reinserts_.load(std::memory_order_relaxed);
+  s.batched_updates = batched_updates_.load(std::memory_order_relaxed);
+  s.batch_pages = batch_pages_.load(std::memory_order_relaxed);
+  s.batch_fallbacks = batch_fallbacks_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -743,6 +748,224 @@ StatusOr<size_t> ConcurrentIndex::Query(const Rect& window) {
   ChargeIoLatency(ios);
   lock_manager_.ReleaseAll(ts);
   return result;
+}
+
+Status ConcurrentIndex::UpdateBatch(std::vector<BatchUpdateOp>& ops) {
+  if (ops.empty()) return Status::OK();
+  const uint64_t ts = NextTs();
+
+  // One DGL round trip for the whole batch: the union of every op's
+  // source and destination cells, sorted + deduplicated so the
+  // acquisition respects the global ascending-cell order.
+  std::vector<uint64_t> cells;
+  cells.reserve(ops.size() * 2);
+  for (const BatchUpdateOp& op : ops) {
+    cells.push_back(granules_.CellOf(op.from));
+    cells.push_back(granules_.CellOf(op.to));
+  }
+  std::sort(cells.begin(), cells.end());
+  cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
+  const Status dgl = AcquireDglWithRetry(&lock_manager_, ts, [&]() {
+    return AcquireBatchUpdateLocks(&lock_manager_, ts, cells);
+  });
+  if (!dgl.ok()) {
+    // Nothing mutated: stamp every op so the caller can retry the batch.
+    for (BatchUpdateOp& op : ops) op.status = dgl;
+    return dgl;
+  }
+  batched_updates_.fetch_add(ops.size(), std::memory_order_relaxed);
+
+  Status first_error;
+  auto record = [&](BatchUpdateOp& op, const Status& st) {
+    op.status = st;
+    if (!st.ok() && first_error.ok()) first_error = st;
+  };
+
+  uint64_t ios = 0;
+  PageStore::ResetThreadIo();
+  if (options_.latch_mode == LatchMode::kGlobal) {
+    // The whole batch is one page group: one exclusive tree-latch hold
+    // and one WAL record amortized across every op.
+    std::unique_lock latch(latch_);
+    WalOpScope wal_scope(system_->wal());
+    for (BatchUpdateOp& op : ops) {
+      record(op, strategy_->Update(op.oid, op.from, op.to).status());
+    }
+    wal_scope.Commit();
+    batch_pages_.fetch_add(1, std::memory_order_relaxed);
+    ios = PageStore::thread_io();
+  } else {
+    // Plans are computed for the whole batch up front, so two ops on
+    // one oid would both target the pre-batch leaf and could reorder
+    // across groups; only the first occurrence joins group execution,
+    // the rest run per-op afterwards in submission order.
+    struct Planned {
+      BatchUpdateOp* op;
+      UpdatePlan plan;
+    };
+    std::vector<Planned> local;
+    std::vector<BatchUpdateOp*> fallback;
+    std::vector<BatchUpdateOp*> deferred;
+    local.reserve(ops.size());
+    std::unordered_set<ObjectId> seen;
+    seen.reserve(ops.size());
+
+    auto run_groups = [&]() {
+      for (BatchUpdateOp& op : ops) {
+        if (!seen.insert(op.oid).second) {
+          deferred.push_back(&op);
+          continue;
+        }
+        const UpdatePlan plan = strategy_->PlanUpdate(op.oid, op.from, op.to);
+        if (plan.leaf_local) {
+          local.push_back({&op, plan});
+        } else {
+          fallback.push_back(&op);
+        }
+      }
+      std::stable_sort(local.begin(), local.end(),
+                       [](const Planned& a, const Planned& b) {
+                         return a.plan.leaf < b.plan.leaf;
+                       });
+      size_t i = 0;
+      while (i < local.size()) {
+        size_t j = i;
+        while (j < local.size() && local[j].plan.leaf == local[i].plan.leaf) {
+          ++j;
+        }
+        // One WAL record + one sorted exclusive latch acquisition for
+        // every update destined for this leaf (the scope opens before
+        // the latches so all dirty unpins are captured; Commit appends
+        // while they are still held — log-before-release).
+        WalOpScope wal_scope(system_->wal());
+        PageLatchSet latches(&latch_table_);
+        std::vector<PageId> pages;
+        pages.reserve(2 * (j - i));
+        for (size_t k = i; k < j; ++k) {
+          pages.push_back(local[k].plan.leaf);
+          if (local[k].plan.parent != kInvalidPageId) {
+            pages.push_back(local[k].plan.parent);
+          }
+        }
+        latches.AcquireExclusive(pages);
+        WriterScope scope(&latches);
+        for (size_t k = i; k < j; ++k) {
+          if (!local[k].plan.split_safe) {
+            split_unsafe_plans_.fetch_add(1, std::memory_order_relaxed);
+          }
+          auto result =
+              strategy_->UpdateScoped(scope, local[k].plan, local[k].op->oid,
+                                      local[k].op->from, local[k].op->to);
+          if (result.status().code() == StatusCode::kLatchContention) {
+            // Nothing mutated for THIS op (UpdateScoped's contract);
+            // earlier ops in the group committed into the shared record.
+            fallback.push_back(local[k].op);
+          } else {
+            scoped_updates_.fetch_add(1, std::memory_order_relaxed);
+            record(*local[k].op, result.status());
+          }
+        }
+        wal_scope.Commit();
+        batch_pages_.fetch_add(1, std::memory_order_relaxed);
+        i = j;
+      }
+    };
+    if (options_.latch_mode == LatchMode::kSubtree) {
+      std::shared_lock tree_latch(latch_);
+      run_groups();
+    } else {
+      std::shared_lock<DrainGate> gate(smo_gate_);
+      run_groups();
+    }
+    ios = PageStore::thread_io();
+
+    // Per-op fallback under the batch's DGL locks (strictly more
+    // exclusion than any single op needs): the existing mode-specific
+    // path handles escalation, compound SMOs, and its own latching.
+    fallback.insert(fallback.end(), deferred.begin(), deferred.end());
+    batch_fallbacks_.fetch_add(fallback.size(), std::memory_order_relaxed);
+    for (BatchUpdateOp* op : fallback) {
+      uint64_t op_ios = 0;
+      const Status st =
+          options_.latch_mode == LatchMode::kSubtree
+              ? UpdateSubtree(op->oid, op->from, op->to, &op_ios)
+              : UpdateCoupled(op->oid, op->from, op->to, &op_ios);
+      ios += op_ios;
+      record(*op, st);
+    }
+  }
+  ChargeIoLatency(ios);
+  lock_manager_.ReleaseAll(ts);
+  return first_error;
+}
+
+Status ConcurrentIndex::InsertBatch(std::vector<BatchInsertOp>& ops) {
+  if (ops.empty()) return Status::OK();
+  const uint64_t ts = NextTs();
+  std::vector<uint64_t> cells;
+  cells.reserve(ops.size());
+  for (const BatchInsertOp& op : ops) {
+    cells.push_back(granules_.CellOf(op.pos));
+  }
+  std::sort(cells.begin(), cells.end());
+  cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
+  const Status dgl = AcquireDglWithRetry(&lock_manager_, ts, [&]() {
+    return AcquireBatchUpdateLocks(&lock_manager_, ts, cells);
+  });
+  if (!dgl.ok()) {
+    for (BatchInsertOp& op : ops) op.status = dgl;
+    return dgl;
+  }
+  batched_updates_.fetch_add(ops.size(), std::memory_order_relaxed);
+
+  Status first_error;
+  auto record = [&](BatchInsertOp& op, const Status& st) {
+    op.status = st;
+    if (!st.ok() && first_error.ok()) first_error = st;
+  };
+
+  PageStore::ResetThreadIo();
+  switch (options_.latch_mode) {
+    case LatchMode::kGlobal:
+    case LatchMode::kSubtree: {
+      // Inserts are structure modifications in both modes; the batch
+      // amortizes the tree-wide exclusive hold and the WAL record.
+      if (options_.latch_mode == LatchMode::kSubtree) {
+        escalated_updates_.fetch_add(ops.size(), std::memory_order_relaxed);
+      }
+      std::unique_lock latch(latch_);
+      WalOpScope wal_scope(system_->wal());
+      for (BatchInsertOp& op : ops) {
+        record(op, system_->Insert(op.oid, op.pos));
+      }
+      wal_scope.Commit();
+      batch_pages_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    case LatchMode::kCoupled: {
+      // Each insert still runs its own latch-coupled descent (the write
+      // set is discovered during the descent, so there is no leaf group
+      // to batch under one latch hold); the DGL round trip is the
+      // amortized part.
+      for (BatchInsertOp& op : ops) {
+        Status st =
+            CoupledInsertWithReinsert(op.oid, IndexSystem::PointRect(op.pos));
+        if (st.code() == StatusCode::kLatchContention) {
+          compound_smos_.fetch_add(1, std::memory_order_relaxed);
+          std::unique_lock<DrainGate> xgate(smo_gate_, std::defer_lock);
+          AcquireCompoundGate(xgate);
+          WalOpScope wal_scope(system_->wal());
+          st = system_->Insert(op.oid, op.pos);
+        }
+        batch_pages_.fetch_add(1, std::memory_order_relaxed);
+        record(op, st);
+      }
+      break;
+    }
+  }
+  ChargeIoLatency(PageStore::thread_io());
+  lock_manager_.ReleaseAll(ts);
+  return first_error;
 }
 
 }  // namespace burtree

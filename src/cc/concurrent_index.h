@@ -142,6 +142,36 @@ struct LatchModeStats {
   /// Entries evicted by coupled forced re-insertion (and re-inserted
   /// under the reinsert visibility bracket).
   uint64_t coupled_reinserts = 0;
+  /// Operations executed through the batch APIs (UpdateBatch +
+  /// InsertBatch), including the ones that later fell back per-op.
+  uint64_t batched_updates = 0;
+  /// Group executions: one per page group that got its own PageLatchSet
+  /// + WalOpScope round trip (global mode counts one per batch — the
+  /// whole batch is a single group under the tree-wide latch).
+  uint64_t batch_pages = 0;
+  /// Batched ops that left group execution for the per-op path —
+  /// UpdateScoped returned LatchContention (cross-leaf move, structure
+  /// modification, stale plan) or the op was a same-oid duplicate that
+  /// must run after its predecessor.
+  uint64_t batch_fallbacks = 0;
+};
+
+/// One update in a batch handed to ConcurrentIndex::UpdateBatch. The
+/// per-op outcome lands in `status`; a batch-wide DGL failure (residual
+/// wait-die abort past the retry budget) is written into every op, so
+/// the caller can retry the whole batch — nothing was mutated.
+struct BatchUpdateOp {
+  ObjectId oid = 0;
+  Point from;
+  Point to;
+  Status status;
+};
+
+/// One insert in a batch handed to ConcurrentIndex::InsertBatch.
+struct BatchInsertOp {
+  ObjectId oid = 0;
+  Point pos;
+  Status status;
 };
 
 class ConcurrentIndex {
@@ -161,6 +191,27 @@ class ConcurrentIndex {
 
   /// Thread-safe window query; returns the match count.
   StatusOr<size_t> Query(const Rect& window);
+
+  /// Group execution of a whole update batch (the ingest pool's engine,
+  /// also callable directly): ONE DGL acquisition covering the union of
+  /// every op's source/destination cells, then — in subtree/coupled
+  /// mode — the ops are planned, grouped by target leaf, and each leaf
+  /// group runs under a single PageLatchSet hold + WalOpScope record.
+  /// Global mode executes the whole batch as one group under the
+  /// tree-wide exclusive latch. Ops whose scoped attempt hits
+  /// LatchContention (cross-leaf move, needed SMO, stale plan) fall
+  /// back to the existing per-op path, still under the batch's DGL
+  /// locks. Same-oid duplicates within the batch are serialized in
+  /// submission order through the fallback path. Per-op outcomes land
+  /// in ops[i].status; returns the first non-OK status (the remaining
+  /// ops still run), or the DGL failure with nothing mutated.
+  Status UpdateBatch(std::vector<BatchUpdateOp>& ops);
+
+  /// Batched inserts: one DGL acquisition for the union of destination
+  /// cells; global/subtree modes run the whole batch under one
+  /// tree-wide latch hold + WAL record, coupled mode runs each insert's
+  /// latch-coupled descent (the DGL round trip is the amortized part).
+  Status InsertBatch(std::vector<BatchInsertOp>& ops);
 
   LockManager& lock_manager() { return lock_manager_; }
   const ConcurrencyOptions& options() const { return options_; }
@@ -271,6 +322,9 @@ class ConcurrentIndex {
   std::atomic<uint64_t> optimistic_fallbacks_{0};
   std::atomic<uint64_t> pruned_queries_{0};
   std::atomic<uint64_t> coupled_reinserts_{0};
+  std::atomic<uint64_t> batched_updates_{0};
+  std::atomic<uint64_t> batch_pages_{0};
+  std::atomic<uint64_t> batch_fallbacks_{0};
   /// Reinsert visibility bracket (seqlock over the eviction gap): a
   /// coupled forced re-insertion bumps `started` while the evicting
   /// leaf's X latch is still held, re-inserts the evicted entries in

@@ -64,4 +64,14 @@ Status AcquireQueryLocks(LockManager* lm, const SpatialGranules& granules,
   return Status::OK();
 }
 
+Status AcquireBatchUpdateLocks(LockManager* lm, uint64_t txn,
+                               const std::vector<uint64_t>& cells) {
+  BURTREE_RETURN_IF_ERROR(
+      lm->Acquire(txn, SpatialGranules::kRootGranule, LockMode::kIX));
+  for (uint64_t cell : cells) {
+    BURTREE_RETURN_IF_ERROR(lm->Acquire(txn, cell, LockMode::kX));
+  }
+  return Status::OK();
+}
+
 }  // namespace burtree

@@ -65,4 +65,13 @@ Status AcquireInsertLocks(LockManager* lm, const SpatialGranules& granules,
 Status AcquireQueryLocks(LockManager* lm, const SpatialGranules& granules,
                          uint64_t txn, const Rect& window);
 
+/// Acquires the DGL lock set for a whole update batch in ONE round trip:
+/// IX on the root granule, then X on every cell in `cells` — the union
+/// of all ops' source and destination cells. `cells` MUST be sorted
+/// ascending and deduplicated (the acquisition-order contract above);
+/// the union is strictly more exclusion than the per-op lock sets it
+/// replaces, so batch and per-op traffic stay mutually deadlock-free.
+Status AcquireBatchUpdateLocks(LockManager* lm, uint64_t txn,
+                               const std::vector<uint64_t>& cells);
+
 }  // namespace burtree

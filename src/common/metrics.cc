@@ -47,6 +47,34 @@ std::string BufferPoolStats::ToString() const {
   return buf;
 }
 
+uint64_t PercentileNs(std::vector<uint64_t>& samples, double p) {
+  if (samples.empty()) return 0;
+  const double clamped = std::min(100.0, std::max(0.0, p));
+  // Nearest rank: ceil(p/100 * N), 1-based; as a 0-based index.
+  size_t rank = static_cast<size_t>(
+      clamped / 100.0 * static_cast<double>(samples.size()) + 0.999999);
+  if (rank > 0) --rank;
+  if (rank >= samples.size()) rank = samples.size() - 1;
+  std::nth_element(samples.begin(),
+                   samples.begin() + static_cast<std::ptrdiff_t>(rank),
+                   samples.end());
+  return samples[rank];
+}
+
+LatencySummary SummarizeLatencyNs(std::vector<uint64_t>& samples) {
+  LatencySummary s;
+  s.samples = samples.size();
+  if (samples.empty()) return s;
+  unsigned __int128 sum = 0;
+  for (uint64_t v : samples) sum += v;
+  s.mean_us =
+      static_cast<double>(static_cast<uint64_t>(sum / samples.size())) /
+      1000.0;
+  s.p50_us = static_cast<double>(PercentileNs(samples, 50.0)) / 1000.0;
+  s.p99_us = static_cast<double>(PercentileNs(samples, 99.0)) / 1000.0;
+  return s;
+}
+
 std::string IoStats::ToString() const {
   char buf[160];
   std::snprintf(buf, sizeof(buf),

@@ -103,6 +103,25 @@ struct BufferPoolStats {
   std::string ToString() const;
 };
 
+/// Client-observed per-operation latency distribution (microseconds):
+/// mean plus the p50/p99 tail the batched-ingestion study reports —
+/// group execution trades a longer per-op wait for amortized fixed
+/// costs, and the tail is where that trade shows.
+struct LatencySummary {
+  uint64_t samples = 0;
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+/// Nearest-rank percentile over nanosecond samples; reorders `samples`
+/// in place (nth_element). p in [0, 100].
+uint64_t PercentileNs(std::vector<uint64_t>& samples, double p);
+
+/// Summarizes nanosecond samples into the microsecond mean/p50/p99
+/// triple; reorders `samples` in place.
+LatencySummary SummarizeLatencyNs(std::vector<uint64_t>& samples);
+
 /// Simple wall-clock stopwatch for the CPU-time series of Figures 5(c)/(d).
 class Stopwatch {
  public:

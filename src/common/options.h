@@ -166,4 +166,22 @@ struct LbuOptions {
   double epsilon = 0.003;
 };
 
+/// Batched update ingestion (src/ingest): clients submit updates into
+/// per-shard MPSC queues; a fixed worker pool drains each queue into
+/// batches and executes them through ConcurrentIndex::UpdateBatch /
+/// InsertBatch — one DGL acquisition per batch and one page-latch +
+/// WAL round trip per target leaf instead of per op. Threads from the
+/// benches' `--ingest workers=N,batch=K` flag through ExperimentConfig
+/// and IndexSystemOptions.
+struct IngestOptions {
+  /// Worker threads draining the queues; 0 disables the pool entirely
+  /// (thread-per-client calls the per-op path directly).
+  uint32_t workers = 0;
+
+  /// Maximum ops one worker drains into a single group execution.
+  /// Larger batches amortize the fixed DGL/latch/log costs further but
+  /// stretch the tail latency of the ops that wait for the group.
+  size_t max_batch = 64;
+};
+
 }  // namespace burtree

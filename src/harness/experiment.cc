@@ -25,6 +25,7 @@ StrategyFixture MakeFixture(const ExperimentConfig& config) {
   opts.hash.page_size = config.page_size;
   opts.hash.buffer_shards = config.buffer_shards;
   opts.hash.storage = config.storage;
+  opts.ingest = config.ingest;
   // The WAL (and a persistent file path) belongs to the tree store only:
   // the hash index is rebuildable from the tree, so its file stays a
   // scratch file and its pool never holds pages for durability.
@@ -179,11 +180,23 @@ StatusOr<ThroughputResult> RunThroughput(const ThroughputConfig& config) {
   ConcurrentIndex index(fx.system.get(), fx.strategy.get(),
                         fx.executor.get(), copts);
 
+  // Ingest mode: clients become submitters into the pool's MPSC queues
+  // (closed-loop submit-and-wait), the pool's workers group-execute the
+  // batches. Queries stay direct — only the write path batches.
+  std::unique_ptr<IngestPool> ingest;
+  if (config.base.ingest.workers > 0) {
+    ingest = std::make_unique<IngestPool>(&index, config.base.ingest);
+  }
+
   const uint32_t threads = config.threads;
   const uint64_t objects = config.base.workload.num_objects;
   std::vector<std::thread> pool;
   std::atomic<uint64_t> completed{0};
   std::atomic<bool> failed{false};
+  // Per-client latency samples (ns), merged after the join; each client
+  // times the full op including DGL-abort retries and, in ingest mode,
+  // the queue wait — what a caller actually observes.
+  std::vector<std::vector<uint64_t>> latencies(threads);
 
   Stopwatch sw;
   for (uint32_t t = 0; t < threads; ++t) {
@@ -196,7 +209,11 @@ StatusOr<ThroughputResult> RunThroughput(const ThroughputConfig& config) {
       std::vector<Point> pos(
           workload.initial_positions().begin() + static_cast<long>(lo),
           workload.initial_positions().begin() + static_cast<long>(hi));
+      std::vector<uint64_t>& lat = latencies[t];
+      lat.reserve(config.ops_per_thread);
+      using Clock = std::chrono::steady_clock;
       for (uint64_t i = 0; i < config.ops_per_thread && !failed; ++i) {
+        const Clock::time_point op_start = Clock::now();
         if (rng.NextBool(config.update_fraction) && hi > lo) {
           const uint64_t k = rng.NextBelow(hi - lo);
           const ObjectId oid = lo + k;
@@ -213,11 +230,14 @@ StatusOr<ThroughputResult> RunThroughput(const ThroughputConfig& config) {
           // A residual wait-die Abort can escape the DGL retry budget
           // under a pathologically hot granule; the abort happens before
           // any tree mutation, so the op is safely re-runnable — retry
-          // here instead of failing the whole run.
-          Status st = index.Update(oid, from, to);
+          // here instead of failing the whole run. (In ingest mode the
+          // pool's workers retry aborted batches internally.)
+          Status st = ingest != nullptr ? ingest->Update(oid, from, to)
+                                        : index.Update(oid, from, to);
           while (st.code() == StatusCode::kAborted && !failed) {
             std::this_thread::yield();
-            st = index.Update(oid, from, to);
+            st = ingest != nullptr ? ingest->Update(oid, from, to)
+                                   : index.Update(oid, from, to);
           }
           if (!st.ok()) {
             failed = true;
@@ -237,20 +257,35 @@ StatusOr<ThroughputResult> RunThroughput(const ThroughputConfig& config) {
             break;
           }
         }
+        lat.push_back(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - op_start)
+                .count()));
         completed.fetch_add(1, std::memory_order_relaxed);
       }
     });
   }
   for (auto& th : pool) th.join();
   const double elapsed = sw.ElapsedSeconds();
-  if (failed) return Status::Aborted("throughput worker failed");
 
   ThroughputResult res;
+  if (ingest != nullptr) {
+    ingest->Shutdown();
+    res.ingest_stats = ingest->stats();
+  }
+  if (failed) return Status::Aborted("throughput worker failed");
+
   res.total_ops = completed.load();
   res.elapsed_s = elapsed;
   res.tps = elapsed > 0 ? static_cast<double>(res.total_ops) / elapsed : 0;
   res.lock_stats = index.lock_manager().stats();
   res.latch_stats = index.latch_stats();
+  std::vector<uint64_t> all;
+  all.reserve(res.total_ops);
+  for (auto& v : latencies) {
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  res.latency = SummarizeLatencyNs(all);
   return res;
 }
 

@@ -10,6 +10,8 @@
 #include <string>
 
 #include "cc/concurrent_index.h"
+#include "common/metrics.h"
+#include "ingest/ingest_pool.h"
 #include "update/gbu.h"
 #include "update/index_system.h"
 #include "update/lbu.h"
@@ -54,6 +56,14 @@ struct ExperimentConfig {
   /// version-validated snapshot reads. Ignored outside kCoupled;
   /// RunThroughput copies it into ConcurrencyOptions like latch_mode.
   ReadMode read_mode = ReadMode::kLatched;
+  /// Batched ingestion front-end (`--ingest workers=N,batch=K` on the
+  /// benches): workers > 0 makes RunThroughput route client updates and
+  /// inserts through an IngestPool over per-shard MPSC queues —
+  /// clients become submitters blocking on UpdateHandles while the
+  /// worker pool group-executes batches — instead of the
+  /// thread-per-client per-op calls. Copied into IndexSystemOptions by
+  /// MakeFixture so one options struct describes the deployment.
+  IngestOptions ingest;
   size_t page_size = 1024;
   SplitAlgorithm split = SplitAlgorithm::kQuadratic;
   /// R*-style forced re-insertion on overflow (see TreeOptions).
@@ -120,6 +130,11 @@ struct ThroughputResult {
   double elapsed_s = 0.0;
   LockStats lock_stats;
   LatchModeStats latch_stats;  ///< subtree/coupled-mode escalation counters
+  /// Client-observed per-op completion latency (both direct and ingest
+  /// modes; includes DGL-abort retries — what a caller actually waits).
+  LatencySummary latency;
+  /// Ingest-pool traffic; zeroed when ingest.workers == 0.
+  IngestStats ingest_stats;
 };
 
 /// Figure-8 style run: N threads over a DGL-locked ConcurrentIndex with

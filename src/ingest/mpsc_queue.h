@@ -1,0 +1,92 @@
+// Per-shard submission queue of the ingest pool: many clients push, the
+// one worker that owns the shard drains in batches.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <iterator>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/types.h"
+#include "ingest/update_handle.h"
+
+namespace burtree {
+
+/// One operation pending in an ingest queue.
+struct PendingOp {
+  enum class Kind { kUpdate, kInsert };
+  Kind kind = Kind::kUpdate;
+  ObjectId oid = 0;
+  Point from;  ///< update source (unused for inserts)
+  Point to;    ///< update destination / insert position
+  std::shared_ptr<UpdateHandleState> state;
+};
+
+/// Mutex-based multi-producer single-consumer queue.
+///
+/// Lock ordering: the queue mutex is held only around the push / drain
+/// vector operations — never while any DGL bucket, tree latch, page
+/// latch, or WAL mutex is held — so it slots strictly OUTSIDE (above)
+/// the DGL buckets in the cc layer's lock order (see
+/// docs/ARCHITECTURE.md "Lock ordering"). Producers may block the
+/// consumer and vice versa only for the duration of a vector append or
+/// splice, never across index work.
+class MpscQueue {
+ public:
+  /// Producer side: enqueues one op. Returns false when the queue is
+  /// closed — the op is NOT enqueued and the caller keeps ownership of
+  /// its handle state (and should fail it).
+  bool Push(PendingOp op) {
+    {
+      std::lock_guard lock(mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(op));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Consumer side: blocks until work arrives or the queue closes, then
+  /// appends up to `max` ops to `out` in submission order. Returns the
+  /// number drained; 0 means closed-and-empty (the worker exits).
+  size_t Drain(std::vector<PendingOp>* out, size_t max) {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    const size_t n = std::min(max, items_.size());
+    if (n == items_.size()) {
+      // Common case: the batch swallows the whole backlog.
+      out->insert(out->end(), std::make_move_iterator(items_.begin()),
+                  std::make_move_iterator(items_.end()));
+      items_.clear();
+    } else {
+      out->insert(out->end(), std::make_move_iterator(items_.begin()),
+                  std::make_move_iterator(items_.begin() +
+                                          static_cast<std::ptrdiff_t>(n)));
+      items_.erase(items_.begin(),
+                   items_.begin() + static_cast<std::ptrdiff_t>(n));
+    }
+    return n;
+  }
+
+  /// Closes the queue: further Push calls fail, Drain returns whatever
+  /// is left and then 0. Idempotent.
+  void Close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<PendingOp> items_;
+  bool closed_ = false;
+};
+
+}  // namespace burtree

@@ -1,0 +1,75 @@
+// Futures-style completion handles for the batched ingestion front-end:
+// a client submits an update into an IngestPool queue and receives an
+// UpdateHandle; the worker that executes the op's batch completes the
+// shared state exactly once with the per-op Status.
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "common/status.h"
+
+namespace burtree {
+
+/// Shared completion state between one submitted operation and its
+/// UpdateHandle.
+///
+/// Thread-safety: fully thread-safe; one producer (the executing ingest
+/// worker) calls Complete once, any number of threads may Wait/poll.
+class UpdateHandleState {
+ public:
+  void Complete(Status status) {
+    {
+      std::lock_guard lock(mu_);
+      status_ = std::move(status);
+      done_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocks until Complete; returns the op's status.
+  Status Wait() {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return done_; });
+    return status_;
+  }
+
+  bool done() const {
+    std::lock_guard lock(mu_);
+    return done_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  Status status_;
+};
+
+/// Value-semantic handle over one submission's completion state. A
+/// default-constructed handle is empty (valid() == false); Wait on it
+/// returns InvalidArgument instead of blocking forever.
+class UpdateHandle {
+ public:
+  UpdateHandle() = default;
+  explicit UpdateHandle(std::shared_ptr<UpdateHandleState> state)
+      : state_(std::move(state)) {}
+
+  bool valid() const { return state_ != nullptr; }
+  bool done() const { return state_ != nullptr && state_->done(); }
+
+  /// Blocks until the submitted op completed; returns its status.
+  Status Wait() {
+    if (state_ == nullptr) {
+      return Status::InvalidArgument("empty update handle");
+    }
+    return state_->Wait();
+  }
+
+ private:
+  std::shared_ptr<UpdateHandleState> state_;
+};
+
+}  // namespace burtree
