@@ -1,5 +1,6 @@
 #include "buffer/buffer_pool.h"
 
+#include <chrono>
 #include <iterator>
 
 #include "common/logging.h"
@@ -156,6 +157,7 @@ void BufferPool::UnpinPage(PageId id, bool dirty) {
     shard.lru.push_front(id);
     f->lru_it = shard.lru.begin();
     f->in_lru = true;
+    if (shard.delete_waiters > 0) shard.pin_cv.notify_all();
     EvictToCapacity(shard, lock);
   }
 }
@@ -229,16 +231,38 @@ Status BufferPool::DeletePage(PageId id) {
   std::unique_lock lock(shard.mu);
   // Freeing the disk page while its eviction write-back (or a miss read)
   // is in flight would make that latch-free I/O fail: wait for it to
-  // land. A landed miss leaves a pinned frame, which is rejected below.
-  WaitForPageIo(shard, lock, id);
-  auto it = shard.frames.find(id);
-  if (it != shard.frames.end()) {
+  // land. A pinned frame is waited out too: the paths that pin a page
+  // without holding any tree latch — escalation warming's pull-in, an
+  // optimistic reader's snapshot copy — hold the pin only transiently
+  // and block on nothing a structural deleter can hold, so the wait
+  // always drains. The deadline keeps a genuinely leaked guard (a
+  // caller deleting a page it still has pinned) a loud error instead of
+  // a hang.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  for (;;) {
+    WaitForPageIo(shard, lock, id);
+    auto it = shard.frames.find(id);
+    if (it == shard.frames.end()) break;
     Frame* f = it->second.get();
-    if (f->page.pin_count() > 0) {
+    if (f->page.pin_count() == 0) {
+      if (f->in_lru) shard.lru.erase(f->lru_it);
+      shard.frames.erase(it);  // dirty content intentionally discarded
+      break;
+    }
+    ++shard.delete_waiters;
+    const bool drained = shard.pin_cv.wait_until(lock, deadline, [&] {
+      auto it2 = shard.frames.find(id);
+      return it2 == shard.frames.end() ||
+             it2->second->page.pin_count() == 0;
+    });
+    --shard.delete_waiters;
+    if (!drained) {
       return Status::InvalidArgument("DeletePage of pinned page");
     }
-    if (f->in_lru) shard.lru.erase(f->lru_it);
-    shard.frames.erase(it);  // dirty content intentionally discarded
+    // Re-loop: while this thread slept the drained frame may have been
+    // evicted into a write-back (unpin pushes it onto the LRU), so the
+    // in-flight tables must be re-checked before touching the frame map.
   }
   if (wal_ != nullptr) {
     // Defer the store-level Free until the freeing record is durable:

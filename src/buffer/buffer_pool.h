@@ -170,6 +170,10 @@ class BufferPool {
     /// fetches of a listed page wait instead of reading twice.
     std::unordered_set<PageId> miss_inflight;
     std::condition_variable miss_cv;
+    /// Signaled by UnpinPage when a pin count drops to zero while a
+    /// DeletePage is waiting out a transient pin (see delete_waiters).
+    std::condition_variable pin_cv;
+    int delete_waiters = 0;
     BufferStats stats;
     size_t capacity = 0;
   };

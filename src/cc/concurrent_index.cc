@@ -196,6 +196,8 @@ LatchModeStats ConcurrentIndex::latch_stats() const {
   s.batched_updates = batched_updates_.load(std::memory_order_relaxed);
   s.batch_pages = batch_pages_.load(std::memory_order_relaxed);
   s.batch_fallbacks = batch_fallbacks_.load(std::memory_order_relaxed);
+  s.deletes = deletes_.load(std::memory_order_relaxed);
+  s.knn_queries = knn_queries_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -609,6 +611,85 @@ Status ConcurrentIndex::Insert(ObjectId oid, const Point& pos) {
   ChargeIoLatency(PageStore::thread_io());
   lock_manager_.ReleaseAll(ts);
   return op_status;
+}
+
+Status ConcurrentIndex::Delete(ObjectId oid, const Point& pos) {
+  const uint64_t ts = NextTs();
+  // An insert's mirror image at the DGL layer: IX root + X on the one
+  // cell whose population changes.
+  BURTREE_RETURN_IF_ERROR(AcquireDglWithRetry(&lock_manager_, ts, [&]() {
+    return AcquireInsertLocks(&lock_manager_, granules_, ts, pos);
+  }));
+
+  PageStore::ResetThreadIo();
+  const Rect rect = IndexSystem::PointRect(pos);
+  Status op_status;
+  switch (options_.latch_mode) {
+    case LatchMode::kGlobal: {
+      std::unique_lock latch(latch_);
+      WalOpScope wal_scope(system_->wal());
+      op_status = system_->tree().Delete(oid, rect);
+      break;
+    }
+    case LatchMode::kSubtree: {
+      // Condense + orphan re-insertion is a structure modification with
+      // an unbounded write set; subtree mode escalates like any SMO.
+      escalated_updates_.fetch_add(1, std::memory_order_relaxed);
+      std::unique_lock latch(latch_);
+      WalOpScope wal_scope(system_->wal());
+      op_status = system_->tree().Delete(oid, rect);
+      break;
+    }
+    case LatchMode::kCoupled: {
+      // Exactly the underflow-condense compound path: drain all coupled
+      // traffic (waiting out any open reinsert bracket), then run the
+      // stock single-threaded delete.
+      compound_smos_.fetch_add(1, std::memory_order_relaxed);
+      std::unique_lock<DrainGate> xgate(smo_gate_, std::defer_lock);
+      AcquireCompoundGate(xgate);
+      WalOpScope wal_scope(system_->wal());
+      op_status = system_->tree().Delete(oid, rect);
+      break;
+    }
+  }
+  if (op_status.ok()) deletes_.fetch_add(1, std::memory_order_relaxed);
+  ChargeIoLatency(PageStore::thread_io());
+  lock_manager_.ReleaseAll(ts);
+  return op_status;
+}
+
+StatusOr<size_t> ConcurrentIndex::Knn(const Point& query, size_t k) {
+  PageStore::ResetThreadIo();
+  StatusOr<std::vector<RTree::Neighbor>> result = [&]() {
+    switch (options_.latch_mode) {
+      case LatchMode::kGlobal: {
+        // Updates hold the tree-wide latch exclusively, so a shared
+        // hold gives the latch-free best-first descent a quiescent tree.
+        std::shared_lock latch(latch_);
+        return system_->tree().NearestNeighbors(query, k);
+      }
+      case LatchMode::kSubtree: {
+        // Scoped updates hold the tree latch *shared* and mutate under
+        // page latches the kNN descent does not take — only the
+        // exclusive side excludes them.
+        escalated_queries_.fetch_add(1, std::memory_order_relaxed);
+        std::unique_lock latch(latch_);
+        return system_->tree().NearestNeighbors(query, k);
+      }
+      case LatchMode::kCoupled: {
+        compound_smos_.fetch_add(1, std::memory_order_relaxed);
+        std::unique_lock<DrainGate> xgate(smo_gate_, std::defer_lock);
+        AcquireCompoundGate(xgate);
+        return system_->tree().NearestNeighbors(query, k);
+      }
+    }
+    return StatusOr<std::vector<RTree::Neighbor>>(
+        Status::InvalidArgument("unknown latch mode"));
+  }();
+  ChargeIoLatency(PageStore::thread_io());
+  if (!result.ok()) return result.status();
+  knn_queries_.fetch_add(1, std::memory_order_relaxed);
+  return result.value().size();
 }
 
 StatusOr<size_t> ConcurrentIndex::QueryGlobal(const Rect& window,

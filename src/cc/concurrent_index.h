@@ -154,6 +154,13 @@ struct LatchModeStats {
   /// modification, stale plan) or the op was a same-oid duplicate that
   /// must run after its predecessor.
   uint64_t batch_fallbacks = 0;
+  /// Deletes completed through ConcurrentIndex::Delete (churn
+  /// scenarios). Every latch mode runs a delete in its exclusive
+  /// section, so this also counts toward escalated_updates (subtree) /
+  /// compound_smos (coupled).
+  uint64_t deletes = 0;
+  /// k-NN queries completed through ConcurrentIndex::Knn.
+  uint64_t knn_queries = 0;
 };
 
 /// One update in a batch handed to ConcurrentIndex::UpdateBatch. The
@@ -189,8 +196,31 @@ class ConcurrentIndex {
   /// descent and never serializes tree-wide.
   Status Insert(ObjectId oid, const Point& pos);
 
+  /// Thread-safe delete of an existing object at `pos` (the churn
+  /// scenarios' insert/delete mix). A delete condenses underflowing
+  /// leaves and re-inserts orphans — a compound structure modification
+  /// whose write set cannot be page-latched up front — so every latch
+  /// mode runs it in its exclusive section: the tree-wide latch in
+  /// global/subtree mode, the compound-SMO drain gate in coupled mode.
+  /// DGL side it is an insert's mirror image: IX root + X on the cell
+  /// being vacated, so queries holding S on that cell serialize.
+  Status Delete(ObjectId oid, const Point& pos);
+
   /// Thread-safe window query; returns the match count.
   StatusOr<size_t> Query(const Rect& window);
+
+  /// Thread-safe k-nearest-neighbor query; returns the neighbor count
+  /// (<= k). The best-first descent's read set is distance-bounded, not
+  /// rectangle-bounded, so it cannot pre-declare page latches or DGL
+  /// cells: global mode runs it under the shared tree-wide latch
+  /// (updates hold it exclusively), subtree mode takes the tree-wide
+  /// latch exclusively (scoped updates hold it shared with page latches
+  /// underneath), and coupled mode drains through the compound-SMO
+  /// gate. Conservative by construction — the kNN-under-update-storm
+  /// scenario exists to price exactly this serialization; no DGL locks
+  /// are taken (the simulated-I/O serialization DGL provides for
+  /// updates/queries does not apply to the latch-only kNN path).
+  StatusOr<size_t> Knn(const Point& query, size_t k);
 
   /// Group execution of a whole update batch (the ingest pool's engine,
   /// also callable directly): ONE DGL acquisition covering the union of
@@ -325,6 +355,8 @@ class ConcurrentIndex {
   std::atomic<uint64_t> batched_updates_{0};
   std::atomic<uint64_t> batch_pages_{0};
   std::atomic<uint64_t> batch_fallbacks_{0};
+  std::atomic<uint64_t> deletes_{0};
+  std::atomic<uint64_t> knn_queries_{0};
   /// Reinsert visibility bracket (seqlock over the eviction gap): a
   /// coupled forced re-insertion bumps `started` while the evicting
   /// leaf's X latch is still held, re-inserts the evicted entries in

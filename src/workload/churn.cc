@@ -1,0 +1,30 @@
+#include "workload/churn.h"
+
+#include "common/logging.h"
+
+namespace burtree {
+
+ObjectId ChurnTracker::MintInsert(const Point& pos) {
+  BURTREE_CHECK(next_oid_ < last_oid_);
+  const ObjectId oid = next_oid_++;
+  live_.emplace_back(oid, pos);
+  ++inserts_;
+  return oid;
+}
+
+std::pair<ObjectId, Point> ChurnTracker::TakeDelete(Rng& rng) {
+  BURTREE_CHECK(!live_.empty());
+  const size_t k = static_cast<size_t>(rng.NextBelow(live_.size()));
+  const std::pair<ObjectId, Point> victim = live_[k];
+  live_[k] = live_.back();
+  live_.pop_back();
+  ++deletes_;
+  return victim;
+}
+
+void ChurnTracker::Moved(size_t live_index, const Point& to) {
+  BURTREE_CHECK(live_index < live_.size());
+  live_[live_index].second = to;
+}
+
+}  // namespace burtree

@@ -1,0 +1,69 @@
+// Insert/delete churn bookkeeping for the scenario suite (ROADMAP
+// "mixed insert/delete/update/query churn"). Each client owns one
+// ChurnTracker: inserts mint fresh oids from a client-private stride so
+// clients never collide, deletes pick a live *churned* object (initial
+// objects are never deleted — conservation stays provable: the expected
+// final population is exactly initial + inserts - deletes), and the
+// tracker remembers every live churned object's position so the delete
+// can hand the tree its rect hint.
+//
+// Single-threaded by design (one tracker per client thread); the only
+// cross-client contract is the oid stride.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/random.h"
+#include "common/types.h"
+
+namespace burtree {
+
+class ChurnTracker {
+ public:
+  /// Client `client` of `num_clients` mints oids `base + client * stride
+  /// + n`. `base` is the initial population size; the default stride
+  /// leaves room for ~10^9 inserts per client.
+  ChurnTracker(ObjectId base, uint32_t client, uint64_t stride = 1ull << 32)
+      : next_oid_(base + static_cast<uint64_t>(client) * stride),
+        last_oid_(base + (static_cast<uint64_t>(client) + 1) * stride) {}
+
+  /// Mints the next fresh oid for an insert at `pos`. The object becomes
+  /// live immediately (callers insert before the next tracker call).
+  ObjectId MintInsert(const Point& pos);
+
+  /// True when a delete can proceed (some churned object is live).
+  bool CanDelete() const { return !live_.empty(); }
+
+  /// Picks a live churned object uniformly at random, removes it from
+  /// the live set, and returns its oid + last known position (the
+  /// delete's rect hint). Requires CanDelete().
+  std::pair<ObjectId, Point> TakeDelete(Rng& rng);
+
+  /// Position update of a live churned object (the scenario loop moves
+  /// churned objects too when the update pick lands on one).
+  void Moved(size_t live_index, const Point& to);
+
+  /// Live churned objects, in insertion-order-with-swap-removal order.
+  const std::vector<std::pair<ObjectId, Point>>& live() const {
+    return live_;
+  }
+
+  uint64_t inserts() const { return inserts_; }
+  uint64_t deletes() const { return deletes_; }
+  /// Net population delta this client contributed.
+  int64_t net() const {
+    return static_cast<int64_t>(inserts_) - static_cast<int64_t>(deletes_);
+  }
+
+ private:
+  ObjectId next_oid_;
+  ObjectId last_oid_;  ///< exclusive stride bound (overflow guard)
+  std::vector<std::pair<ObjectId, Point>> live_;
+  uint64_t inserts_ = 0;
+  uint64_t deletes_ = 0;
+};
+
+}  // namespace burtree

@@ -1,0 +1,67 @@
+#include "workload/skew.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace burtree {
+
+const char* SkewKindName(SkewKind kind) {
+  switch (kind) {
+    case SkewKind::kNone: return "none";
+    case SkewKind::kHotspot: return "hotspot";
+    case SkewKind::kFlashCrowd: return "flashcrowd";
+  }
+  return "?";
+}
+
+bool ParseSkewKind(const std::string& s, SkewKind* out) {
+  if (s == "none") {
+    *out = SkewKind::kNone;
+  } else if (s == "hotspot") {
+    *out = SkewKind::kHotspot;
+  } else if (s == "flashcrowd") {
+    *out = SkewKind::kFlashCrowd;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+SkewPicker::SkewPicker(const SkewOptions& options) : options_(options) {
+  BURTREE_CHECK(options_.hot_fraction > 0.0 &&
+                options_.hot_fraction <= 1.0);
+  BURTREE_CHECK(options_.hot_prob >= 0.0 && options_.hot_prob <= 1.0);
+  if (options_.flash_interval == 0) options_.flash_interval = 1;
+}
+
+uint64_t SkewPicker::HotSize(uint64_t n) const {
+  return std::max<uint64_t>(
+      1, static_cast<uint64_t>(static_cast<double>(n) *
+                               options_.hot_fraction));
+}
+
+uint64_t SkewPicker::HotStart(uint64_t n, uint64_t pick_index) const {
+  if (options_.kind != SkewKind::kFlashCrowd || n == 0) return 0;
+  // One deterministic window position per epoch, scattered across the
+  // range by a mix hash so consecutive epochs land far apart (a crowd
+  // *flashing* somewhere new, not creeping).
+  const uint64_t epoch = pick_index / options_.flash_interval;
+  return Mix64(epoch + 0x9E3779B97F4A7C15ULL) % n;
+}
+
+uint64_t SkewPicker::Pick(Rng& rng, uint64_t n, uint64_t pick_index) const {
+  BURTREE_CHECK(n > 0);
+  if (options_.kind == SkewKind::kNone) return rng.NextBelow(n);
+  // One Bernoulli + one uniform draw per pick in every skewed mode, so
+  // the Rng stream consumed is independent of the outcome — keeps op
+  // sequences deterministic under any hot_prob.
+  const bool hot = rng.NextBool(options_.hot_prob);
+  const uint64_t hot_size = HotSize(n);
+  if (!hot) return rng.NextBelow(n);
+  const uint64_t start = HotStart(n, pick_index);
+  return (start + rng.NextBelow(hot_size)) % n;
+}
+
+}  // namespace burtree

@@ -1,0 +1,70 @@
+// Access-skew models for the scenario suite (ROADMAP "hotspot /
+// flash-crowd object skew"): which object a client touches next. The
+// GSTD generator owns *where* objects live; these pickers own *which*
+// object gets traffic, so skew composes with any initial distribution.
+//
+//   kNone        uniform over the client's object range (the Figure-8
+//                behavior, bit-for-bit when hot_prob draws are skipped)
+//   kHotspot     a fixed hot set (the first hot_fraction of the range)
+//                absorbs hot_prob of the picks — a celebrity shard
+//   kFlashCrowd  the hot set *moves*: every flash_interval picks the hot
+//                window shifts to a new deterministic position, modeling
+//                a crowd flashing from one region of the id space to
+//                another (event traffic, breaking news)
+//
+// Deterministic given the Rng stream and the pick index, so scenario op
+// counts replay identically across runs and machines — the regression
+// gate's exact-metric contract depends on this.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.h"
+
+namespace burtree {
+
+enum class SkewKind {
+  kNone,
+  kHotspot,
+  kFlashCrowd,
+};
+
+const char* SkewKindName(SkewKind kind);
+
+/// Parses "none" / "hotspot" / "flashcrowd" (case-sensitive); returns
+/// false and leaves `out` untouched on anything else.
+bool ParseSkewKind(const std::string& s, SkewKind* out);
+
+struct SkewOptions {
+  SkewKind kind = SkewKind::kNone;
+  /// Fraction of the range that is hot (clamped to at least one object).
+  double hot_fraction = 0.1;
+  /// Probability a pick lands in the hot set.
+  double hot_prob = 0.9;
+  /// kFlashCrowd: picks between hot-window moves.
+  uint64_t flash_interval = 1000;
+};
+
+/// Stateless object picker over a half-open range [0, n). The pick index
+/// (a per-client op counter) drives the flash-crowd window position, so
+/// two clients with identical Rng streams and counters pick identically.
+class SkewPicker {
+ public:
+  explicit SkewPicker(const SkewOptions& options);
+
+  /// Index in [0, n) for the `pick_index`-th pick of this client.
+  uint64_t Pick(Rng& rng, uint64_t n, uint64_t pick_index) const;
+
+  /// Start of the hot window for `pick_index` (testing; [0, n)).
+  uint64_t HotStart(uint64_t n, uint64_t pick_index) const;
+  /// Hot-set size for a range of n objects (>= 1).
+  uint64_t HotSize(uint64_t n) const;
+
+  const SkewOptions& options() const { return options_; }
+
+ private:
+  SkewOptions options_;
+};
+
+}  // namespace burtree

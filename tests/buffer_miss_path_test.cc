@@ -234,5 +234,39 @@ TEST(BufferMissPathTest, MissInFlightStressKeepsFramesConsistent) {
   EXPECT_EQ(file.io_stats().reads(), pool.stats().misses);
 }
 
+// ---------------------------------------------------------------------------
+// DeletePage vs. a transient no-latch pin. Escalation warming and
+// optimistic snapshot copies pin a page while holding no tree latch, so
+// a structural delete (leaf condense, root shrink) can catch the page
+// momentarily pinned. DeletePage must wait the pin out, not fail the
+// whole update with InvalidArgument (the schedule-fuzz GBU/subtree
+// flake this reproduces deterministically).
+// ---------------------------------------------------------------------------
+
+TEST(BufferMissPathTest, DeletePageWaitsOutTransientPin) {
+  PageFile file(kPageSize);
+  for (int i = 0; i < 4; ++i) file.Allocate();
+  BufferPool pool(&file, /*capacity=*/4, /*shards=*/1);
+
+  auto res = pool.FetchPage(2);  // the "warming" pin
+  ASSERT_TRUE(res.ok());
+
+  std::atomic<bool> deleted{false};
+  std::thread deleter([&]() {
+    ASSERT_TRUE(pool.DeletePage(2).ok());  // must block, then succeed
+    deleted = true;
+  });
+  // The deleter must be parked on the pin, not done and not failed.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_FALSE(deleted.load());
+
+  pool.UnpinPage(2, /*dirty=*/false);
+  deleter.join();
+  EXPECT_TRUE(deleted.load());
+  // The frame is gone: a re-fetch would read the freed slot, so just
+  // check the pool's view directly via a fresh allocation reusing it.
+  EXPECT_EQ(file.live_pages(), 3u);
+}
+
 }  // namespace
 }  // namespace burtree

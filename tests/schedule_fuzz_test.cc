@@ -83,6 +83,13 @@ TEST_P(ScheduleFuzzTest, SeededInterleavingsMatchReferenceTree) {
     std::vector<std::vector<RecordedUpdate>> recorded(kThreads);
     std::vector<std::thread> threads;
     std::atomic<bool> ok{true};
+    std::mutex error_mu;
+    std::string first_error;
+    auto record_error = [&](const Status& st) {
+      std::lock_guard<std::mutex> g(error_mu);
+      if (first_error.empty()) first_error = st.ToString();
+      ok = false;
+    };
     for (int t = 0; t < kThreads; ++t) {
       threads.emplace_back([&, t]() {
         Rng rng(seed * 1000 + static_cast<uint64_t>(t));
@@ -103,17 +110,20 @@ TEST_P(ScheduleFuzzTest, SeededInterleavingsMatchReferenceTree) {
                                      pos[k].x + rng.NextDouble() * 0.01),
                             std::min(1.0,
                                      pos[k].y + rng.NextDouble() * 0.01)};
-            if (!RetryAborted([&] { return index.Update(lo + k, pos[k], to); })
-                     .ok()) {
-              ok = false;
+            const Status st =
+                RetryAborted([&] { return index.Update(lo + k, pos[k], to); });
+            if (!st.ok()) {
+              record_error(st);
               return;
             }
             recorded[t].push_back(RecordedUpdate{lo + k, pos[k], to});
             pos[k] = to;
           } else {
             const Rect w = WorkloadGenerator::QueryWindowFrom(rng, 0.05);
-            if (!RetryAborted([&] { return index.Query(w).status(); }).ok()) {
-              ok = false;
+            const Status st =
+                RetryAborted([&] { return index.Query(w).status(); });
+            if (!st.ok()) {
+              record_error(st);
               return;
             }
           }
@@ -121,7 +131,7 @@ TEST_P(ScheduleFuzzTest, SeededInterleavingsMatchReferenceTree) {
       });
     }
     for (auto& th : threads) th.join();
-    ASSERT_TRUE(ok.load());
+    ASSERT_TRUE(ok.load()) << "worker op failed: " << first_error;
 
     // Single-thread reference tree: replay each thread's recorded
     // updates in program order on a twin fixture.

@@ -1,0 +1,196 @@
+// Shape and determinism contracts of the scenario-suite generators:
+// SkewPicker (hotspot / flash-crowd object skew) and ChurnTracker
+// (insert/delete ledger). The regression gate exact-compares scenario
+// op counts across machines, so everything here that claims determinism
+// is load-bearing for CI, not just hygiene.
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "workload/churn.h"
+#include "workload/skew.h"
+
+namespace burtree {
+namespace {
+
+TEST(SkewKindTest, ParseAndName) {
+  SkewKind kind = SkewKind::kHotspot;
+  EXPECT_TRUE(ParseSkewKind("none", &kind));
+  EXPECT_EQ(kind, SkewKind::kNone);
+  EXPECT_TRUE(ParseSkewKind("hotspot", &kind));
+  EXPECT_EQ(kind, SkewKind::kHotspot);
+  EXPECT_TRUE(ParseSkewKind("flashcrowd", &kind));
+  EXPECT_EQ(kind, SkewKind::kFlashCrowd);
+  EXPECT_FALSE(ParseSkewKind("volcano", &kind));
+  EXPECT_EQ(kind, SkewKind::kFlashCrowd);  // untouched on failure
+  EXPECT_STREQ(SkewKindName(SkewKind::kFlashCrowd), "flashcrowd");
+}
+
+TEST(SkewPickerTest, NonePicksUniformly) {
+  SkewOptions opts;  // kNone
+  SkewPicker picker(opts);
+  Rng rng(7);
+  const uint64_t n = 1000;
+  std::vector<uint64_t> counts(10, 0);
+  for (uint64_t i = 0; i < 20000; ++i) {
+    const uint64_t p = picker.Pick(rng, n, i);
+    ASSERT_LT(p, n);
+    ++counts[p / 100];
+  }
+  // Each decile holds 10% in expectation; 20000 picks keep every decile
+  // well inside [5%, 15%].
+  for (uint64_t c : counts) {
+    EXPECT_GT(c, 1000u);
+    EXPECT_LT(c, 3000u);
+  }
+}
+
+TEST(SkewPickerTest, HotspotConcentratesPicks) {
+  SkewOptions opts;
+  opts.kind = SkewKind::kHotspot;
+  opts.hot_fraction = 0.05;
+  opts.hot_prob = 0.9;
+  SkewPicker picker(opts);
+  Rng rng(11);
+  const uint64_t n = 1000;
+  const uint64_t hot_size = picker.HotSize(n);
+  EXPECT_EQ(hot_size, 50u);
+  EXPECT_EQ(picker.HotStart(n, /*pick_index=*/123), 0u);  // fixed window
+  uint64_t hot_hits = 0;
+  const uint64_t picks = 20000;
+  for (uint64_t i = 0; i < picks; ++i) {
+    if (picker.Pick(rng, n, i) < hot_size) ++hot_hits;
+  }
+  // 90% target plus ~0.5% of cold picks landing in the hot range.
+  const double frac =
+      static_cast<double>(hot_hits) / static_cast<double>(picks);
+  EXPECT_GT(frac, 0.85);
+  EXPECT_LT(frac, 0.95);
+}
+
+TEST(SkewPickerTest, HotSizeClampsToOneObject) {
+  SkewOptions opts;
+  opts.kind = SkewKind::kHotspot;
+  opts.hot_fraction = 0.001;
+  SkewPicker picker(opts);
+  EXPECT_EQ(picker.HotSize(10), 1u);  // 0.001 * 10 rounds down to 0
+}
+
+TEST(SkewPickerTest, FlashCrowdWindowMovesAcrossEpochs) {
+  SkewOptions opts;
+  opts.kind = SkewKind::kFlashCrowd;
+  opts.hot_fraction = 0.05;
+  opts.flash_interval = 100;
+  SkewPicker picker(opts);
+  const uint64_t n = 10000;
+  // Within one epoch the window is fixed; across epochs it moves (for a
+  // deterministic mixer, 20 consecutive epochs all mapping to the same
+  // start would be a broken hash, not luck).
+  std::set<uint64_t> starts;
+  for (uint64_t epoch = 0; epoch < 20; ++epoch) {
+    const uint64_t start = picker.HotStart(n, epoch * opts.flash_interval);
+    EXPECT_EQ(start,
+              picker.HotStart(n, epoch * opts.flash_interval +
+                                     opts.flash_interval - 1));
+    EXPECT_LT(start, n);
+    starts.insert(start);
+  }
+  EXPECT_GT(starts.size(), 1u);
+
+  // Picks during one epoch concentrate inside that epoch's window
+  // (wrapping at n).
+  Rng rng(13);
+  const uint64_t hot_size = picker.HotSize(n);
+  const uint64_t start = picker.HotStart(n, 0);
+  uint64_t in_window = 0;
+  for (uint64_t i = 0; i < opts.flash_interval; ++i) {
+    const uint64_t p = picker.Pick(rng, n, i);
+    const uint64_t offset = (p + n - start) % n;
+    if (offset < hot_size) ++in_window;
+  }
+  EXPECT_GT(in_window, opts.flash_interval * 8 / 10);
+}
+
+TEST(SkewPickerTest, SameSeedSamePickSequence) {
+  for (SkewKind kind :
+       {SkewKind::kNone, SkewKind::kHotspot, SkewKind::kFlashCrowd}) {
+    SkewOptions opts;
+    opts.kind = kind;
+    opts.flash_interval = 50;
+    SkewPicker picker(opts);
+    Rng a(42), b(42);
+    for (uint64_t i = 0; i < 500; ++i) {
+      ASSERT_EQ(picker.Pick(a, 777, i), picker.Pick(b, 777, i))
+          << SkewKindName(kind) << " diverged at pick " << i;
+    }
+  }
+}
+
+TEST(ChurnTrackerTest, MintsStridedOidsPerClient) {
+  const ObjectId base = 1000;
+  const uint64_t stride = 1 << 20;
+  ChurnTracker c0(base, 0, stride);
+  ChurnTracker c1(base, 1, stride);
+  const Point p{0.5, 0.5};
+  EXPECT_EQ(c0.MintInsert(p), base);
+  EXPECT_EQ(c0.MintInsert(p), base + 1);
+  EXPECT_EQ(c1.MintInsert(p), base + stride);
+  EXPECT_EQ(c1.MintInsert(p), base + stride + 1);
+}
+
+TEST(ChurnTrackerTest, DeleteOnlyTargetsOwnLiveInserts) {
+  ChurnTracker churn(100, 0);
+  EXPECT_FALSE(churn.CanDelete());
+  Rng rng(3);
+  std::set<ObjectId> minted;
+  for (int i = 0; i < 20; ++i) {
+    minted.insert(churn.MintInsert(Point{0.1 * (i % 10), 0.5}));
+  }
+  EXPECT_TRUE(churn.CanDelete());
+  std::set<ObjectId> deleted;
+  while (churn.CanDelete()) {
+    const auto victim = churn.TakeDelete(rng);
+    EXPECT_TRUE(minted.count(victim.first)) << victim.first;
+    EXPECT_TRUE(deleted.insert(victim.first).second)
+        << "double delete of " << victim.first;
+  }
+  EXPECT_EQ(deleted.size(), minted.size());
+  EXPECT_EQ(churn.inserts(), 20u);
+  EXPECT_EQ(churn.deletes(), 20u);
+  EXPECT_EQ(churn.net(), 0);
+}
+
+TEST(ChurnTrackerTest, ConservationLedgerBalances) {
+  ChurnTracker churn(5000, 2);
+  Rng rng(9);
+  uint64_t inserts = 0, deletes = 0;
+  for (int i = 0; i < 3000; ++i) {
+    if (rng.NextBool(0.4) && churn.CanDelete()) {
+      churn.TakeDelete(rng);
+      ++deletes;
+    } else {
+      churn.MintInsert(Point{rng.NextDouble(), rng.NextDouble()});
+      ++inserts;
+    }
+  }
+  EXPECT_EQ(churn.inserts(), inserts);
+  EXPECT_EQ(churn.deletes(), deletes);
+  EXPECT_EQ(churn.net(),
+            static_cast<int64_t>(inserts) - static_cast<int64_t>(deletes));
+  EXPECT_EQ(churn.live().size(), inserts - deletes);
+}
+
+TEST(ChurnTrackerTest, MovedUpdatesDeleteHint) {
+  ChurnTracker churn(10, 0);
+  churn.MintInsert(Point{0.1, 0.1});
+  churn.Moved(0, Point{0.9, 0.8});
+  Rng rng(1);
+  const auto victim = churn.TakeDelete(rng);
+  EXPECT_DOUBLE_EQ(victim.second.x, 0.9);
+  EXPECT_DOUBLE_EQ(victim.second.y, 0.8);
+}
+
+}  // namespace
+}  // namespace burtree

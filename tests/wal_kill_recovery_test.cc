@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "concurrency_test_util.h"
+#include "ingest/ingest_pool.h"
 #include "storage/file_page_store.h"
 #include "storage/wal/wal_manager.h"
 
@@ -101,7 +102,15 @@ ExperimentConfig ChildConfig(const Layout& l, int seed) {
 
 /// Child body; never returns. Exit codes mark child-side failures the
 /// parent turns into test failures (the expected end is SIGKILL).
-[[noreturn]] void ChildMain(const Layout& l, int seed) {
+///
+/// With ingest_workers > 0 the clients submit through an 8-worker
+/// IngestPool instead of calling the per-op path: group execution's WAL
+/// scopes, batch page groups, and handle-completion ordering all get
+/// SIGKILLed mid-flight. The watermark protocol still holds — a handle
+/// completes only after its batch's WAL scope committed the record, so
+/// an acknowledged insert is appended before the next WaitDurable.
+[[noreturn]] void ChildMain(const Layout& l, int seed,
+                            uint32_t ingest_workers) {
   const ExperimentConfig cfg = ChildConfig(l, seed);
   WorkloadGenerator workload(cfg.workload);
   StrategyFixture fx = MakeFixture(cfg);
@@ -112,6 +121,14 @@ ExperimentConfig ChildConfig(const Layout& l, int seed) {
   copts.latch_mode = LatchMode::kCoupled;
   ConcurrentIndex index(fx.system.get(), fx.strategy.get(),
                         fx.executor.get(), copts);
+
+  std::unique_ptr<IngestPool> ingest;
+  if (ingest_workers > 0) {
+    IngestOptions iopts;
+    iopts.workers = ingest_workers;
+    iopts.max_batch = 32;
+    ingest = std::make_unique<IngestPool>(&index, iopts);
+  }
 
   std::atomic<uint64_t> acked_inserts[kWorkers] = {};
   std::atomic<bool> child_failed{false};
@@ -138,7 +155,10 @@ ExperimentConfig ChildConfig(const Layout& l, int seed) {
                             0.0, 1.0);
           to.y = std::clamp(to.y < 0 ? -to.y : (to.y > 1 ? 2 - to.y : to.y),
                             0.0, 1.0);
-          if (!index.Update(lo + k, from, to).ok()) {
+          const Status st = ingest != nullptr
+                                ? ingest->Update(lo + k, from, to)
+                                : index.Update(lo + k, from, to);
+          if (!st.ok()) {
             child_failed = true;
             break;
           }
@@ -146,7 +166,9 @@ ExperimentConfig ChildConfig(const Layout& l, int seed) {
         } else {
           const ObjectId oid = kInitialObjects + t * kOidStride + inserted;
           const Point p{rng.NextDouble(), rng.NextDouble()};
-          if (!index.Insert(oid, p).ok()) {
+          const Status st = ingest != nullptr ? ingest->Insert(oid, p)
+                                              : index.Insert(oid, p);
+          if (!st.ok()) {
             child_failed = true;
             break;
           }
@@ -181,15 +203,14 @@ ExperimentConfig ChildConfig(const Layout& l, int seed) {
   ::_exit(3);  // an op failed — the parent reports it
 }
 
-class WalKillRecoveryTest : public ::testing::TestWithParam<int> {};
-
-TEST_P(WalKillRecoveryTest, RecoversConsistentTreeAfterSigkill) {
-  const int seed = GetParam();
+/// Whole kill-recover-audit cycle, shared by the per-op and batched-
+/// ingestion suites (they differ only in the child's write path).
+void RunKillRecoveryCase(int seed, uint32_t ingest_workers) {
   const Layout l = MakeLayout(seed);
 
   const pid_t pid = ::fork();
   ASSERT_GE(pid, 0) << "fork failed: " << std::strerror(errno);
-  if (pid == 0) ChildMain(l, seed);  // never returns
+  if (pid == 0) ChildMain(l, seed, ingest_workers);  // never returns
 
   // Wait for the first durable watermark, then kill at a seed-spread
   // delay so the 20 cases crash at 20 different execution phases.
@@ -303,8 +324,28 @@ TEST_P(WalKillRecoveryTest, RecoversConsistentTreeAfterSigkill) {
   std::filesystem::remove_all(l.dir);
 }
 
+class WalKillRecoveryTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WalKillRecoveryTest, RecoversConsistentTreeAfterSigkill) {
+  RunKillRecoveryCase(GetParam(), /*ingest_workers=*/0);
+}
+
 INSTANTIATE_TEST_SUITE_P(CrashPoints, WalKillRecoveryTest,
                          ::testing::Range(0, 20));
+
+// Batched-ingestion variant: the child's clients submit through an
+// 8-worker IngestPool, so the kill lands mid-group-execution — between
+// a batch's WAL scope and its handles, mid-drain, mid-batch-split.
+// Fewer crash points than the per-op suite (each case spins 8 extra
+// worker threads), offset so the kill delays sample different phases.
+class WalKillIngestRecoveryTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WalKillIngestRecoveryTest, RecoversAfterSigkillDuringIngest) {
+  RunKillRecoveryCase(100 + GetParam(), /*ingest_workers=*/8);
+}
+
+INSTANTIATE_TEST_SUITE_P(CrashPoints, WalKillIngestRecoveryTest,
+                         ::testing::Range(0, 8));
 
 }  // namespace
 }  // namespace burtree
