@@ -31,9 +31,9 @@ int main(int argc, char** argv) {
       size_t comma = s.find(',', pos);
       if (comma == std::string::npos) comma = s.size();
       const std::string tok = s.substr(pos, comma - pos);
-      if (!tok.empty()) {
-        worker_axis.push_back(static_cast<size_t>(
-            std::strtoull(tok.c_str(), nullptr, 10)));
+      uint64_t v = 0;
+      if (!tok.empty() && ParseUint64(tok, &v)) {
+        worker_axis.push_back(static_cast<size_t>(v));
       }
       pos = comma + 1;
     }

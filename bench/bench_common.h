@@ -12,10 +12,12 @@
 #include <string>
 #include <vector>
 
+#include "common/parse.h"
 #include "harness/cli.h"
 #include "harness/experiment.h"
 #include "harness/table_printer.h"
 #include "ingest/ingest_pool.h"
+#include "storage/async_io.h"
 #include "storage/page_store.h"
 
 namespace burtree::bench {
@@ -93,6 +95,15 @@ struct BenchArgs {
                    backend.c_str());
       std::exit(2);
     }
+    const std::string io = cli.GetString("io-engine", "sync");
+    if (!ParseIoEngine(io, &a.storage.io_engine)) {
+      std::fprintf(stderr,
+                   "unknown --io-engine '%s' (want sync|pool|uring)\n",
+                   io.c_str());
+      std::exit(2);
+    }
+    a.storage.io_queue_depth =
+        static_cast<size_t>(cli.GetInt("io-depth", 16));
     a.storage.fsync_on_flush = cli.GetBool("fsync", false);
     a.storage.direct_io = cli.GetBool("direct-io", false);
     a.storage.wal.enabled = cli.GetBool("wal", false);
@@ -155,9 +166,8 @@ inline std::vector<size_t> ParseCountList(const std::string& s) {
     if (comma == std::string::npos) comma = s.size();
     const std::string tok = s.substr(pos, comma - pos);
     if (!tok.empty()) {
-      const auto v =
-          static_cast<size_t>(std::strtoull(tok.c_str(), nullptr, 10));
-      if (v > 0) out.push_back(v);
+      uint64_t v = 0;
+      if (ParseUint64(tok, &v) && v > 0) out.push_back(static_cast<size_t>(v));
     }
     pos = comma + 1;
   }
@@ -169,6 +179,10 @@ inline void PrintHeader(const std::string& title, const BenchArgs& a) {
   std::string backend = StorageBackendName(a.storage.backend);
   if (!a.storage.file_dir.empty()) backend += ":" + a.storage.file_dir;
   if (a.storage.wal.enabled) backend += "+wal";
+  if (a.storage.io_engine != IoEngineKind::kSync) {
+    backend += std::string("+") + IoEngineName(a.storage.io_engine) +
+               "@qd" + std::to_string(a.storage.io_queue_depth);
+  }
   if (a.ingest.workers > 0) {
     backend += ", ingest " + IngestSpecString(a.ingest);
   }

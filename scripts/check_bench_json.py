@@ -50,6 +50,12 @@ SCHEMAS = {
          "batch_pages", "batch_fallbacks", "ingest_batches",
          "ingest_max_batch"],
     ),
+    "bench_async_io": (
+        ["bench", "pages", "page_size", "threads", "io_latency_us"],
+        "rows",
+        ["engine", "engine_ran", "queue_depth", "tps", "mean_us",
+         "p50_us", "p99_us", "prefetched", "speedup_vs_sync"],
+    ),
     "bench_fig8_throughput": (
         ["bench", "sweep", "strategy", "latch_mode", "update_pct",
          "objects", "ops_per_thread", "io_latency_us"],

@@ -1,0 +1,42 @@
+// Seeded-jitter exponential backoff, shared by the DGL
+// release-and-retry loop and the ingest workers' aborted-batch re-runs.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace burtree {
+
+/// Jittered exponential backoff over a deterministic per-stream
+/// xorshift64. The jitter matters: with a deterministic schedule two
+/// ops that collide sleep the exact same duration and collide again on
+/// every retry, so under a hot granule a whole retry budget can burn
+/// in lockstep. Seeding from a per-op value (timestamp, worker id)
+/// keeps each stream replayable while decorrelating it from the rest —
+/// no clock or global RNG needed.
+class JitteredBackoff {
+ public:
+  explicit JitteredBackoff(uint64_t seed)
+      : state_(seed * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull) {}
+
+  /// Sleeps for the next attempt's delay: base 50µs doubling through a
+  /// 128x cap, plus an up-to-base jitter draw.
+  void Sleep() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    const uint64_t base = 50u << (attempt_ & 7);
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(base + state_ % base));
+    ++attempt_;
+  }
+
+  int attempts() const { return attempt_; }
+
+ private:
+  uint64_t state_;
+  int attempt_ = 0;
+};
+
+}  // namespace burtree

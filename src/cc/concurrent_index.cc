@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "cc/backoff.h"
 #include "storage/wal/wal_manager.h"
 
 namespace burtree {
@@ -82,28 +83,20 @@ class OptimisticReaderHooks final : public VersionLatchHooks {
 
 /// DGL acquisition with release-and-retry backoff, shared by
 /// Update/Insert/Query: wait-die aborts and timeouts release everything
-/// and retry with jittered exponential backoff up to a fixed budget.
-/// The jitter matters: with a deterministic schedule two ops that
-/// collide sleep the exact same duration and collide again on every
-/// retry, so under a hot granule the whole budget can burn in lockstep
-/// and the residual Abort escapes to the caller.
+/// and retry with jittered exponential backoff (see JitteredBackoff for
+/// why the jitter is load-bearing) up to a fixed budget, after which
+/// the residual Abort escapes to the caller. Seeded from the op
+/// timestamp: per-op stream, deterministic for a given ts (replayable).
 template <typename AcquireFn>
 Status AcquireDglWithRetry(LockManager* lm, uint64_t ts,
                            AcquireFn acquire) {
-  // xorshift64 seeded from the op timestamp: per-op stream, no clock or
-  // global RNG needed, and deterministic for a given ts (replayable).
-  uint64_t jitter = ts * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull;
+  JitteredBackoff backoff(ts);
   for (int attempt = 0;; ++attempt) {
     Status s = acquire();
     if (s.ok()) return s;
     lm->ReleaseAll(ts);
     if (attempt > 64) return s;
-    jitter ^= jitter << 13;
-    jitter ^= jitter >> 7;
-    jitter ^= jitter << 17;
-    const uint64_t base = 50u << (attempt & 7);
-    std::this_thread::sleep_for(
-        std::chrono::microseconds(base + jitter % base));
+    backoff.Sleep();
   }
 }
 
@@ -213,7 +206,12 @@ Status ConcurrentIndex::UpdateGlobal(ObjectId oid, const Point& from,
   std::unique_lock latch(latch_);
   // One WAL record per logical update; the scope's destructor appends it
   // before the tree latch releases. Inert when the system has no WAL.
+  // The observer bracket (here and at every op site) records the op's
+  // structural events and applies them in one burst when it closes —
+  // destructors run innermost-first, so application always precedes the
+  // WAL append and the latch release.
   WalOpScope wal_scope(system_->wal());
+  DeferredObserverScope obs_scope(system_->tree().subscribed_observer());
   PageStore::ResetThreadIo();
   auto result = strategy_->Update(oid, from, to);
   *ios = PageStore::thread_io();
@@ -230,12 +228,14 @@ bool ConcurrentIndex::TryScopedUpdate(const UpdatePlan& plan, ObjectId oid,
   // inside UpdateScoped is captured; the explicit Commit appends the
   // record while the latches are still held (log-before-release).
   WalOpScope wal_scope(system_->wal());
+  DeferredObserverScope obs_scope(system_->tree().subscribed_observer());
   PageLatchSet latches(&latch_table_);
   std::vector<PageId> pages{plan.leaf};
   if (plan.parent != kInvalidPageId) pages.push_back(plan.parent);
   latches.AcquireExclusive(pages);
   WriterScope scope(&latches);
   auto result = strategy_->UpdateScoped(scope, plan, oid, from, to);
+  obs_scope.Apply();
   wal_scope.Commit();
   if (result.status().code() == StatusCode::kLatchContention) {
     // UpdateScoped mutates nothing before returning LatchContention, so
@@ -283,6 +283,7 @@ Status ConcurrentIndex::UpdateSubtree(ObjectId oid, const Point& from,
   escalated_updates_.fetch_add(1, std::memory_order_relaxed);
   std::unique_lock tree_latch(latch_);
   WalOpScope wal_scope(system_->wal());
+  DeferredObserverScope obs_scope(system_->tree().subscribed_observer());
   auto result = strategy_->Update(oid, from, to);
   *ios = PageStore::thread_io();
   return result.status();
@@ -300,6 +301,7 @@ Status ConcurrentIndex::InsertCoupledWithRetry(
     PageId contended = kInvalidPageId;
     {
       WalOpScope wal_scope(system_->wal());
+      DeferredObserverScope obs_scope(system_->tree().subscribed_observer());
       PageLatchSet latches(&latch_table_);
       CoupledWriterHooks hooks(&latches);
       CoupledReinsert reinsert;
@@ -334,6 +336,7 @@ Status ConcurrentIndex::InsertCoupledWithRetry(
         *evicted = std::move(reinsert.evicted);
         reinsert_started_.fetch_add(1, std::memory_order_release);
       }
+      obs_scope.Apply();
       wal_scope.Commit();  // append before the page latches release
       if (st.code() != StatusCode::kLatchContention) {
         if (st.ok()) {
@@ -392,6 +395,7 @@ Status ConcurrentIndex::CoupledInsertWithReinsert(ObjectId oid,
   std::unique_lock<DrainGate> xgate(smo_gate_);
   for (; done < evicted.size(); ++done) {
     WalOpScope wal_scope(system_->wal());
+    DeferredObserverScope obs_scope(system_->tree().subscribed_observer());
     const Status rst =
         system_->tree().Insert(evicted[done].oid, evicted[done].rect);
     if (!rst.ok()) {
@@ -452,6 +456,7 @@ Status ConcurrentIndex::CoupledEscalatedUpdate(ObjectId oid,
     }
     const PageId leaf_id = leaf_or.value();
     WalOpScope wal_scope(system_->wal());
+    DeferredObserverScope obs_scope(system_->tree().subscribed_observer());
     PageLatchSet latches(&latch_table_);
     latches.AcquireExclusive(leaf_id);
     PageGuard g = PageGuard::Fetch(tree.pool(), leaf_id);
@@ -474,6 +479,7 @@ Status ConcurrentIndex::CoupledEscalatedUpdate(ObjectId oid,
       wal_scope.SetPendingInsert(*pending_token, oid, new_rect);
     }
     const Status rs = tree.RemoveFromLeafNoCondense(leaf_id, oid);
+    obs_scope.Apply();
     wal_scope.Commit();  // append before the leaf latch releases
     BURTREE_RETURN_IF_ERROR(rs);
     removed = true;
@@ -530,6 +536,7 @@ Status ConcurrentIndex::UpdateCoupled(ObjectId oid, const Point& from,
   std::unique_lock<DrainGate> xgate(smo_gate_, std::defer_lock);
   AcquireCompoundGate(xgate);
   WalOpScope wal_scope(system_->wal());
+  DeferredObserverScope obs_scope(system_->tree().subscribed_observer());
   if (needs == CompoundNeed::kInsertOnly) {
     const Status st =
         system_->tree().Insert(oid, IndexSystem::PointRect(to));
@@ -583,6 +590,7 @@ Status ConcurrentIndex::Insert(ObjectId oid, const Point& pos) {
     case LatchMode::kGlobal: {
       std::unique_lock latch(latch_);
       WalOpScope wal_scope(system_->wal());
+      DeferredObserverScope obs_scope(system_->tree().subscribed_observer());
       op_status = system_->Insert(oid, pos);
       break;
     }
@@ -591,6 +599,7 @@ Status ConcurrentIndex::Insert(ObjectId oid, const Point& pos) {
       escalated_updates_.fetch_add(1, std::memory_order_relaxed);
       std::unique_lock latch(latch_);
       WalOpScope wal_scope(system_->wal());
+      DeferredObserverScope obs_scope(system_->tree().subscribed_observer());
       op_status = system_->Insert(oid, pos);
       break;
     }
@@ -603,6 +612,7 @@ Status ConcurrentIndex::Insert(ObjectId oid, const Point& pos) {
         std::unique_lock<DrainGate> xgate(smo_gate_, std::defer_lock);
         AcquireCompoundGate(xgate);
         WalOpScope wal_scope(system_->wal());
+        DeferredObserverScope obs_scope(system_->tree().subscribed_observer());
         op_status = system_->Insert(oid, pos);
       }
       break;
@@ -628,6 +638,7 @@ Status ConcurrentIndex::Delete(ObjectId oid, const Point& pos) {
     case LatchMode::kGlobal: {
       std::unique_lock latch(latch_);
       WalOpScope wal_scope(system_->wal());
+      DeferredObserverScope obs_scope(system_->tree().subscribed_observer());
       op_status = system_->tree().Delete(oid, rect);
       break;
     }
@@ -637,6 +648,7 @@ Status ConcurrentIndex::Delete(ObjectId oid, const Point& pos) {
       escalated_updates_.fetch_add(1, std::memory_order_relaxed);
       std::unique_lock latch(latch_);
       WalOpScope wal_scope(system_->wal());
+      DeferredObserverScope obs_scope(system_->tree().subscribed_observer());
       op_status = system_->tree().Delete(oid, rect);
       break;
     }
@@ -648,6 +660,7 @@ Status ConcurrentIndex::Delete(ObjectId oid, const Point& pos) {
       std::unique_lock<DrainGate> xgate(smo_gate_, std::defer_lock);
       AcquireCompoundGate(xgate);
       WalOpScope wal_scope(system_->wal());
+      DeferredObserverScope obs_scope(system_->tree().subscribed_observer());
       op_status = system_->tree().Delete(oid, rect);
       break;
     }
@@ -869,8 +882,13 @@ Status ConcurrentIndex::UpdateBatch(std::vector<BatchUpdateOp>& ops) {
     // and one WAL record amortized across every op.
     std::unique_lock latch(latch_);
     WalOpScope wal_scope(system_->wal());
+    DeferredObserverScope obs_scope(system_->tree().subscribed_observer());
     for (BatchUpdateOp& op : ops) {
       record(op, strategy_->Update(op.oid, op.from, op.to).status());
+      // Each op plans against the oid index and summary, and an earlier
+      // op in the batch may have moved a later op's object (sibling
+      // shift, split): apply per op so every plan sees fresh views.
+      obs_scope.Apply();
     }
     wal_scope.Commit();
     batch_pages_.fetch_add(1, std::memory_order_relaxed);
@@ -919,6 +937,7 @@ Status ConcurrentIndex::UpdateBatch(std::vector<BatchUpdateOp>& ops) {
         // the latches so all dirty unpins are captured; Commit appends
         // while they are still held — log-before-release).
         WalOpScope wal_scope(system_->wal());
+        DeferredObserverScope obs_scope(system_->tree().subscribed_observer());
         PageLatchSet latches(&latch_table_);
         std::vector<PageId> pages;
         pages.reserve(2 * (j - i));
@@ -946,6 +965,7 @@ Status ConcurrentIndex::UpdateBatch(std::vector<BatchUpdateOp>& ops) {
             record(*local[k].op, result.status());
           }
         }
+        obs_scope.Apply();
         wal_scope.Commit();
         batch_pages_.fetch_add(1, std::memory_order_relaxed);
         i = j;
@@ -1016,8 +1036,12 @@ Status ConcurrentIndex::InsertBatch(std::vector<BatchInsertOp>& ops) {
       }
       std::unique_lock latch(latch_);
       WalOpScope wal_scope(system_->wal());
+      DeferredObserverScope obs_scope(system_->tree().subscribed_observer());
       for (BatchInsertOp& op : ops) {
         record(op, system_->Insert(op.oid, op.pos));
+        // Apply per op: a forced-reinsert eviction by one insert must
+        // be visible to the oid index before the next op runs.
+        obs_scope.Apply();
       }
       wal_scope.Commit();
       batch_pages_.fetch_add(1, std::memory_order_relaxed);
@@ -1036,6 +1060,8 @@ Status ConcurrentIndex::InsertBatch(std::vector<BatchInsertOp>& ops) {
           std::unique_lock<DrainGate> xgate(smo_gate_, std::defer_lock);
           AcquireCompoundGate(xgate);
           WalOpScope wal_scope(system_->wal());
+          DeferredObserverScope obs_scope(
+              system_->tree().subscribed_observer());
           st = system_->Insert(op.oid, op.pos);
         }
         batch_pages_.fetch_add(1, std::memory_order_relaxed);

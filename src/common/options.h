@@ -17,6 +17,16 @@ enum class StorageBackend {
           ///< preadv/pwritev batching and optional fsync/O_DIRECT.
 };
 
+/// Which asynchronous I/O engine the file backend (and the WAL
+/// committer) submits through (storage/async_io.h for the contract and
+/// docs/STORAGE.md for the engine-choice guide).
+enum class IoEngineKind {
+  kSync,   ///< No engine: the classic blocking pread/pwrite paths.
+  kPool,   ///< Submission/completion thread pool (portable fallback).
+  kUring,  ///< Raw-syscall Linux io_uring; falls back to kPool when
+           ///< io_uring_setup is unavailable at runtime.
+};
+
 /// Write-ahead-log policy (storage/wal). Durability is per IndexSystem:
 /// when enabled, the system opens one redo-only log next to its tree
 /// page file, every mutation's page images are logged before any dirty
@@ -74,6 +84,18 @@ struct StorageOptions {
   /// File backend: try O_DIRECT (falls back to buffered I/O where the
   /// filesystem or page size does not support it, e.g. tmpfs).
   bool direct_io = false;
+
+  /// Asynchronous I/O engine for the file backend's batched reads and
+  /// dirty write-backs and for the WAL's group-commit appends
+  /// (`--io-engine sync|pool|uring`). kSync keeps every path blocking;
+  /// the mem backend ignores this entirely.
+  IoEngineKind io_engine = IoEngineKind::kSync;
+
+  /// Target number of concurrently in-flight async units (`--io-depth`):
+  /// the pool engine's worker count, the uring engine's in-flight SQE
+  /// cap. Overlap only pays when this exceeds the thread count —
+  /// prefetch depth ≫ threads is the whole point (docs/STORAGE.md).
+  size_t io_queue_depth = 16;
 
   WalOptions wal;
 };

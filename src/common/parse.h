@@ -1,0 +1,50 @@
+// Strict decimal parsing for CLI values. The bare strtoull it replaces
+// accepted signs and leading whitespace and silently wrapped negatives
+// ("--ingest workers=-1" became 4294967295 workers); every flag parse
+// site routes through here instead.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace burtree {
+
+/// Parses a non-negative decimal integer. Accepts only [0-9]+ — a
+/// leading '-' or '+', whitespace, a hex/octal prefix, and trailing
+/// junk are all rejected. Returns false (leaving `out` untouched) on
+/// malformed input, overflow, or a value above `max`.
+inline bool ParseUint64(const std::string& s, uint64_t* out,
+                        uint64_t max = UINT64_MAX) {
+  if (s.empty()) return false;
+  uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    const uint64_t d = static_cast<uint64_t>(c - '0');
+    if (v > (UINT64_MAX - d) / 10) return false;
+    v = v * 10 + d;
+  }
+  if (v > max) return false;
+  *out = v;
+  return true;
+}
+
+/// Signed companion: an optional single leading '-' then [0-9]+, with
+/// INT64_MIN/MAX range checks. Same rejections otherwise.
+inline bool ParseInt64(const std::string& s, int64_t* out) {
+  const bool neg = !s.empty() && s[0] == '-';
+  uint64_t mag = 0;
+  if (!ParseUint64(neg ? s.substr(1) : s, &mag,
+                   neg ? (1ull << 63) : ((1ull << 63) - 1))) {
+    return false;
+  }
+  if (mag == 0) {
+    *out = 0;
+  } else if (neg) {
+    *out = -static_cast<int64_t>(mag - 1) - 1;  // reaches INT64_MIN
+  } else {
+    *out = static_cast<int64_t>(mag);
+  }
+  return true;
+}
+
+}  // namespace burtree

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "common/parse.h"
+
 namespace burtree {
 
 CliArgs::CliArgs(int argc, char** argv) {
@@ -61,7 +63,16 @@ void CliArgs::ExitIfHelpRequested(const char* argv0,
 int64_t CliArgs::GetInt(const std::string& key, int64_t def) const {
   Note(key, std::to_string(def));
   auto it = kv_.find(key);
-  return it == kv_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+  if (it == kv_.end()) return def;
+  // Strict parse (common/parse.h): strtoll here used to turn
+  // "--threads 1e3" into 1 and "--seed 0x2f" into 0 without a word.
+  int64_t v = 0;
+  if (!ParseInt64(it->second, &v)) {
+    std::cerr << "bad integer '" << it->second << "' for --" << key
+              << "\n";
+    std::exit(2);
+  }
+  return v;
 }
 
 double CliArgs::GetDouble(const std::string& key, double def) const {

@@ -9,7 +9,9 @@
 #include <sstream>
 #include <thread>
 
+#include "common/parse.h"
 #include "ingest/ingest_pool.h"
+#include "storage/async_io.h"
 
 namespace burtree {
 
@@ -79,6 +81,15 @@ StatusOr<ScenarioSpec> ParseScenario(const std::string& text,
     const std::string value = Trim(line.substr(colon + 1));
     if (value.empty()) return err("empty value for '" + key + "'");
 
+    // Integer keys parse strictly (common/parse.h): a sign, whitespace,
+    // a hex prefix, trailing junk, or overflow all fail here instead of
+    // strtoull's silent wrap.
+    uint64_t u64_v = 0;
+    auto parse_u64 = [&]() { return ParseUint64(value, &u64_v); };
+    auto bad_u64 = [&]() {
+      return err("bad unsigned integer '" + value + "' for '" + key + "'");
+    };
+
     bool bool_v = false;
     if (key == "name") {
       spec.name = value;
@@ -105,15 +116,23 @@ StatusOr<ScenarioSpec> ParseScenario(const std::string& text,
     } else if (key == "wal_dir") {
       spec.base.storage.wal.dir = value;
     } else if (key == "wal_group_commit_us") {
-      spec.base.storage.wal.group_commit_us =
-          std::strtoull(value.c_str(), nullptr, 10);
+      if (!parse_u64()) return bad_u64();
+      spec.base.storage.wal.group_commit_us = u64_v;
     } else if (key == "fsync") {
       if (!ParseBool(value, &spec.base.storage.fsync_on_flush)) {
         return err("bad bool '" + value + "'");
       }
+    } else if (key == "io_engine") {
+      if (!ParseIoEngine(value, &spec.base.storage.io_engine)) {
+        return err("unknown io_engine '" + value +
+                   "' (want sync|pool|uring)");
+      }
+    } else if (key == "io_queue_depth") {
+      if (!parse_u64()) return bad_u64();
+      spec.base.storage.io_queue_depth = static_cast<size_t>(u64_v);
     } else if (key == "objects") {
-      spec.base.workload.num_objects =
-          std::strtoull(value.c_str(), nullptr, 10);
+      if (!parse_u64()) return bad_u64();
+      spec.base.workload.num_objects = u64_v;
     } else if (key == "distribution") {
       if (!ParseDistribution(value, &spec.base.workload.distribution)) {
         return err("unknown distribution '" + value + "'");
@@ -121,15 +140,16 @@ StatusOr<ScenarioSpec> ParseScenario(const std::string& text,
     } else if (key == "max_move") {
       spec.base.workload.max_move_distance = std::atof(value.c_str());
     } else if (key == "seed") {
-      spec.base.workload.seed = std::strtoull(value.c_str(), nullptr, 10);
+      if (!parse_u64()) return bad_u64();
+      spec.base.workload.seed = u64_v;
     } else if (key == "buffer") {
       spec.base.buffer_fraction = std::atof(value.c_str());
     } else if (key == "shards") {
-      spec.base.buffer_shards =
-          static_cast<size_t>(std::strtoull(value.c_str(), nullptr, 10));
+      if (!parse_u64()) return bad_u64();
+      spec.base.buffer_shards = static_cast<size_t>(u64_v);
     } else if (key == "page_size") {
-      spec.base.page_size =
-          static_cast<size_t>(std::strtoull(value.c_str(), nullptr, 10));
+      if (!parse_u64()) return bad_u64();
+      spec.base.page_size = static_cast<size_t>(u64_v);
     } else if (key == "forced_reinsert") {
       if (!ParseBool(value, &spec.base.forced_reinsert)) {
         return err("bad bool '" + value + "'");
@@ -144,10 +164,11 @@ StatusOr<ScenarioSpec> ParseScenario(const std::string& text,
                    "' (want workers=N[,batch=K])");
       }
     } else if (key == "threads") {
-      spec.threads =
-          static_cast<uint32_t>(std::strtoull(value.c_str(), nullptr, 10));
+      if (!parse_u64()) return bad_u64();
+      spec.threads = static_cast<uint32_t>(u64_v);
     } else if (key == "ops_per_thread") {
-      spec.ops_per_thread = std::strtoull(value.c_str(), nullptr, 10);
+      if (!parse_u64()) return bad_u64();
+      spec.ops_per_thread = u64_v;
     } else if (key == "duration_s") {
       spec.duration_s = std::atof(value.c_str());
     } else if (key == "update_pct") {
@@ -159,8 +180,8 @@ StatusOr<ScenarioSpec> ParseScenario(const std::string& text,
     } else if (key == "knn_pct") {
       spec.knn_pct = std::atof(value.c_str());
     } else if (key == "knn_k") {
-      spec.knn_k =
-          static_cast<size_t>(std::strtoull(value.c_str(), nullptr, 10));
+      if (!parse_u64()) return bad_u64();
+      spec.knn_k = static_cast<size_t>(u64_v);
     } else if (key == "query_dim") {
       spec.query_max_dim = std::atof(value.c_str());
     } else if (key == "skew") {
@@ -173,9 +194,11 @@ StatusOr<ScenarioSpec> ParseScenario(const std::string& text,
     } else if (key == "hot_prob") {
       spec.skew.hot_prob = std::atof(value.c_str());
     } else if (key == "flash_interval") {
-      spec.skew.flash_interval = std::strtoull(value.c_str(), nullptr, 10);
+      if (!parse_u64()) return bad_u64();
+      spec.skew.flash_interval = u64_v;
     } else if (key == "io_latency_us") {
-      spec.io_latency_us = std::strtoull(value.c_str(), nullptr, 10);
+      if (!parse_u64()) return bad_u64();
+      spec.io_latency_us = u64_v;
     } else if (key == "io_latency_in_op") {
       if (!ParseBool(value, &spec.io_latency_in_op)) {
         return err("bad bool '" + value + "'");

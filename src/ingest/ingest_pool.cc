@@ -1,10 +1,19 @@
 #include "ingest/ingest_pool.h"
 
-#include <cstdlib>
-
+#include "cc/backoff.h"
 #include "common/logging.h"
+#include "common/parse.h"
 
 namespace burtree {
+
+namespace {
+/// Sanity ceilings for the spec values. strtoull used to accept
+/// "workers=-1" and wrap it to 4294967295 worker threads; ParseUint64
+/// rejects signs outright and these caps reject fat-fingered but
+/// technically-unsigned values too.
+constexpr uint64_t kMaxWorkers = 4096;
+constexpr uint64_t kMaxBatch = 1u << 20;
+}  // namespace
 
 bool ParseIngestSpec(const std::string& spec, IngestOptions* out) {
   IngestOptions parsed;
@@ -18,21 +27,19 @@ bool ParseIngestSpec(const std::string& spec, IngestOptions* out) {
     const size_t eq = tok.find('=');
     if (eq == std::string::npos) {
       // Bare integer shorthand: "--ingest 8" means workers=8.
-      char* end = nullptr;
-      const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
-      if (end == nullptr || *end != '\0') return false;
+      uint64_t v = 0;
+      if (!ParseUint64(tok, &v, kMaxWorkers)) return false;
       parsed.workers = static_cast<uint32_t>(v);
       continue;
     }
     const std::string key = tok.substr(0, eq);
     const std::string val = tok.substr(eq + 1);
-    char* end = nullptr;
-    const unsigned long long v = std::strtoull(val.c_str(), &end, 10);
-    if (val.empty() || end == nullptr || *end != '\0') return false;
+    uint64_t v = 0;
     if (key == "workers") {
+      if (!ParseUint64(val, &v, kMaxWorkers)) return false;
       parsed.workers = static_cast<uint32_t>(v);
     } else if (key == "batch") {
-      if (v == 0) return false;
+      if (!ParseUint64(val, &v, kMaxBatch) || v == 0) return false;
       parsed.max_batch = static_cast<size_t>(v);
     } else {
       return false;
@@ -64,8 +71,13 @@ IngestPool::IngestPool(ConcurrentIndex* index, const IngestOptions& options)
 IngestPool::~IngestPool() { Shutdown(); }
 
 void IngestPool::Shutdown() {
-  if (shut_down_) return;
-  shut_down_ = true;
+  // The mutex serializes racing callers (a plain check-then-set let two
+  // of them both reach join() — undefined behavior on std::thread); the
+  // exchange picks exactly one to do the work, and the loser blocks on
+  // the mutex until the winner's joins finish, so Shutdown() returning
+  // always means the workers are gone.
+  std::lock_guard<std::mutex> lk(shutdown_mu_);
+  if (shut_down_.exchange(true, std::memory_order_acq_rel)) return;
   for (auto& q : queues_) q->Close();
   for (auto& w : workers_) w.join();
 }
@@ -148,9 +160,13 @@ void IngestPool::WorkerLoop(size_t worker) {
       batched_ops_.fetch_add(inserts.size(), std::memory_order_relaxed);
       // A residual wait-die Abort past the DGL retry budget aborts the
       // whole batch before anything mutates; re-run it, like the
-      // per-op harness retries aborted ops.
+      // per-op harness retries aborted ops. Jittered backoff, not a
+      // bare yield: N workers re-colliding on one hot granule would
+      // otherwise re-run in lockstep and spin the budget away.
+      JitteredBackoff backoff(worker);
       while (index_->InsertBatch(inserts).code() == StatusCode::kAborted) {
-        std::this_thread::yield();
+        abort_retries_.fetch_add(1, std::memory_order_relaxed);
+        backoff.Sleep();
       }
       for (size_t i = 0; i < inserts.size(); ++i) {
         insert_states[i]->Complete(std::move(inserts[i].status));
@@ -159,8 +175,10 @@ void IngestPool::WorkerLoop(size_t worker) {
     if (!updates.empty()) {
       batches_.fetch_add(1, std::memory_order_relaxed);
       batched_ops_.fetch_add(updates.size(), std::memory_order_relaxed);
+      JitteredBackoff backoff(worker);
       while (index_->UpdateBatch(updates).code() == StatusCode::kAborted) {
-        std::this_thread::yield();
+        abort_retries_.fetch_add(1, std::memory_order_relaxed);
+        backoff.Sleep();
       }
       for (size_t i = 0; i < updates.size(); ++i) {
         update_states[i]->Complete(std::move(updates[i].status));
@@ -175,6 +193,7 @@ IngestStats IngestPool::stats() const {
   s.batches = batches_.load(std::memory_order_relaxed);
   s.batched_ops = batched_ops_.load(std::memory_order_relaxed);
   s.max_batch = max_batch_.load(std::memory_order_relaxed);
+  s.abort_retries = abort_retries_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -13,6 +13,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -30,6 +31,7 @@ struct IngestStats {
   uint64_t batches = 0;     ///< UpdateBatch/InsertBatch dispatches
   uint64_t batched_ops = 0; ///< ops executed through those dispatches
   uint64_t max_batch = 0;   ///< largest single queue drain observed
+  uint64_t abort_retries = 0; ///< batch re-runs after a residual DGL abort
 };
 
 /// Parses the benches' `--ingest workers=N[,batch=K]` spec; a bare
@@ -84,12 +86,16 @@ class IngestPool {
   IngestOptions options_;
   std::vector<std::unique_ptr<MpscQueue>> queues_;
   std::vector<std::thread> workers_;
-  bool shut_down_ = false;
+  /// Exchange picks the one caller that closes and joins; shutdown_mu_
+  /// parks any racing caller until those joins finish (see Shutdown()).
+  std::atomic<bool> shut_down_{false};
+  std::mutex shutdown_mu_;
 
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> batched_ops_{0};
   std::atomic<uint64_t> max_batch_{0};
+  std::atomic<uint64_t> abort_retries_{0};
 };
 
 }  // namespace burtree

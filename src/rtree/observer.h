@@ -69,6 +69,198 @@ class TreeObserver {
   }
 };
 
+/// Records structural events for later replay. The concurrent frontend
+/// uses it to move observer application (each subscriber takes its own
+/// mutex) off the page-mutation path: the R-tree's event sites write
+/// into the thread's recording queue, and the op replays the whole
+/// queue into the real observer in one burst — before its WAL record is
+/// appended and before its page latches release, so the oid-index and
+/// summary views can never lag a published page image.
+class DeferredObserverQueue : public TreeObserver {
+ public:
+  void OnLeafEntryAdded(ObjectId oid, PageId leaf) override {
+    Event e;
+    e.kind = Kind::kLeafEntryAdded;
+    e.oid = oid;
+    e.a = leaf;
+    events_.push_back(e);
+  }
+  void OnLeafEntryRemoved(ObjectId oid, PageId leaf) override {
+    Event e;
+    e.kind = Kind::kLeafEntryRemoved;
+    e.oid = oid;
+    e.a = leaf;
+    events_.push_back(e);
+  }
+  void OnNodeCreated(PageId page, Level level) override {
+    Event e;
+    e.kind = Kind::kNodeCreated;
+    e.a = page;
+    e.level = level;
+    events_.push_back(e);
+  }
+  void OnNodeFreed(PageId page, Level level) override {
+    Event e;
+    e.kind = Kind::kNodeFreed;
+    e.a = page;
+    e.level = level;
+    events_.push_back(e);
+  }
+  void OnNodeMbrChanged(PageId page, Level level, const Rect& mbr) override {
+    Event e;
+    e.kind = Kind::kNodeMbrChanged;
+    e.a = page;
+    e.level = level;
+    e.mbr = mbr;
+    events_.push_back(e);
+  }
+  void OnChildLinked(PageId parent, PageId child) override {
+    Event e;
+    e.kind = Kind::kChildLinked;
+    e.a = parent;
+    e.b = child;
+    events_.push_back(e);
+  }
+  void OnChildUnlinked(PageId parent, PageId child) override {
+    Event e;
+    e.kind = Kind::kChildUnlinked;
+    e.a = parent;
+    e.b = child;
+    events_.push_back(e);
+  }
+  void OnLeafOccupancyChanged(PageId leaf, uint32_t count,
+                              uint32_t capacity) override {
+    Event e;
+    e.kind = Kind::kLeafOccupancyChanged;
+    e.a = leaf;
+    e.count = count;
+    e.capacity = capacity;
+    events_.push_back(e);
+  }
+  void OnRootChanged(PageId new_root, Level new_level) override {
+    Event e;
+    e.kind = Kind::kRootChanged;
+    e.a = new_root;
+    e.level = new_level;
+    events_.push_back(e);
+  }
+
+  bool empty() const { return events_.empty(); }
+  size_t size() const { return events_.size(); }
+
+  /// Replays every recorded event into `target` in recording order,
+  /// then clears the queue.
+  void ApplyTo(TreeObserver* target) {
+    for (const Event& e : events_) {
+      switch (e.kind) {
+        case Kind::kLeafEntryAdded:
+          target->OnLeafEntryAdded(e.oid, e.a);
+          break;
+        case Kind::kLeafEntryRemoved:
+          target->OnLeafEntryRemoved(e.oid, e.a);
+          break;
+        case Kind::kNodeCreated:
+          target->OnNodeCreated(e.a, e.level);
+          break;
+        case Kind::kNodeFreed:
+          target->OnNodeFreed(e.a, e.level);
+          break;
+        case Kind::kNodeMbrChanged:
+          target->OnNodeMbrChanged(e.a, e.level, e.mbr);
+          break;
+        case Kind::kChildLinked:
+          target->OnChildLinked(e.a, e.b);
+          break;
+        case Kind::kChildUnlinked:
+          target->OnChildUnlinked(e.a, e.b);
+          break;
+        case Kind::kLeafOccupancyChanged:
+          target->OnLeafOccupancyChanged(e.a, e.count, e.capacity);
+          break;
+        case Kind::kRootChanged:
+          target->OnRootChanged(e.a, e.level);
+          break;
+      }
+    }
+    events_.clear();
+  }
+
+ private:
+  enum class Kind : uint8_t {
+    kLeafEntryAdded,
+    kLeafEntryRemoved,
+    kNodeCreated,
+    kNodeFreed,
+    kNodeMbrChanged,
+    kChildLinked,
+    kChildUnlinked,
+    kLeafOccupancyChanged,
+    kRootChanged,
+  };
+  /// One tagged record; `a` holds the page/parent/leaf/root id and `b`
+  /// the child id where the event has one.
+  struct Event {
+    Kind kind;
+    ObjectId oid = 0;
+    PageId a = 0;
+    PageId b = 0;
+    Level level = 0;
+    Rect mbr;
+    uint32_t count = 0;
+    uint32_t capacity = 0;
+  };
+  std::vector<Event> events_;
+};
+
+/// RAII bracket that installs a thread-local DeferredObserverQueue as
+/// this thread's event sink — RTree::observer() redirects to it while
+/// the bracket is open, so every event site records instead of applying.
+/// Apply() replays the queue into the real observer; call it while the
+/// op's page latches are still held and before its WAL record is
+/// appended. The destructor applies whatever is left (and re-installs
+/// any outer bracket), so early-return error paths never drop events.
+/// Within one op the recorded events are invisible to the recording
+/// thread itself, so an op must finish its summary/oid reads before its
+/// first mutation — every current strategy already does.
+class DeferredObserverScope {
+ public:
+  /// A null target makes the bracket inert (events keep flowing to the
+  /// subscribed observer directly).
+  explicit DeferredObserverScope(TreeObserver* target) : target_(target) {
+    if (target_ != nullptr) {
+      prev_ = tls_top_;
+      tls_top_ = this;
+    }
+  }
+  ~DeferredObserverScope() {
+    if (target_ != nullptr) {
+      Apply();
+      tls_top_ = prev_;
+    }
+  }
+
+  DeferredObserverScope(const DeferredObserverScope&) = delete;
+  DeferredObserverScope& operator=(const DeferredObserverScope&) = delete;
+
+  /// Replays the recorded events into the target now. Draining, so a
+  /// later call — or the destructor — only covers events recorded since.
+  void Apply() {
+    if (target_ != nullptr && !queue_.empty()) queue_.ApplyTo(target_);
+  }
+
+  /// The innermost active queue on this thread, or null outside any
+  /// bracket.
+  static TreeObserver* CurrentQueue() {
+    return tls_top_ != nullptr ? &tls_top_->queue_ : nullptr;
+  }
+
+ private:
+  TreeObserver* target_;
+  DeferredObserverQueue queue_;
+  DeferredObserverScope* prev_ = nullptr;
+  inline static thread_local DeferredObserverScope* tls_top_ = nullptr;
+};
+
 /// Fans events out to several observers (e.g., oid index + summary).
 class CompositeObserver : public TreeObserver {
  public:

@@ -78,7 +78,7 @@ Rect RTree::ReadRootMbr() {
 }
 
 void RTree::NotifyLeafOccupancy(PageId leaf, const NodeView& v) {
-  observer_->OnLeafOccupancyChanged(leaf, v.count(), v.capacity());
+  observer()->OnLeafOccupancyChanged(leaf, v.count(), v.capacity());
 }
 
 void RTree::SetParentPointer(PageId child, PageId parent) {
@@ -201,19 +201,19 @@ Status RTree::InsertEntryAlongPath(const std::vector<PageId>& path,
     if (v.count() < v.capacity()) {
       if (v.is_leaf()) {
         v.AppendLeafEntry(LeafEntry{cur_rect, cur_payload});
-        observer_->OnLeafEntryAdded(cur_payload, path[i]);
+        observer()->OnLeafEntryAdded(cur_payload, path[i]);
         NotifyLeafOccupancy(path[i], v);
       } else {
         const PageId child = static_cast<PageId>(cur_payload);
         v.AppendInternalEntry(InternalEntry{cur_rect, child});
-        observer_->OnChildLinked(path[i], child);
+        observer()->OnChildLinked(path[i], child);
         SetParentPointer(child, path[i]);
       }
       const Rect new_cover =
           v.mbr().UnionWith(cur_rect).UnionWith(refreshed_rect);
       if (!(new_cover == v.mbr())) {
         v.set_mbr(new_cover);
-        observer_->OnNodeMbrChanged(path[i], v.level(), new_cover);
+        observer()->OnNodeMbrChanged(path[i], v.level(), new_cover);
       }
       g.MarkDirty();
       g.Release();
@@ -276,7 +276,7 @@ RTree::PendingSplit RTree::SplitNode(PageGuard& node_guard,
   NodeView nv = View(new_guard);
   nv.Format(level);
   const PageId new_id = new_guard.id();
-  observer_->OnNodeCreated(new_id, level);
+  observer()->OnNodeCreated(new_id, level);
 
   // Rewrite the original node with group A.
   v.set_count(0);
@@ -311,11 +311,11 @@ RTree::PendingSplit RTree::SplitNode(PageGuard& node_guard,
   if (leaf) {
     for (uint32_t idx : sr.group_b) {
       const ObjectId oid = all[idx].payload;
-      if (idx != pending_index) observer_->OnLeafEntryRemoved(oid, node_id);
-      observer_->OnLeafEntryAdded(oid, new_id);
+      if (idx != pending_index) observer()->OnLeafEntryRemoved(oid, node_id);
+      observer()->OnLeafEntryAdded(oid, new_id);
     }
     if (pending_in_a) {
-      observer_->OnLeafEntryAdded(pending_payload, node_id);
+      observer()->OnLeafEntryAdded(pending_payload, node_id);
     }
     NotifyLeafOccupancy(node_id, v);
     NotifyLeafOccupancy(new_id, nv);
@@ -323,19 +323,19 @@ RTree::PendingSplit RTree::SplitNode(PageGuard& node_guard,
   } else {
     for (uint32_t idx : sr.group_b) {
       const PageId child = static_cast<PageId>(all[idx].payload);
-      if (idx != pending_index) observer_->OnChildUnlinked(node_id, child);
-      observer_->OnChildLinked(new_id, child);
+      if (idx != pending_index) observer()->OnChildUnlinked(node_id, child);
+      observer()->OnChildLinked(new_id, child);
       SetParentPointer(child, new_id);
     }
     if (pending_in_a) {
       const PageId child = static_cast<PageId>(pending_payload);
-      observer_->OnChildLinked(node_id, child);
+      observer()->OnChildLinked(node_id, child);
       SetParentPointer(child, node_id);
     }
     stats_.internal_splits.fetch_add(1, std::memory_order_relaxed);
   }
-  observer_->OnNodeMbrChanged(node_id, level, mbr_a);
-  observer_->OnNodeMbrChanged(new_id, level, mbr_b);
+  observer()->OnNodeMbrChanged(node_id, level, mbr_a);
+  observer()->OnNodeMbrChanged(new_id, level, mbr_b);
 
   return PendingSplit{mbr_a, InternalEntry{mbr_b, new_id}};
 }
@@ -407,24 +407,24 @@ Status RTree::ForcedReinsertOverflow(const std::vector<PageId>& path, int i,
   if (leaf) {
     for (uint32_t k = 0; k < all.size(); ++k) {
       if (!is_removed[k] || k == pending_index) continue;
-      observer_->OnLeafEntryRemoved(all[k].payload, node_id);
+      observer()->OnLeafEntryRemoved(all[k].payload, node_id);
     }
     if (pending_kept) {
-      observer_->OnLeafEntryAdded(pending_payload, node_id);
+      observer()->OnLeafEntryAdded(pending_payload, node_id);
     }
     NotifyLeafOccupancy(node_id, v);
   } else {
     for (uint32_t k = 0; k < all.size(); ++k) {
       if (!is_removed[k] || k == pending_index) continue;
-      observer_->OnChildUnlinked(node_id, static_cast<PageId>(all[k].payload));
+      observer()->OnChildUnlinked(node_id, static_cast<PageId>(all[k].payload));
     }
     if (pending_kept) {
       const PageId child = static_cast<PageId>(pending_payload);
-      observer_->OnChildLinked(node_id, child);
+      observer()->OnChildLinked(node_id, child);
       SetParentPointer(child, node_id);
     }
   }
-  observer_->OnNodeMbrChanged(node_id, level, new_cover);
+  observer()->OnNodeMbrChanged(node_id, level, new_cover);
   node_guard.Release();
 
   // Tighten routing entries up the path (exact mode recomputes covers).
@@ -455,10 +455,10 @@ void RTree::GrowRoot(const Rect& old_root_mbr,
   v.set_mbr(cover);
 
   const PageId new_root = g.id();
-  observer_->OnNodeCreated(new_root, new_level);
-  observer_->OnChildLinked(new_root, old_root);
-  observer_->OnChildLinked(new_root, promoted.child);
-  observer_->OnNodeMbrChanged(new_root, new_level, cover);
+  observer()->OnNodeCreated(new_root, new_level);
+  observer()->OnChildLinked(new_root, old_root);
+  observer()->OnChildLinked(new_root, promoted.child);
+  observer()->OnNodeMbrChanged(new_root, new_level, cover);
   SetParentPointer(old_root, new_root);
   SetParentPointer(promoted.child, new_root);
 
@@ -467,7 +467,7 @@ void RTree::GrowRoot(const Rect& old_root_mbr,
   root_.store(new_root, std::memory_order_relaxed);
   root_level_.store(new_level, std::memory_order_relaxed);
   stats_.root_grows.fetch_add(1, std::memory_order_relaxed);
-  observer_->OnRootChanged(new_root, new_level);
+  observer()->OnRootChanged(new_root, new_level);
 }
 
 void RTree::AdjustAncestors(const std::vector<PageId>& path, int upto,
@@ -491,7 +491,7 @@ void RTree::AdjustAncestors(const std::vector<PageId>& path, int upto,
     if (cover_changed) {
       v.set_mbr(ncover);
       g.MarkDirty();
-      observer_->OnNodeMbrChanged(path[j], v.level(), ncover);
+      observer()->OnNodeMbrChanged(path[j], v.level(), ncover);
     }
     if (!entry_changed && !cover_changed) return;  // ancestors unaffected
     child = path[j];
@@ -567,7 +567,7 @@ Status RTree::DeleteAtLeaf(const std::vector<PageId>& path_from_root,
     if (slot < 0) return Status::NotFound("oid not in leaf");
     v.RemoveEntry(static_cast<uint32_t>(slot));
     g.MarkDirty();
-    observer_->OnLeafEntryRemoved(oid, leaf);
+    observer()->OnLeafEntryRemoved(oid, leaf);
     NotifyLeafOccupancy(leaf, v);
   }
   BURTREE_RETURN_IF_ERROR(CondenseTree(path_from_root));
@@ -583,7 +583,7 @@ Status RTree::RemoveFromLeafNoCondense(PageId leaf, ObjectId oid) {
   if (slot < 0) return Status::NotFound("oid not in leaf");
   v.RemoveEntry(static_cast<uint32_t>(slot));
   g.MarkDirty();
-  observer_->OnLeafEntryRemoved(oid, leaf);
+  observer()->OnLeafEntryRemoved(oid, leaf);
   NotifyLeafOccupancy(leaf, v);
   return Status::OK();
 }
@@ -610,11 +610,11 @@ Status RTree::CondenseTree(const std::vector<PageId>& path) {
         if (leaf) {
           const LeafEntry e = v.leaf_entry(k);
           o.entries.push_back(SplitEntry{e.rect, e.oid});
-          observer_->OnLeafEntryRemoved(e.oid, node_id);
+          observer()->OnLeafEntryRemoved(e.oid, node_id);
         } else {
           const InternalEntry e = v.internal_entry(k);
           o.entries.push_back(SplitEntry{e.rect, e.child});
-          observer_->OnChildUnlinked(node_id, e.child);
+          observer()->OnChildUnlinked(node_id, e.child);
         }
       }
       orphans.push_back(std::move(o));
@@ -626,14 +626,14 @@ Status RTree::CondenseTree(const std::vector<PageId>& path) {
         BURTREE_CHECK(slot >= 0);
         pv.RemoveEntry(static_cast<uint32_t>(slot));
         pg.MarkDirty();
-        observer_->OnChildUnlinked(parent_id, node_id);
+        observer()->OnChildUnlinked(parent_id, node_id);
         const Rect tight = pv.ComputeMbr();
         if (!(tight == pv.mbr())) {
           pv.set_mbr(tight);
-          observer_->OnNodeMbrChanged(parent_id, pv.level(), tight);
+          observer()->OnNodeMbrChanged(parent_id, pv.level(), tight);
         }
       }
-      observer_->OnNodeFreed(node_id, v.level());
+      observer()->OnNodeFreed(node_id, v.level());
       g.Release();
       BURTREE_RETURN_IF_ERROR(pool_->DeletePage(node_id));
       stats_.underflow_condenses.fetch_add(1, std::memory_order_relaxed);
@@ -645,7 +645,7 @@ Status RTree::CondenseTree(const std::vector<PageId>& path) {
       if (!(tight == v.mbr())) {
         v.set_mbr(tight);
         g.MarkDirty();
-        observer_->OnNodeMbrChanged(node_id, v.level(), tight);
+        observer()->OnNodeMbrChanged(node_id, v.level(), tight);
       }
       g.Release();
       PageGuard pg = PageGuard::Fetch(pool_, parent_id);
@@ -667,7 +667,7 @@ Status RTree::CondenseTree(const std::vector<PageId>& path) {
     if (!(tight == v.mbr())) {
       v.set_mbr(tight);
       g.MarkDirty();
-      observer_->OnNodeMbrChanged(root(), v.level(), tight);
+      observer()->OnNodeMbrChanged(root(), v.level(), tight);
     }
   }
 
@@ -680,14 +680,14 @@ Status RTree::CondenseTree(const std::vector<PageId>& path) {
     const PageId old_root = root();
     const Level old_level = root_level();
     g.Release();
-    observer_->OnChildUnlinked(old_root, child);
-    observer_->OnNodeFreed(old_root, old_level);
+    observer()->OnChildUnlinked(old_root, child);
+    observer()->OnNodeFreed(old_root, old_level);
     BURTREE_RETURN_IF_ERROR(pool_->DeletePage(old_root));
     root_.store(child, std::memory_order_relaxed);
     root_level_.store(old_level - 1, std::memory_order_relaxed);
     SetParentPointer(child, kInvalidPageId);
     stats_.root_shrinks.fetch_add(1, std::memory_order_relaxed);
-    observer_->OnRootChanged(root(), root_level());
+    observer()->OnRootChanged(root(), root_level());
   }
 
   // Re-insert orphaned entries at their original levels.
@@ -728,16 +728,16 @@ Status RTree::DismantleAndReinsert(PageId subtree, Level subtree_level) {
       for (uint32_t i = 0; i < v.count(); ++i) {
         const LeafEntry e = v.leaf_entry(i);
         data.push_back(e);
-        observer_->OnLeafEntryRemoved(e.oid, page);
+        observer()->OnLeafEntryRemoved(e.oid, page);
       }
     } else {
       for (uint32_t i = 0; i < v.count(); ++i) {
         const InternalEntry e = v.internal_entry(i);
-        observer_->OnChildUnlinked(page, e.child);
+        observer()->OnChildUnlinked(page, e.child);
         stack.push_back({e.child, level - 1});
       }
     }
-    observer_->OnNodeFreed(page, level);
+    observer()->OnNodeFreed(page, level);
     g.Release();
     BURTREE_RETURN_IF_ERROR(pool_->DeletePage(page));
   }
@@ -823,9 +823,19 @@ Status RTree::Query(const Rect& window, const QueryCallback& cb) {
         if (e.rect.Intersects(window)) cb(e.oid, e.rect);
       }
     } else {
+      const size_t first_new = stack.size();
       for (uint32_t i = 0; i < v.count(); ++i) {
         const InternalEntry e = v.internal_entry(i);
         if (e.rect.Intersects(window)) stack.push_back(e.child);
+      }
+      // Batch-prefetch the just-pushed frontier (no-op on a synchronous
+      // store): the next iterations fetch exactly these pages, and the
+      // async engine overlaps their misses instead of paying one device
+      // round-trip each.
+      if (stack.size() > first_new) {
+        pool_->PrefetchPages(std::vector<PageId>(
+            stack.begin() + static_cast<ptrdiff_t>(first_new),
+            stack.end()));
       }
     }
   }
@@ -857,22 +867,29 @@ Status RTree::QuerySubtreeCoupled(PageId page, const Rect& window,
           if (e.rect.Intersects(window)) matches.push_back(e);
         }
       } else {
-        for (uint32_t i = 0; i < v.count() && !contended; ++i) {
+        // Collect the matching children first and batch-prefetch them
+        // (no-op on a synchronous store), so the latch+visit loop below
+        // overlaps its leaf misses instead of serializing them.
+        std::vector<PageId> children;
+        for (uint32_t i = 0; i < v.count(); ++i) {
           const InternalEntry e = v.internal_entry(i);
-          if (!e.rect.Intersects(window)) continue;
-          if (!hooks->TryAcquireShared(e.child)) {
+          if (e.rect.Intersects(window)) children.push_back(e.child);
+        }
+        pool_->PrefetchPages(children);
+        for (PageId child : children) {
+          if (!hooks->TryAcquireShared(child)) {
             contended = true;
             break;
           }
           {
-            PageGuard lg = PageGuard::Fetch(pool_, e.child);
+            PageGuard lg = PageGuard::Fetch(pool_, child);
             NodeView lv = View(lg);
             for (uint32_t k = 0; k < lv.count(); ++k) {
               const LeafEntry le = lv.leaf_entry(k);
               if (le.rect.Intersects(window)) matches.push_back(le);
             }
           }
-          hooks->ReleaseShared(e.child);
+          hooks->ReleaseShared(child);
         }
       }
     }
@@ -1096,11 +1113,11 @@ Status RTree::CoupledReinsertOverflow(const std::vector<PageId>& path,
   g.MarkDirty();
 
   for (const LeafEntry& e : *evicted) {
-    observer_->OnLeafEntryRemoved(e.oid, leaf_id);
+    observer()->OnLeafEntryRemoved(e.oid, leaf_id);
   }
-  observer_->OnLeafEntryAdded(oid, leaf_id);
+  observer()->OnLeafEntryAdded(oid, leaf_id);
   NotifyLeafOccupancy(leaf_id, v);
-  observer_->OnNodeMbrChanged(leaf_id, /*level=*/0, new_cover);
+  observer()->OnNodeMbrChanged(leaf_id, /*level=*/0, new_cover);
   g.Release();
 
   // Tighten routing entries up the retained (all-latched) path. Above

@@ -181,7 +181,19 @@ class RTree {
   /// structure or oid index attached after the tree was built. Reads
   /// every node.
   void ReplayStructureTo(TreeObserver* obs);
-  TreeObserver* observer() const { return observer_; }
+  /// The event sink for the *current thread*: the innermost active
+  /// DeferredObserverScope's recording queue when one is open (the
+  /// concurrent frontend brackets each op so observer application can
+  /// run as one burst off the mutation path), else the subscribed
+  /// observer. Never null — a shared no-op stands in when nothing is
+  /// subscribed.
+  TreeObserver* observer() const {
+    TreeObserver* q = DeferredObserverScope::CurrentQueue();
+    return q != nullptr ? q : observer_;
+  }
+  /// The subscribed observer itself, bypassing any deferral bracket:
+  /// the target a DeferredObserverScope applies into.
+  TreeObserver* subscribed_observer() const { return observer_; }
 
   /// Minimum entries per node (m) for the given node kind.
   uint32_t MinFill(bool leaf) const;

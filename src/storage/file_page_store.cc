@@ -1,9 +1,12 @@
 #include "storage/file_page_store.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <utility>
 
 #include <fcntl.h>
 #include <sys/stat.h>
@@ -130,10 +133,15 @@ FilePageStore::FilePageStore(FilePageStoreOptions options, int fd,
       options_(std::move(options)),
       fd_(fd),
       direct_(direct),
+      engine_(AsyncIoEngine::Create(options_.io_engine,
+                                    options_.io_queue_depth)),
       live_(existing_pages, true),
       file_pages_(existing_pages) {}
 
 FilePageStore::~FilePageStore() {
+  // Drain the async engine first: its destructor executes every still-
+  // queued unit, and those units target fd_.
+  engine_.reset();
   if (fd_ >= 0) {
     // Trim the geometric over-allocation so a truncate=false reopen
     // adopts exactly the allocated slots, not the growth slack.
@@ -321,67 +329,204 @@ bool FilePageStore::IsLiveLocked(PageId id) const {
   return id < live_.size() && live_[id];
 }
 
+// The resume loops live in storage/async_io.cc (shared with the async
+// engines and routed through the fault-injection hooks); these wrappers
+// just bind fd_.
 Status FilePageStore::PreadFully(uint8_t* buf, size_t len, off_t off) const {
-  while (len > 0) {
-    const ssize_t r = ::pread(fd_, buf, len, off);
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      return Errno("pread");
-    }
-    if (r == 0) return Status::IoError("pread: unexpected EOF");
-    buf += r;
-    len -= static_cast<size_t>(r);
-    off += r;
-  }
-  return Status::OK();
+  return io::PreadFully(fd_, buf, len, off);
 }
 
 Status FilePageStore::VectoredIo(std::vector<struct iovec> iov, off_t off,
                                  bool write) const {
-  // One resume loop for both directions: issue up to kMaxIov iovecs per
-  // syscall and advance through partially transferred entries.
-  size_t v = 0;
-  while (v < iov.size()) {
-    const int cnt = static_cast<int>(std::min(iov.size() - v, kMaxIov));
-    const ssize_t r = write ? ::pwritev(fd_, &iov[v], cnt, off)
-                            : ::preadv(fd_, &iov[v], cnt, off);
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      return Errno(write ? "pwritev" : "preadv");
-    }
-    if (r == 0) {
-      return Status::IoError(write ? "pwritev: wrote nothing"
-                                   : "preadv: unexpected EOF");
-    }
-    off += r;
-    size_t n = static_cast<size_t>(r);
-    while (n > 0) {
-      if (n >= iov[v].iov_len) {
-        n -= iov[v].iov_len;
-        ++v;
-      } else {
-        iov[v].iov_base = static_cast<uint8_t*>(iov[v].iov_base) + n;
-        iov[v].iov_len -= n;
-        n = 0;
-      }
-    }
-  }
-  return Status::OK();
+  return io::VectoredIo(fd_, std::move(iov), off, write);
 }
 
 Status FilePageStore::PwriteFully(const uint8_t* buf, size_t len,
                                   off_t off) const {
-  while (len > 0) {
-    const ssize_t r = ::pwrite(fd_, buf, len, off);
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      return Errno("pwrite");
-    }
-    buf += r;
-    len -= static_cast<size_t>(r);
-    off += r;
+  return io::PwriteFully(fd_, buf, len, off);
+}
+
+IoEngineKind FilePageStore::io_engine_active() const {
+  return engine_ != nullptr ? engine_->kind() : IoEngineKind::kSync;
+}
+
+void FilePageStore::SubmitReadPages(std::vector<PageReadRequest> reqs,
+                                    ReadRunFn on_run) {
+  if (engine_ == nullptr) {
+    PageStore::SubmitReadPages(std::move(reqs), std::move(on_run));
+    return;
   }
-  return Status::OK();
+  if (reqs.empty()) return;
+  // The batch vector must outlive every run's completion: the engine's
+  // iovecs point at the callers' out buffers it names.
+  auto batch = std::make_shared<std::vector<PageReadRequest>>(std::move(reqs));
+  std::vector<const PageReadRequest*> live;
+  std::vector<PageId> dead;
+  {
+    std::shared_lock lock(mu_);
+    // Per-id liveness instead of the blocking paths' all-or-nothing:
+    // prefetch batches are advisory, so a raced Free fails only its own
+    // page. Dead ids complete inline as failed single-page runs.
+    for (const auto& r : *batch) {
+      if (IsLiveLocked(r.id)) {
+        live.push_back(&r);
+      } else {
+        dead.push_back(r.id);
+      }
+    }
+  }
+  for (PageId id : dead) {
+    on_run(id, 1, Status::InvalidArgument("SubmitReadPages of non-live page"));
+  }
+  if (live.empty()) return;
+  std::stable_sort(
+      live.begin(), live.end(),
+      [](const PageReadRequest* a, const PageReadRequest* b) {
+        return a->id < b->id;
+      });
+  // Fuse contiguous-id runs (duplicates and gaps split them) and submit
+  // one unit per run, chunked at the iovec syscall cap.
+  for (size_t i = 0; i < live.size();) {
+    size_t j = i + 1;
+    while (j < live.size() && live[j]->id == live[j - 1]->id + 1) ++j;
+    for (size_t c = i; c < j; c += kMaxIov) {
+      const size_t len = std::min(kMaxIov, j - c);
+      const PageId first = live[c]->id;
+      IoRequest req;
+      req.op = IoRequest::Op::kRead;
+      req.fd = fd_;
+      req.offset = OffsetOf(first);
+      req.latency_ns = io_latency_ns();  // once per run, like CountReads
+      if (direct_) {
+        auto bounce = std::make_shared<AlignedBuffer>(len * page_size());
+        if (bounce->data == nullptr) {
+          on_run(first, len, Status::IoError("posix_memalign"));
+          continue;
+        }
+        std::vector<uint8_t*> outs(len);
+        for (size_t k = 0; k < len; ++k) outs[k] = live[c + k]->out;
+        req.iov.push_back({bounce->data, len * page_size()});
+        req.done = [this, batch, bounce, outs = std::move(outs), first, len,
+                    on_run](Status s) {
+          if (s.ok()) {
+            for (size_t k = 0; k < len; ++k) {
+              std::memcpy(outs[k], bounce->data + k * page_size(),
+                          page_size());
+            }
+          }
+          CountReadsCompleted(len);
+          on_run(first, len, s);
+        };
+      } else {
+        req.iov.reserve(len);
+        for (size_t k = 0; k < len; ++k) {
+          req.iov.push_back({live[c + k]->out, page_size()});
+        }
+        req.done = [this, batch, first, len, on_run](Status s) {
+          CountReadsCompleted(len);
+          on_run(first, len, s);
+        };
+      }
+      engine_->Submit(std::move(req));
+    }
+    i = j;
+  }
+}
+
+void FilePageStore::SubmitFlushDirtyBatch(std::vector<PageWriteRequest> reqs,
+                                          std::function<void(Status)> done) {
+  if (engine_ == nullptr) {
+    PageStore::SubmitFlushDirtyBatch(std::move(reqs), std::move(done));
+    return;
+  }
+  if (reqs.empty()) {
+    done(Status::OK());
+    return;
+  }
+  auto batch =
+      std::make_shared<std::vector<PageWriteRequest>>(std::move(reqs));
+  {
+    std::shared_lock lock(mu_);
+    // Same all-or-nothing validation as the blocking FlushDirtyBatch: a
+    // write-back of a dead page is a pool-protocol violation (DeletePage
+    // waits out in-flight write-backs), not a prefetch race.
+    for (const auto& r : *batch) {
+      if (!IsLiveLocked(r.id)) {
+        done(Status::InvalidArgument("SubmitFlushDirtyBatch of non-live page"));
+        return;
+      }
+    }
+  }
+  const auto order = SortById(*batch);
+  // One `done` after all runs: count them first, then submit with a
+  // shared countdown (first error wins; the final run adds the
+  // fsync-on-flush durability point, after every pwrite landed).
+  struct Agg {
+    std::atomic<size_t> runs_left{0};
+    std::mutex mu;
+    Status first_error;
+    std::function<void(Status)> done;
+  };
+  auto agg = std::make_shared<Agg>();
+  agg->done = std::move(done);
+  std::vector<std::pair<size_t, size_t>> runs;  // (start, len) in `order`
+  for (size_t i = 0; i < order.size();) {
+    size_t j = i + 1;
+    while (j < order.size() && order[j]->id == order[j - 1]->id + 1) ++j;
+    for (size_t c = i; c < j; c += kMaxIov) {
+      runs.emplace_back(c, std::min(kMaxIov, j - c));
+    }
+    i = j;
+  }
+  agg->runs_left.store(runs.size(), std::memory_order_relaxed);
+  for (const auto& [start, len] : runs) {
+    IoRequest req;
+    req.op = IoRequest::Op::kWrite;
+    req.fd = fd_;
+    req.offset = OffsetOf(order[start]->id);
+    req.latency_ns = io_latency_ns();
+    std::shared_ptr<AlignedBuffer> bounce;
+    if (direct_) {
+      bounce = std::make_shared<AlignedBuffer>(len * page_size());
+      if (bounce->data == nullptr) {
+        std::lock_guard<std::mutex> lk(agg->mu);
+        if (agg->first_error.ok()) {
+          agg->first_error = Status::IoError("posix_memalign");
+        }
+        if (agg->runs_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          agg->done(agg->first_error);
+        }
+        continue;
+      }
+      for (size_t k = 0; k < len; ++k) {
+        std::memcpy(bounce->data + k * page_size(), order[start + k]->data,
+                    page_size());
+      }
+      req.iov.push_back({bounce->data, len * page_size()});
+    } else {
+      req.iov.reserve(len);
+      for (size_t k = 0; k < len; ++k) {
+        req.iov.push_back(
+            {const_cast<uint8_t*>(order[start + k]->data), page_size()});
+      }
+    }
+    req.done = [this, batch, bounce, agg, len](Status s) {
+      CountWritesCompleted(len);
+      if (!s.ok()) {
+        std::lock_guard<std::mutex> lk(agg->mu);
+        if (agg->first_error.ok()) agg->first_error = s;
+      }
+      if (agg->runs_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        Status final_status = agg->first_error;  // no writers remain
+        if (final_status.ok() && options_.fsync_on_flush &&
+            ::fdatasync(fd_) != 0) {
+          final_status = Errno("fdatasync");
+        }
+        agg->done(final_status);
+      }
+    };
+    engine_->Submit(std::move(req));
+  }
 }
 
 Status FilePageStore::DirectReadPage(PageId id, uint8_t* out) const {

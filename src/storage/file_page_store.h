@@ -15,6 +15,7 @@
 
 #include <sys/uio.h>
 
+#include "storage/async_io.h"
 #include "storage/page_store.h"
 
 namespace burtree {
@@ -47,6 +48,15 @@ struct FilePageStoreOptions {
   /// scratch space the kernel reclaims when the store closes (used by
   /// MakePageStore so bench runs leave nothing behind).
   bool unlink_after_open = false;
+
+  /// Asynchronous engine for SubmitReadPages / SubmitFlushDirtyBatch
+  /// (storage/async_io.h). kSync attaches no engine: the Submit* paths
+  /// fall back to their synchronous base implementations and
+  /// supports_async_io() stays false.
+  IoEngineKind io_engine = IoEngineKind::kSync;
+
+  /// Engine queue depth (in-flight unit target); see StorageOptions.
+  size_t io_queue_depth = 16;
 };
 
 /// Real-file page store. Pages live at byte offset `id * page_size`.
@@ -76,6 +86,11 @@ class FilePageStore final : public PageStore {
   Status Write(PageId id, const uint8_t* in) override;
   Status ReadPages(const std::vector<PageReadRequest>& reqs) override;
   Status FlushDirtyBatch(const std::vector<PageWriteRequest>& reqs) override;
+  bool supports_async_io() const override { return engine_ != nullptr; }
+  void SubmitReadPages(std::vector<PageReadRequest> reqs,
+                       ReadRunFn on_run) override;
+  void SubmitFlushDirtyBatch(std::vector<PageWriteRequest> reqs,
+                             std::function<void(Status)> done) override;
   size_t live_pages() const override;
   size_t allocated_slots() const override;
 
@@ -86,6 +101,9 @@ class FilePageStore final : public PageStore {
   const std::string& path() const { return options_.path; }
   /// Whether O_DIRECT is actually in effect (false after a fallback).
   bool direct_io_active() const { return direct_; }
+  /// The engine actually running: kSync without one, else the created
+  /// engine's kind (kPool after a uring setup fallback).
+  IoEngineKind io_engine_active() const;
 
  private:
   FilePageStore(FilePageStoreOptions options, int fd, bool direct,
@@ -95,12 +113,11 @@ class FilePageStore final : public PageStore {
   off_t OffsetOf(PageId id) const {
     return static_cast<off_t>(id) * static_cast<off_t>(page_size());
   }
-  /// Loops pread until `len` bytes landed in `buf` (EOF is an error:
-  /// every live page lies within the ftruncate-extended file).
+  // The raw resume loops live in storage/async_io.h (io::PreadFully &
+  // co.) so the store and the async engines share one hookable
+  // implementation; these wrappers just bind fd_.
   Status PreadFully(uint8_t* buf, size_t len, off_t off) const;
   Status PwriteFully(const uint8_t* buf, size_t len, off_t off) const;
-  /// One preadv/pwritev resume loop for both batched directions,
-  /// advancing through partially transferred iovecs.
   Status VectoredIo(std::vector<struct iovec> iov, off_t off,
                     bool write) const;
   /// pread/pwrite one page through an O_DIRECT-aligned bounce buffer.
@@ -113,6 +130,9 @@ class FilePageStore final : public PageStore {
   FilePageStoreOptions options_;
   int fd_ = -1;
   bool direct_ = false;
+  /// Null when io_engine == kSync. Destroyed (drained) before fd_
+  /// closes, so in-flight units never race the close.
+  std::unique_ptr<AsyncIoEngine> engine_;
   mutable std::shared_mutex mu_;
   std::vector<bool> live_;
   std::vector<PageId> free_list_;

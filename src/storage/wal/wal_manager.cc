@@ -161,7 +161,11 @@ std::unique_ptr<WalManager> WalManager::MustOpen(
 }
 
 WalManager::WalManager(const WalManagerOptions& options, int fd)
-    : options_(options), fd_(fd), file_write_off_(kWalFileHeaderSize) {
+    : options_(options),
+      fd_(fd),
+      file_write_off_(kWalFileHeaderSize),
+      engine_(AsyncIoEngine::Create(options.io_engine,
+                                    options.io_queue_depth)) {
   committer_ = std::thread([this] { CommitterLoop(); });
 }
 
@@ -172,12 +176,17 @@ WalManager::~WalManager() {
     while (!buf_.empty() && io_error_.ok()) {
       FlushLocked(lk).ok();  // sticky error is inspected below
     }
+    // An async FlushLocked returns at submit: wait out the in-flight
+    // append so its completion (which locks mu_) runs while the manager
+    // is fully alive.
+    while (write_in_progress_) durable_cv_.wait(lk);
     DrainFreesLocked(/*durable=*/next_lsn_);  // clean close: release all
     stop_ = true;
   }
   work_cv_.notify_all();
   durable_cv_.notify_all();
   committer_.join();
+  engine_.reset();  // drains; must precede the close below
   if (fd_ >= 0) ::close(fd_);
   if (options_.delete_on_close) ::unlink(options_.path.c_str());
 }
@@ -253,6 +262,38 @@ Status WalManager::FlushLocked(std::unique_lock<std::mutex>& lk) {
   const uint64_t off = file_write_off_;
   file_write_off_ += flush_buf_.size();
   write_in_progress_ = true;
+
+  if (engine_ != nullptr) {
+    // Async append: submit the fdatasync-linked unit under mu_ (Submit
+    // never blocks on the device) and return at once — the caller keeps
+    // batching the next window; the completion publishes durable_lsn_
+    // and wakes the durable_cv_ waiters. flush_buf_ stays untouched
+    // until then: every other claimant waits out write_in_progress_.
+    const uint64_t batch_bytes = flush_buf_.size();
+    IoRequest req;
+    req.op = IoRequest::Op::kWrite;
+    req.fd = fd_;
+    req.offset = static_cast<off_t>(off);
+    req.iov.push_back({flush_buf_.data(), flush_buf_.size()});
+    req.datasync_after = true;
+    req.done = [this, end_lsn, batch_bytes](Status s) {
+      std::lock_guard<std::mutex> lk2(mu_);
+      write_in_progress_ = false;
+      if (s.ok()) {
+        durable_lsn_ = std::max(durable_lsn_, end_lsn);
+        stats_.fsyncs++;
+        stats_.max_group_bytes =
+            std::max<uint64_t>(stats_.max_group_bytes, batch_bytes);
+        DrainFreesLocked(durable_lsn_);
+      } else if (io_error_.ok()) {
+        io_error_ = s;
+      }
+      durable_cv_.notify_all();
+    };
+    engine_->Submit(std::move(req));
+    return Status::OK();
+  }
+
   const int fd = fd_;
   const std::string path = options_.path;
   lk.unlock();

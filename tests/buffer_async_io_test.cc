@@ -1,0 +1,144 @@
+// BufferPool over a FilePageStore with an async engine attached: demand
+// misses travel through Submit + completion rendezvous, dirty evictions
+// become submit-and-reap write-backs, and PrefetchPages publishes clean
+// frames ahead of the fetches that want them. These tests pin the
+// observable contract — same data, working hits, stats that account for
+// the prefetches — not the overlap timing (bench_async_io measures
+// that).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "buffer/buffer_pool.h"
+#include "storage/file_page_store.h"
+
+namespace burtree {
+namespace {
+
+constexpr size_t kPageSize = 512;
+
+std::unique_ptr<FilePageStore> OpenStore(const std::string& name,
+                                         IoEngineKind engine) {
+  FilePageStoreOptions opts;
+  opts.path = ::testing::TempDir() + "burtree_basync_" + name + ".pages";
+  opts.page_size = kPageSize;
+  opts.unlink_after_open = true;
+  opts.io_engine = engine;
+  opts.io_queue_depth = 4;
+  auto store = FilePageStore::Open(opts);
+  EXPECT_TRUE(store.ok()) << store.status().ToString();
+  return std::move(store).value();
+}
+
+void StampPage(Page* p, PageId id) {
+  std::memset(p->data(), static_cast<int>(0x40 + id % 64), kPageSize);
+}
+
+void ExpectStamp(const Page* p, PageId id) {
+  const uint8_t want = static_cast<uint8_t>(0x40 + id % 64);
+  for (size_t i = 0; i < kPageSize; ++i) {
+    ASSERT_EQ(p->data()[i], want) << "page " << id << " byte " << i;
+  }
+}
+
+class BufferAsyncIoTest : public ::testing::TestWithParam<IoEngineKind> {};
+
+// Writes pages through a tiny pool (forcing async write-back evictions),
+// then reads everything back through demand misses routed via the
+// engine. The bytes must round-trip regardless of which engine ran.
+TEST_P(BufferAsyncIoTest, EvictionsAndMissesRoundTripThroughTheEngine) {
+  auto store = OpenStore("roundtrip", GetParam());
+  ASSERT_TRUE(store->supports_async_io());
+  constexpr PageId kPages = 32;
+  for (PageId id = 0; id < kPages; ++id) store->Allocate();
+
+  BufferPool pool(store.get(), /*capacity=*/4, /*shards=*/2);
+  for (PageId id = 0; id < kPages; ++id) {
+    auto p = pool.FetchPage(id);
+    ASSERT_TRUE(p.ok()) << p.status().ToString();
+    StampPage(p.value(), id);
+    pool.UnpinPage(id, /*dirty=*/true);
+  }
+  ASSERT_TRUE(pool.FlushAll().ok());
+
+  for (PageId id = 0; id < kPages; ++id) {
+    auto p = pool.FetchPage(id);
+    ASSERT_TRUE(p.ok()) << p.status().ToString();
+    ExpectStamp(p.value(), id);
+    pool.UnpinPage(id, /*dirty=*/false);
+  }
+  const BufferStats stats = pool.stats();
+  EXPECT_GT(stats.evictions, 0u) << "capacity 4 over 32 pages must evict";
+  EXPECT_GT(stats.misses, 0u);
+}
+
+// Prefetched pages become hits: warm the pool with PrefetchPages, wait
+// for the frames to land (a demand fetch rendezvouses with the
+// in-flight prefetch), and check the stats ledger saw the prefetches.
+TEST_P(BufferAsyncIoTest, PrefetchTurnsFutureMissesIntoHits) {
+  auto store = OpenStore("prefetch", GetParam());
+  constexpr PageId kPages = 8;
+  std::vector<uint8_t> buf(kPageSize);
+  for (PageId id = 0; id < kPages; ++id) {
+    store->Allocate();
+    std::memset(buf.data(), static_cast<int>(0x40 + id % 64), kPageSize);
+    ASSERT_TRUE(store->Write(id, buf.data()).ok());
+  }
+
+  BufferPool pool(store.get(), /*capacity=*/kPages, /*shards=*/1);
+  std::vector<PageId> ids;
+  for (PageId id = 0; id < kPages; ++id) ids.push_back(id);
+  pool.PrefetchPages(ids);
+
+  // Every fetch either hits a landed prefetch frame or waits out the
+  // in-flight one — never a second disk read of the same page.
+  for (PageId id = 0; id < kPages; ++id) {
+    auto p = pool.FetchPage(id);
+    ASSERT_TRUE(p.ok()) << p.status().ToString();
+    ExpectStamp(p.value(), id);
+    pool.UnpinPage(id, /*dirty=*/false);
+  }
+  const BufferStats stats = pool.stats();
+  EXPECT_EQ(stats.prefetched + stats.prefetch_dropped, kPages);
+  EXPECT_EQ(store->io_stats().reads(), kPages)
+      << "a demand fetch re-read a prefetched page";
+
+  // Prefetching resident pages is a no-op, not a re-read.
+  pool.PrefetchPages(ids);
+  ASSERT_TRUE(pool.FlushAll().ok());
+  EXPECT_EQ(store->io_stats().reads(), kPages);
+}
+
+// A full pool has no free room: prefetch must decline (it never evicts)
+// rather than push live frames out.
+TEST_P(BufferAsyncIoTest, PrefetchNeverEvictsResidentFrames) {
+  auto store = OpenStore("noevict", GetParam());
+  constexpr PageId kPages = 8;
+  for (PageId id = 0; id < kPages; ++id) store->Allocate();
+
+  BufferPool pool(store.get(), /*capacity=*/2, /*shards=*/1);
+  ASSERT_TRUE(pool.FetchPage(0).ok());
+  ASSERT_TRUE(pool.FetchPage(1).ok());  // both pinned: pool is full
+
+  pool.PrefetchPages({2, 3, 4});  // no room — advisory, must not evict
+  auto p0 = pool.FetchPage(0);    // still resident (pin count 2 now)
+  ASSERT_TRUE(p0.ok());
+  const BufferStats stats = pool.stats();
+  EXPECT_EQ(stats.prefetched, 0u);
+  pool.UnpinPage(0, false);
+  pool.UnpinPage(0, false);
+  pool.UnpinPage(1, false);
+  ASSERT_TRUE(pool.FlushAll().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, BufferAsyncIoTest,
+                         ::testing::Values(IoEngineKind::kPool,
+                                           IoEngineKind::kUring),
+                         [](const auto& info) {
+                           return std::string(IoEngineName(info.param));
+                         });
+
+}  // namespace
+}  // namespace burtree

@@ -31,6 +31,24 @@ TEST(ParseIngestSpecTest, AcceptsTheDocumentedForms) {
   EXPECT_FALSE(ParseIngestSpec("workers=x", &opt));
   EXPECT_FALSE(ParseIngestSpec("batch=0", &opt));
   EXPECT_FALSE(ParseIngestSpec("bogus=1", &opt));
+}
+
+TEST(ParseIngestSpecTest, RejectsSignsWhitespaceAndOverflow) {
+  // strtoull used to wrap "workers=-1" to 4294967295 worker threads and
+  // quietly took "+8", " 8", and "0x8"; strict parsing rejects them all
+  // without touching the output.
+  IngestOptions opt;
+  opt.workers = 7;
+  EXPECT_FALSE(ParseIngestSpec("workers=-1", &opt));
+  EXPECT_FALSE(ParseIngestSpec("-1", &opt));
+  EXPECT_FALSE(ParseIngestSpec("workers=+8", &opt));
+  EXPECT_FALSE(ParseIngestSpec("workers= 8", &opt));
+  EXPECT_FALSE(ParseIngestSpec("workers=0x8", &opt));
+  EXPECT_FALSE(ParseIngestSpec("workers=8 ", &opt));
+  EXPECT_FALSE(ParseIngestSpec("workers=99999999999999999999", &opt));
+  EXPECT_FALSE(ParseIngestSpec("workers=5000", &opt));  // > sanity cap
+  EXPECT_FALSE(ParseIngestSpec("batch=2000000", &opt));
+  EXPECT_EQ(opt.workers, 7u);  // rejected parses leave `out` untouched
   IngestOptions rt;
   rt.workers = 3;
   rt.max_batch = 32;
@@ -224,6 +242,32 @@ TEST(IngestPoolTest, ShutdownCompletesInFlightWork) {
   EXPECT_EQ(testutil::FullSpaceCount(*w.fx.system), 500u);
   // Second Shutdown is an idempotent no-op.
   w.pool->Shutdown();
+}
+
+// Regression: Shutdown used a plain bool check-then-set, so two racing
+// callers could both reach join() — undefined behavior on std::thread.
+// Now an exchange picks one closer and the mutex parks the loser until
+// the winner's joins finish; both callers hammering it concurrently
+// must come back clean with the workers gone.
+TEST(IngestPoolTest, ConcurrentShutdownCallersBothReturnSafely) {
+  for (int round = 0; round < 10; ++round) {
+    PoolWorld w(300, /*workers=*/4, LatchMode::kGlobal);
+    std::vector<UpdateHandle> handles;
+    const auto& pos = w.workload->initial_positions();
+    for (int i = 0; i < 50; ++i) {
+      const ObjectId oid = static_cast<ObjectId>(i % 300);
+      handles.push_back(
+          w.pool->SubmitUpdate(oid, pos[oid], Point{0.5, 0.5}));
+    }
+    std::thread a([&] { w.pool->Shutdown(); });
+    std::thread b([&] { w.pool->Shutdown(); });
+    a.join();
+    b.join();
+    // Either caller returning means the drain finished: every handle
+    // completed and no worker is left to lose.
+    for (auto& h : handles) EXPECT_TRUE(h.Wait().ok());
+    EXPECT_TRUE(w.fx.system->tree().Validate().ok());
+  }
 }
 
 }  // namespace

@@ -25,6 +25,8 @@ backend: file
 wal: true
 wal_group_commit_us: 150
 fsync: false
+io_engine: pool
+io_queue_depth: 8
 objects: 12345
 distribution: gaussian
 max_move: 0.05
@@ -64,6 +66,8 @@ expect_min_tps: 100.5
   EXPECT_EQ(s.base.storage.backend, StorageBackend::kFile);
   EXPECT_TRUE(s.base.storage.wal.enabled);
   EXPECT_EQ(s.base.storage.wal.group_commit_us, 150u);
+  EXPECT_EQ(s.base.storage.io_engine, IoEngineKind::kPool);
+  EXPECT_EQ(s.base.storage.io_queue_depth, 8u);
   EXPECT_EQ(s.base.workload.num_objects, 12345u);
   EXPECT_EQ(s.base.workload.distribution, Distribution::kGaussian);
   EXPECT_DOUBLE_EQ(s.base.workload.max_move_distance, 0.05);
@@ -123,6 +127,26 @@ TEST(ScenarioParseTest, RejectsMalformedSpecs) {
   // Zero clients / empty workload.
   EXPECT_FALSE(ParseScenario("threads: 0\n", "x").ok());
   EXPECT_FALSE(ParseScenario("objects: 0\n", "x").ok());
+  // Bad engine name.
+  EXPECT_FALSE(ParseScenario("io_engine: turbo\n", "x").ok());
+}
+
+TEST(ScenarioParseTest, RejectsNonStrictIntegers) {
+  // Integer keys used bare strtoull, which silently accepted signs,
+  // whitespace, hex, and trailing junk (and wrapped "-1" to 2^64-1).
+  // Each must now fail with the offending key and line in the message.
+  for (const char* line :
+       {"threads: -1\n", "objects: +5\n", "seed: 0x2a\n",
+        "page_size: 4k\n", "ops_per_thread: 1e3\n",
+        "io_queue_depth: -8\n", "wal_group_commit_us: 150us\n",
+        "flash_interval: 99999999999999999999\n"}) {
+    auto spec = ParseScenario(line, "strict");
+    ASSERT_FALSE(spec.ok()) << line;
+    EXPECT_NE(spec.status().message().find("bad unsigned integer"),
+              std::string::npos)
+        << spec.status().ToString();
+    EXPECT_NE(spec.status().message().find("line 1"), std::string::npos);
+  }
 }
 
 TEST(ScenarioLoadTest, LoadsDirectorySortedAndSkipsOtherFiles) {
